@@ -1,0 +1,186 @@
+//! Affine-gap alignment oracles (Gotoh 1982).
+//!
+//! Full-matrix affine-gap DP, kept deliberately simple: these are the
+//! independent correctness oracles for the ksw2-style extension
+//! ([`crate::ksw2`]) — with an unbounded band and a Z-drop too large to
+//! fire, `ksw2_extend` must equal [`gotoh_extension_oracle`] exactly.
+
+use crate::result::AlignmentResult;
+use crate::NEG_INF;
+use logan_seq::{AffineScoring, Seq};
+
+/// Global affine-gap alignment score (Gotoh).
+pub fn gotoh_global(query: &Seq, target: &Seq, sc: AffineScoring) -> AlignmentResult {
+    let (m, n) = (query.len(), target.len());
+    let q = query.as_slice();
+    let t = target.as_slice();
+    let (o, e) = (sc.gap_open, sc.gap_extend);
+
+    // h = best ending anywhere, f = best ending in a vertical gap,
+    // rolled row by row; eh = horizontal gap within the row.
+    let mut h_prev: Vec<i32> = vec![0; n + 1];
+    let mut f: Vec<i32> = vec![NEG_INF; n + 1];
+    for j in 1..=n {
+        h_prev[j] = -(o + j as i32 * e);
+    }
+    let mut h_cur = vec![0i32; n + 1];
+    for i in 1..=m {
+        h_cur[0] = -(o + i as i32 * e);
+        let mut eh = NEG_INF;
+        for j in 1..=n {
+            eh = (eh - e).max(h_cur[j - 1] - o - e);
+            f[j] = (f[j] - e).max(h_prev[j] - o - e);
+            let diag = h_prev[j - 1] + sc.substitution(q[i - 1] == t[j - 1]);
+            h_cur[j] = diag.max(eh).max(f[j]);
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+    AlignmentResult {
+        score: h_prev[n],
+        query_end: m,
+        target_end: n,
+        cells: m as u64 * n as u64,
+    }
+}
+
+/// Affine-gap extension oracle: the maximum of `H(i, j)` over the whole
+/// matrix with `H(0,0) = 0` — what ksw2 computes when neither its band
+/// nor its Z-drop constrains anything. Tie-break: earliest row, then
+/// smallest column (matching ksw2's per-cell strict-greater update).
+pub fn gotoh_extension_oracle(query: &Seq, target: &Seq, sc: AffineScoring) -> AlignmentResult {
+    let (m, n) = (query.len(), target.len());
+    let q = query.as_slice();
+    let t = target.as_slice();
+    let (o, e) = (sc.gap_open, sc.gap_extend);
+
+    let mut h_prev: Vec<i32> = vec![NEG_INF; n + 1];
+    let mut f: Vec<i32> = vec![NEG_INF; n + 1];
+    h_prev[0] = 0;
+    for j in 1..=n {
+        h_prev[j] = -(o + j as i32 * e);
+    }
+    let mut best = 0i32;
+    let mut best_pos = (0usize, 0usize);
+    let mut h_cur = vec![NEG_INF; n + 1];
+    for i in 1..=m {
+        h_cur[0] = -(o + i as i32 * e);
+        let mut eh = NEG_INF;
+        for j in 1..=n {
+            eh = (eh - e).max(h_cur[j - 1] - o - e);
+            f[j] = (f[j] - e).max(h_prev[j] - o - e);
+            let diag = h_prev[j - 1] + sc.substitution(q[i - 1] == t[j - 1]);
+            let h = diag.max(eh).max(f[j]);
+            h_cur[j] = h;
+            if h > best {
+                best = h;
+                best_pos = (i, j);
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+    AlignmentResult {
+        score: best,
+        query_end: best_pos.0,
+        target_end: best_pos.1,
+        cells: m as u64 * n as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ksw2::{ksw2_extend, Ksw2Params};
+    use logan_seq::readsim::random_seq;
+    use logan_seq::{ErrorModel, ErrorProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    #[test]
+    fn global_identical() {
+        let s = seq("ACGTACGTAC");
+        let r = gotoh_global(&s, &s, AffineScoring::default());
+        assert_eq!(r.score, 20);
+    }
+
+    #[test]
+    fn global_single_long_gap_cheaper_than_two() {
+        // With open=4, extend=2: one 2-gap costs 8, two 1-gaps cost 12.
+        let sc = AffineScoring::default();
+        let q = seq("ACGTAAACGTACGT"); // AA inserted together
+        let t = seq("ACGTACGTACGT");
+        let r = gotoh_global(&q, &t, sc);
+        assert_eq!(r.score, 12 * 2 - (4 + 2 * 2));
+    }
+
+    #[test]
+    fn extension_oracle_nonnegative_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let a = random_seq(60, &mut rng);
+            let b = random_seq(60, &mut rng);
+            let r = gotoh_extension_oracle(&a, &b, AffineScoring::default());
+            assert!(r.score >= 0);
+            assert!(r.score <= 2 * 60);
+        }
+    }
+
+    #[test]
+    fn ksw2_equals_gotoh_oracle_when_unconstrained() {
+        // The independent oracle check: band wider than the matrix and a
+        // Z-drop that can never fire make ksw2 exact.
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.15));
+        for trial in 0..25 {
+            let len = 20 + (trial * 11) % 120;
+            let template = random_seq(len, &mut rng);
+            let (a, _) = model.corrupt(&template, &mut rng);
+            let (b, _) = model.corrupt(&template, &mut rng);
+            let params = Ksw2Params {
+                band: Some(a.len() + b.len()),
+                zdrop: i32::MAX / 4,
+                ..Ksw2Params::with_zdrop(0)
+            };
+            let k = ksw2_extend(&a, &b, params);
+            let oracle = gotoh_extension_oracle(&a, &b, params.scoring);
+            assert_eq!(k.score, oracle.score, "trial {trial}");
+            assert_eq!(
+                (k.query_end, k.target_end),
+                (oracle.query_end, oracle.target_end),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn ksw2_band_never_beats_oracle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..15 {
+            let a = random_seq(80, &mut rng);
+            let b = random_seq(80, &mut rng);
+            for z in [10, 50, 200] {
+                let k = ksw2_extend(&a, &b, Ksw2Params::with_zdrop(z));
+                let oracle = gotoh_extension_oracle(&a, &b, AffineScoring::default());
+                assert!(k.score <= oracle.score, "banded can never exceed exact");
+            }
+        }
+    }
+
+    #[test]
+    fn extension_at_least_global() {
+        // The extension optimum dominates the global score (it may stop
+        // early where global must pay trailing gaps).
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let a = random_seq(50, &mut rng);
+            let b = random_seq(55, &mut rng);
+            let sc = AffineScoring::default();
+            let ext = gotoh_extension_oracle(&a, &b, sc);
+            let glob = gotoh_global(&a, &b, sc);
+            assert!(ext.score >= glob.score);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Exact quadratic aligners: Needleman–Wunsch (global), Smith–Waterman
+//! (local) and the semi-global extension oracle.
+//!
+//! These are the algorithms the related-work GPU efforts accelerate
+//! (paper §II). Here they serve three roles: oracle for property tests
+//! (X-drop with unbounded X must equal [`extension_oracle`]), the
+//! CUDASW++-style workload for Fig. 12, and a clear statement of the
+//! recurrences shared by every aligner in the workspace.
+
+use crate::result::AlignmentResult;
+use crate::NEG_INF;
+use logan_seq::{Scoring, Seq};
+
+/// Global alignment (Needleman–Wunsch, linear gaps): both sequences are
+/// consumed end to end.
+pub fn needleman_wunsch(query: &Seq, target: &Seq, scoring: Scoring) -> AlignmentResult {
+    let m = query.len();
+    let n = target.len();
+    let q = query.as_slice();
+    let t = target.as_slice();
+
+    // One rolling row: prev[j] = S(i-1, j), cur[j] = S(i, j).
+    let mut prev: Vec<i32> = (0..=n as i32).map(|j| j * scoring.gap).collect();
+    let mut cur = vec![0i32; n + 1];
+    for i in 1..=m {
+        cur[0] = i as i32 * scoring.gap;
+        for j in 1..=n {
+            let diag = prev[j - 1] + scoring.substitution(q[i - 1] == t[j - 1]);
+            let up = prev[j] + scoring.gap;
+            let left = cur[j - 1] + scoring.gap;
+            cur[j] = diag.max(up).max(left);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    AlignmentResult {
+        score: prev[n],
+        query_end: m,
+        target_end: n,
+        cells: (m as u64) * (n as u64),
+    }
+}
+
+/// Local alignment (Smith–Waterman, linear gaps): the best-scoring pair
+/// of substrings. Scores are floored at zero.
+pub fn smith_waterman(query: &Seq, target: &Seq, scoring: Scoring) -> AlignmentResult {
+    let m = query.len();
+    let n = target.len();
+    let q = query.as_slice();
+    let t = target.as_slice();
+
+    let mut prev = vec![0i32; n + 1];
+    let mut cur = vec![0i32; n + 1];
+    let mut best = 0i32;
+    let mut best_pos = (0usize, 0usize);
+    for i in 1..=m {
+        cur[0] = 0;
+        for j in 1..=n {
+            let diag = prev[j - 1] + scoring.substitution(q[i - 1] == t[j - 1]);
+            let up = prev[j] + scoring.gap;
+            let left = cur[j - 1] + scoring.gap;
+            let v = diag.max(up).max(left).max(0);
+            cur[j] = v;
+            if v > best {
+                best = v;
+                best_pos = (i, j);
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    AlignmentResult {
+        score: best,
+        query_end: best_pos.0,
+        target_end: best_pos.1,
+        cells: (m as u64) * (n as u64),
+    }
+}
+
+/// Semi-global extension oracle: the maximum of `S(i, j)` over the whole
+/// matrix, where `S` is the prefix-alignment score with linear gaps and
+/// `S(0,0) = 0` — i.e. exactly what X-drop computes when `X` is large
+/// enough that nothing is ever pruned.
+///
+/// Tie-break matches [`crate::xdrop::xdrop_extend`]: earliest
+/// anti-diagonal (`i + j`), then smallest `i` — but note a subtlety: the
+/// X-drop routine only updates its best when an anti-diagonal maximum
+/// *strictly exceeds* the running best, so the oracle mirrors that by
+/// scanning anti-diagonals in order.
+pub fn extension_oracle(query: &Seq, target: &Seq, scoring: Scoring) -> AlignmentResult {
+    let m = query.len();
+    let n = target.len();
+    let q = query.as_slice();
+    let t = target.as_slice();
+
+    // Full matrix, no pruning; kept simple (tests only run it on small
+    // inputs).
+    let mut s = vec![vec![NEG_INF; n + 1]; m + 1];
+    s[0][0] = 0;
+    for j in 1..=n {
+        s[0][j] = s[0][j - 1] + scoring.gap;
+    }
+    for i in 1..=m {
+        s[i][0] = s[i - 1][0] + scoring.gap;
+        for j in 1..=n {
+            let diag = s[i - 1][j - 1] + scoring.substitution(q[i - 1] == t[j - 1]);
+            let up = s[i - 1][j] + scoring.gap;
+            let left = s[i][j - 1] + scoring.gap;
+            s[i][j] = diag.max(up).max(left);
+        }
+    }
+
+    let mut best = 0i32;
+    let mut best_pos = (0usize, 0usize);
+    for d in 1..=(m + n) {
+        let lo = d.saturating_sub(n);
+        let hi = d.min(m);
+        let mut row_max = NEG_INF;
+        let mut row_arg = (0usize, 0usize);
+        for i in lo..=hi {
+            let j = d - i;
+            if s[i][j] > row_max {
+                row_max = s[i][j];
+                row_arg = (i, j);
+            }
+        }
+        if row_max > best {
+            best = row_max;
+            best_pos = row_arg;
+        }
+    }
+    AlignmentResult {
+        score: best,
+        query_end: best_pos.0,
+        target_end: best_pos.1,
+        cells: (m as u64) * (n as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logan_seq::readsim::random_seq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    #[test]
+    fn nw_identical() {
+        let s = seq("ACGTACGT");
+        let r = needleman_wunsch(&s, &s, Scoring::default());
+        assert_eq!(r.score, 8);
+        assert_eq!(r.cells, 64);
+    }
+
+    #[test]
+    fn nw_empty_query_costs_gaps() {
+        let r = needleman_wunsch(&Seq::new(), &seq("ACGT"), Scoring::default());
+        assert_eq!(r.score, -4);
+    }
+
+    #[test]
+    fn nw_known_value() {
+        // ACGT vs AGT: one deletion. score = 3 matches - 1 gap = 2.
+        let r = needleman_wunsch(&seq("ACGT"), &seq("AGT"), Scoring::default());
+        assert_eq!(r.score, 2);
+    }
+
+    #[test]
+    fn sw_finds_embedded_match() {
+        // A perfect 6-mer embedded in noise on both sides.
+        let q = seq("TTTTTTACGGCATTTTTT");
+        let t = seq("GGGGGGACGGCAGGGGGG");
+        let r = smith_waterman(&q, &t, Scoring::default());
+        assert_eq!(r.score, 6);
+    }
+
+    #[test]
+    fn sw_never_negative() {
+        let q = seq("AAAA");
+        let t = seq("TTTT");
+        let r = smith_waterman(&q, &t, Scoring::default());
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn sw_at_least_nw_on_any_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let a = random_seq(40, &mut rng);
+            let b = random_seq(40, &mut rng);
+            let sw = smith_waterman(&a, &b, Scoring::default());
+            let nw = needleman_wunsch(&a, &b, Scoring::default());
+            assert!(sw.score >= nw.score);
+        }
+    }
+
+    #[test]
+    fn oracle_bounded_by_local_optimum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let a = random_seq(30, &mut rng);
+            let b = random_seq(35, &mut rng);
+            let ext = extension_oracle(&a, &b, Scoring::default());
+            let sw = smith_waterman(&a, &b, Scoring::default());
+            // Extension is a local alignment anchored at (0,0): never
+            // better than the unanchored optimum, never below zero.
+            assert!(ext.score <= sw.score);
+            assert!(ext.score >= 0);
+        }
+    }
+
+    #[test]
+    fn oracle_identical_is_perfect() {
+        let s = seq("ACGTTGCAACGT");
+        let r = extension_oracle(&s, &s, Scoring::default());
+        assert_eq!(r.score, s.len() as i32);
+        assert_eq!((r.query_end, r.target_end), (s.len(), s.len()));
+    }
+}

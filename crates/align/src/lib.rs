@@ -1,0 +1,49 @@
+//! # logan-align
+//!
+//! CPU pairwise-alignment algorithms for LOGAN-rs: the scalar reference
+//! implementations that (a) define the semantics the GPU kernel must
+//! reproduce bit-for-bit and (b) serve as the paper's CPU baselines.
+//!
+//! * [`xdrop`] — the anti-diagonal X-drop extension algorithm of Zhang et
+//!   al. (2000) as implemented in SeqAn's `extendSeedL` (paper §III,
+//!   Algorithm 1). This is the ground truth for `logan-core`'s kernel.
+//! * [`seed_extend`] — the seed-and-extend driver (paper Fig. 5): a seed
+//!   splits each pair into a left extension (computed on reversed
+//!   prefixes) and a right extension.
+//! * [`full`] — exact Needleman–Wunsch and Smith–Waterman, quadratic,
+//!   used for oracle checks and as the CUDASW++-style workload.
+//! * [`banded`] — fixed-band Smith–Waterman (paper Fig. 2's contrast to
+//!   the X-drop "rugged band").
+//! * [`ksw2`] — an affine-gap extension aligner with Z-drop termination
+//!   and Z-derived band, reproducing minimap2's `ksw2_extz` behaviour
+//!   (the paper's Table III / Fig. 9 baseline).
+//! * [`batch`] — a multi-threaded batch runner over read pairs: the
+//!   "SeqAn + OpenMP" configuration BELLA uses on the CPU.
+
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod banded;
+pub mod batch;
+pub mod full;
+pub mod ksw2;
+pub mod protein;
+pub mod result;
+pub mod seed_extend;
+pub mod traceback;
+pub mod xdrop;
+
+pub use affine::{gotoh_extension_oracle, gotoh_global};
+pub use banded::banded_sw;
+pub use batch::{BatchResult, CpuBatchAligner};
+pub use full::{needleman_wunsch, smith_waterman};
+pub use ksw2::{ksw2_extend, Ksw2Params};
+pub use protein::{xdrop_extend_generic, SubstMatrix};
+pub use result::{AlignmentResult, ExtensionResult, SeedExtendResult};
+pub use seed_extend::{seed_extend, Extender};
+pub use traceback::{nw_traceback, Cigar, CigarOp};
+pub use xdrop::{xdrop_extend, XDropExtender};
+
+/// Sentinel for "pruned / unreachable" DP cells. Chosen far from
+/// `i32::MIN` so that adding gap penalties can never wrap.
+pub const NEG_INF: i32 = i32::MIN / 2;

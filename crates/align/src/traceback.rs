@@ -1,0 +1,256 @@
+//! Alignment traceback (CIGAR strings).
+//!
+//! LOGAN deliberately computes no traceback (§IV-A: only three
+//! anti-diagonals are kept, which is what makes the memory footprint
+//! O(band)). Downstream consumers of a real library still need base-level
+//! alignments occasionally — e.g. to polish a consensus — so this module
+//! provides a full-matrix Needleman–Wunsch with traceback for bounded
+//! inputs, plus CIGAR utilities used by tests to validate scores
+//! independently of the DP implementations.
+
+use logan_seq::{Scoring, Seq};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One CIGAR operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CigarOp {
+    /// Match or mismatch (consumes both).
+    Diagonal,
+    /// Insertion to the query (consumes query only).
+    Insertion,
+    /// Deletion from the query (consumes target only).
+    Deletion,
+}
+
+/// A run-length encoded alignment path.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Cigar {
+    ops: Vec<(u32, CigarOp)>,
+}
+
+impl Cigar {
+    /// Append one op, merging with the last run.
+    pub fn push(&mut self, op: CigarOp) {
+        match self.ops.last_mut() {
+            Some((n, last)) if *last == op => *n += 1,
+            _ => self.ops.push((1, op)),
+        }
+    }
+
+    /// The run-length encoded operations.
+    pub fn runs(&self) -> &[(u32, CigarOp)] {
+        &self.ops
+    }
+
+    /// Total query bases consumed.
+    pub fn query_len(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|(_, op)| *op != CigarOp::Deletion)
+            .map(|(n, _)| *n as usize)
+            .sum()
+    }
+
+    /// Total target bases consumed.
+    pub fn target_len(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|(_, op)| *op != CigarOp::Insertion)
+            .map(|(n, _)| *n as usize)
+            .sum()
+    }
+
+    /// Re-score this path against the sequences — the independent score
+    /// oracle used in tests.
+    pub fn score(&self, query: &Seq, target: &Seq, scoring: Scoring) -> i32 {
+        let (mut i, mut j, mut s) = (0usize, 0usize, 0i32);
+        for &(n, op) in &self.ops {
+            for _ in 0..n {
+                match op {
+                    CigarOp::Diagonal => {
+                        s += scoring.substitution(query[i] == target[j]);
+                        i += 1;
+                        j += 1;
+                    }
+                    CigarOp::Insertion => {
+                        s += scoring.gap;
+                        i += 1;
+                    }
+                    CigarOp::Deletion => {
+                        s += scoring.gap;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Cigar {
+    /// SAM-style rendering: `12M1I7M` (M covers both match and
+    /// mismatch, as in classic CIGAR).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &(n, op) in &self.ops {
+            let c = match op {
+                CigarOp::Diagonal => 'M',
+                CigarOp::Insertion => 'I',
+                CigarOp::Deletion => 'D',
+            };
+            write!(f, "{n}{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Global alignment with traceback. Quadratic memory — intended for
+/// bounded inputs (consensus windows, validation); panics above a size
+/// guard to protect callers from accidental multi-GB matrices.
+pub fn nw_traceback(query: &Seq, target: &Seq, scoring: Scoring) -> (i32, Cigar) {
+    let m = query.len();
+    let n = target.len();
+    assert!(
+        m.saturating_mul(n) <= 64_000_000,
+        "nw_traceback is quadratic-memory; inputs too large ({m} x {n})"
+    );
+    let q = query.as_slice();
+    let t = target.as_slice();
+
+    // 0 = diag, 1 = up (insertion), 2 = left (deletion).
+    let mut score = vec![0i32; (m + 1) * (n + 1)];
+    let mut from = vec![0u8; (m + 1) * (n + 1)];
+    let idx = |i: usize, j: usize| i * (n + 1) + j;
+    for j in 1..=n {
+        score[idx(0, j)] = j as i32 * scoring.gap;
+        from[idx(0, j)] = 2;
+    }
+    for i in 1..=m {
+        score[idx(i, 0)] = i as i32 * scoring.gap;
+        from[idx(i, 0)] = 1;
+        for j in 1..=n {
+            let diag = score[idx(i - 1, j - 1)] + scoring.substitution(q[i - 1] == t[j - 1]);
+            let up = score[idx(i - 1, j)] + scoring.gap;
+            let left = score[idx(i, j - 1)] + scoring.gap;
+            let (best, dir) = if diag >= up && diag >= left {
+                (diag, 0u8)
+            } else if up >= left {
+                (up, 1)
+            } else {
+                (left, 2)
+            };
+            score[idx(i, j)] = best;
+            from[idx(i, j)] = dir;
+        }
+    }
+
+    let mut ops_rev = Vec::new();
+    let (mut i, mut j) = (m, n);
+    while i > 0 || j > 0 {
+        match from[idx(i, j)] {
+            0 => {
+                ops_rev.push(CigarOp::Diagonal);
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                ops_rev.push(CigarOp::Insertion);
+                i -= 1;
+            }
+            _ => {
+                ops_rev.push(CigarOp::Deletion);
+                j -= 1;
+            }
+        }
+    }
+    let mut cigar = Cigar::default();
+    for op in ops_rev.into_iter().rev() {
+        cigar.push(op);
+    }
+    (score[idx(m, n)], cigar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::needleman_wunsch;
+    use logan_seq::readsim::random_seq;
+    use logan_seq::{ErrorModel, ErrorProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    #[test]
+    fn identical_is_all_match() {
+        let s = seq("ACGTACGT");
+        let (score, cigar) = nw_traceback(&s, &s, Scoring::default());
+        assert_eq!(score, 8);
+        assert_eq!(cigar.to_string(), "8M");
+    }
+
+    #[test]
+    fn single_indel_cigar() {
+        let q = seq("ACGTACGT");
+        let t = seq("ACGACGT"); // T deleted at position 3
+        let (score, cigar) = nw_traceback(&q, &t, Scoring::default());
+        assert_eq!(score, 7 - 1);
+        assert_eq!(cigar.query_len(), q.len());
+        assert_eq!(cigar.target_len(), t.len());
+        let ins: u32 = cigar
+            .runs()
+            .iter()
+            .filter(|(_, op)| *op == CigarOp::Insertion)
+            .map(|(n, _)| *n)
+            .sum();
+        assert_eq!(ins, 1);
+    }
+
+    #[test]
+    fn traceback_score_matches_dp_and_rescore() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.12));
+        for _ in 0..20 {
+            let template = random_seq(150, &mut rng);
+            let (a, _) = model.corrupt(&template, &mut rng);
+            let (b, _) = model.corrupt(&template, &mut rng);
+            let (score, cigar) = nw_traceback(&a, &b, Scoring::default());
+            // Same optimum as the rolling-row NW...
+            assert_eq!(score, needleman_wunsch(&a, &b, Scoring::default()).score);
+            // ...and the path re-scores to exactly that value.
+            assert_eq!(cigar.score(&a, &b, Scoring::default()), score);
+            assert_eq!(cigar.query_len(), a.len());
+            assert_eq!(cigar.target_len(), b.len());
+        }
+    }
+
+    #[test]
+    fn empty_sides() {
+        let (score, cigar) = nw_traceback(&Seq::new(), &seq("ACG"), Scoring::default());
+        assert_eq!(score, -3);
+        assert_eq!(cigar.to_string(), "3D");
+        let (score2, cigar2) = nw_traceback(&seq("ACG"), &Seq::new(), Scoring::default());
+        assert_eq!(score2, -3);
+        assert_eq!(cigar2.to_string(), "3I");
+    }
+
+    #[test]
+    fn cigar_push_merges_runs() {
+        let mut c = Cigar::default();
+        c.push(CigarOp::Diagonal);
+        c.push(CigarOp::Diagonal);
+        c.push(CigarOp::Insertion);
+        c.push(CigarOp::Diagonal);
+        assert_eq!(c.to_string(), "2M1I1M");
+        assert_eq!(c.runs().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "quadratic-memory")]
+    fn size_guard() {
+        let a: Seq = std::iter::repeat(logan_seq::Base::A).take(10_000).collect();
+        let _ = nw_traceback(&a, &a, Scoring::default());
+    }
+}

@@ -1,0 +1,410 @@
+//! The X-drop extension algorithm (Zhang et al. 2000; SeqAn
+//! `extendSeedL`; paper §III, Algorithm 1).
+//!
+//! Semi-global extension: find the best-scoring alignment of *some*
+//! prefix of the query against *some* prefix of the target, walking the
+//! DP matrix one anti-diagonal at a time. Only three anti-diagonals are
+//! live at any moment (`current`, `previous`, `two-prior` — paper
+//! Fig. 1). After an anti-diagonal is computed:
+//!
+//! 1. every cell scoring below `best − X` is overwritten with −∞
+//!    (the *X-drop* condition, applied with the best score known when
+//!    the anti-diagonal started, exactly as the GPU kernel does);
+//! 2. −∞ runs are trimmed from both ends, which yields the bounds of the
+//!    next anti-diagonal (`ReduceAntiDiagFromStart/End` in Algorithm 1);
+//! 3. the global best is raised to the anti-diagonal maximum.
+//!
+//! Termination: the trimmed anti-diagonal is empty (the alignment
+//! *dropped*), or the last anti-diagonal (`m + n`) was computed.
+//!
+//! This scalar routine is the semantic ground truth for the GPU kernel in
+//! `logan-core`: property tests assert bit-equality of scores, end
+//! positions and cell counts between the two.
+
+use crate::result::ExtensionResult;
+use crate::NEG_INF;
+use logan_seq::{Scoring, Seq};
+
+/// One anti-diagonal: scores for `i ∈ [lo, lo + vals.len())`, where `i`
+/// is the query-prefix index and the target index is `j = d − i`.
+#[derive(Debug, Default, Clone)]
+struct AntiDiag {
+    vals: Vec<i32>,
+    lo: usize,
+}
+
+impl AntiDiag {
+    #[inline(always)]
+    fn get(&self, i: usize) -> i32 {
+        // Callers may probe i-1 at i=0 via wrapping_sub; usize::MAX is
+        // simply out of range and reads as -inf.
+        if i < self.lo || i >= self.lo + self.vals.len() {
+            NEG_INF
+        } else {
+            self.vals[i - self.lo]
+        }
+    }
+
+    fn hi(&self) -> usize {
+        debug_assert!(!self.vals.is_empty());
+        self.lo + self.vals.len() - 1
+    }
+}
+
+/// Extend from the origin: best semi-global alignment of a prefix of
+/// `query` against a prefix of `target` under the X-drop condition.
+///
+/// `x` must be non-negative; `x = i32::MAX / 4` effectively disables
+/// pruning and yields the exact semi-global optimum (used by the oracle
+/// tests).
+pub fn xdrop_extend(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> ExtensionResult {
+    assert!(x >= 0, "X-drop parameter must be non-negative");
+    let m = query.len();
+    let n = target.len();
+    if m == 0 || n == 0 {
+        return ExtensionResult::zero();
+    }
+    let q = query.as_slice();
+    let t = target.as_slice();
+
+    let mut best: i32 = 0;
+    let mut best_i: usize = 0;
+    let mut best_d: usize = 0;
+    let mut cells: u64 = 0;
+    let mut iterations: u64 = 0;
+    let mut max_width: usize = 1;
+    let mut dropped = false;
+
+    // d = 0 holds the single origin cell with score 0.
+    let mut prev2 = AntiDiag::default(); // d - 2 (empty for now)
+    let mut prev = AntiDiag {
+        vals: vec![0],
+        lo: 0,
+    };
+    let mut cur = AntiDiag::default();
+
+    for d in 1..=(m + n) {
+        // Candidate bounds derive from the previous live range (Algorithm
+        // 1: the trimmed anti-diagonal defines the next one), clamped to
+        // the matrix.
+        let lo = prev.lo.max(d.saturating_sub(n));
+        let hi = (prev.hi() + 1).min(d).min(m);
+        if lo > hi {
+            // The band slid off the matrix edge; nothing left to compute.
+            break;
+        }
+
+        cur.lo = lo;
+        cur.vals.clear();
+        cur.vals.reserve(hi - lo + 1);
+        let threshold = best - x;
+        for i in lo..=hi {
+            let j = d - i;
+            // Diagonal move: consume one base of each sequence.
+            let diag = if i >= 1 && j >= 1 {
+                prev2.get(i - 1) + scoring.substitution(q[i - 1] == t[j - 1])
+            } else {
+                NEG_INF
+            };
+            // Vertical move: gap in the target (consume query base).
+            let up = if i >= 1 { prev.get(i - 1) + scoring.gap } else { NEG_INF };
+            // Horizontal move: gap in the query (consume target base).
+            let left = if j >= 1 { prev.get(i) + scoring.gap } else { NEG_INF };
+            let mut val = diag.max(up).max(left);
+            if val < threshold {
+                val = NEG_INF;
+            }
+            cur.vals.push(val);
+        }
+        cells += (hi - lo + 1) as u64;
+        iterations += 1;
+
+        // Trim -inf runs from both ends (ReduceAntiDiagFromStart/End).
+        let first_live = cur.vals.iter().position(|&v| v > NEG_INF);
+        match first_live {
+            None => {
+                dropped = true;
+                break;
+            }
+            Some(k) => {
+                let last_live = cur.vals.iter().rposition(|&v| v > NEG_INF).unwrap();
+                cur.vals.drain(..k);
+                cur.vals.truncate(last_live - k + 1);
+                cur.lo += k;
+            }
+        }
+        max_width = max_width.max(cur.vals.len());
+
+        // Raise the global best to this anti-diagonal's maximum, taking
+        // the smallest i on the earliest anti-diagonal as the tie-break —
+        // the same rule the kernel's reduction follows.
+        let (mut row_max, mut row_arg) = (NEG_INF, 0usize);
+        for (k, &v) in cur.vals.iter().enumerate() {
+            if v > row_max {
+                row_max = v;
+                row_arg = cur.lo + k;
+            }
+        }
+        if row_max > best {
+            best = row_max;
+            best_i = row_arg;
+            best_d = d;
+        }
+
+        // Rotate buffers: reuse allocations, as the GPU reuses its three
+        // HBM anti-diagonal buffers.
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+
+    ExtensionResult {
+        score: best,
+        query_end: best_i,
+        target_end: best_d - best_i,
+        cells,
+        iterations,
+        max_width,
+        dropped,
+    }
+}
+
+/// An [`crate::seed_extend::Extender`] wrapping [`xdrop_extend`] with a
+/// fixed scoring scheme and X.
+#[derive(Debug, Clone, Copy)]
+pub struct XDropExtender {
+    /// Scoring scheme (linear gaps).
+    pub scoring: Scoring,
+    /// The X-drop threshold.
+    pub x: i32,
+}
+
+impl XDropExtender {
+    /// Create an extender.
+    pub fn new(scoring: Scoring, x: i32) -> XDropExtender {
+        XDropExtender { scoring, x }
+    }
+}
+
+impl crate::seed_extend::Extender for XDropExtender {
+    fn extend(&self, query: &Seq, target: &Seq) -> ExtensionResult {
+        xdrop_extend(query, target, self.scoring, self.x)
+    }
+
+    fn match_score(&self) -> i32 {
+        self.scoring.match_score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::extension_oracle;
+    use logan_seq::readsim::random_seq;
+    use logan_seq::{ErrorModel, ErrorProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const BIG_X: i32 = i32::MAX / 4;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let s = seq("ACGT");
+        let e = Seq::new();
+        assert_eq!(xdrop_extend(&e, &s, Scoring::default(), 10), ExtensionResult::zero());
+        assert_eq!(xdrop_extend(&s, &e, Scoring::default(), 10), ExtensionResult::zero());
+    }
+
+    #[test]
+    fn identical_sequences_reach_the_corner() {
+        let s = seq("ACGTACGTACGTACGT");
+        let r = xdrop_extend(&s, &s, Scoring::default(), 5);
+        assert_eq!(r.score, s.len() as i32);
+        assert_eq!(r.query_end, s.len());
+        assert_eq!(r.target_end, s.len());
+        assert!(!r.dropped);
+    }
+
+    #[test]
+    fn single_base() {
+        let r = xdrop_extend(&seq("A"), &seq("A"), Scoring::default(), 3);
+        assert_eq!(r.score, 1);
+        assert_eq!((r.query_end, r.target_end), (1, 1));
+        let r2 = xdrop_extend(&seq("A"), &seq("C"), Scoring::default(), 3);
+        assert_eq!(r2.score, 0);
+        assert_eq!((r2.query_end, r2.target_end), (0, 0));
+    }
+
+    #[test]
+    fn divergent_sequences_drop_early() {
+        // Query all-A, target all-T: every path scores negatively, so the
+        // search dies once the score falls X below zero.
+        let a: Seq = std::iter::repeat(logan_seq::Base::A).take(500).collect();
+        let t: Seq = std::iter::repeat(logan_seq::Base::T).take(500).collect();
+        let r = xdrop_extend(&a, &t, Scoring::default(), 10);
+        assert_eq!(r.score, 0);
+        assert!(r.dropped);
+        // The explored region must be tiny compared to the full matrix.
+        assert!(r.cells < 1_000, "explored {} cells", r.cells);
+    }
+
+    #[test]
+    fn work_grows_with_x_on_divergent_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_seq(800, &mut rng);
+        let b = random_seq(800, &mut rng);
+        let mut last = 0u64;
+        for x in [5, 20, 80, 320] {
+            let r = xdrop_extend(&a, &b, Scoring::default(), x);
+            assert!(r.cells >= last, "cells must grow with X");
+            last = r.cells;
+        }
+    }
+
+    #[test]
+    fn big_x_matches_full_semiglobal_oracle() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for trial in 0..30 {
+            let n = 10 + (trial * 7) % 80;
+            let a = random_seq(n, &mut rng);
+            let template = random_seq(n, &mut rng);
+            let (b, _) = ErrorModel::new(ErrorProfile::pacbio(0.15)).corrupt(&template, &mut rng);
+            let r = xdrop_extend(&a, &b, Scoring::default(), BIG_X);
+            let oracle = extension_oracle(&a, &b, Scoring::default());
+            assert_eq!(r.score, oracle.score, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn score_monotone_in_x() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let template = random_seq(600, &mut rng);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.15));
+        let (a, _) = model.corrupt(&template, &mut rng);
+        let (b, _) = model.corrupt(&template, &mut rng);
+        let mut prev_score = i32::MIN;
+        for x in [2, 5, 10, 25, 50, 100, 400] {
+            let r = xdrop_extend(&a, &b, Scoring::default(), x);
+            assert!(
+                r.score >= prev_score,
+                "score should not decrease as X grows (x={x})"
+            );
+            prev_score = r.score;
+        }
+        // And with a generous X the noisy pair must align most of its span.
+        let r = xdrop_extend(&a, &b, Scoring::default(), 400);
+        assert!(r.score > (template.len() as f64 * 0.3) as i32);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let template = random_seq(300, &mut rng);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.12));
+        let (a, _) = model.corrupt(&template, &mut rng);
+        let (b, _) = model.corrupt(&template, &mut rng);
+        for x in [10, 50, 200] {
+            let fwd = xdrop_extend(&a, &b, Scoring::default(), x);
+            let rev = xdrop_extend(&b, &a, Scoring::default(), x);
+            assert_eq!(fwd.score, rev.score);
+            assert_eq!(fwd.cells, rev.cells);
+            // The best cell is on the same anti-diagonal; exact
+            // coordinates may differ when ties break toward smallest i.
+            assert_eq!(
+                fwd.query_end + fwd.target_end,
+                rev.query_end + rev.target_end
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_trap_is_cut_by_small_x() {
+        // S = A-B-C vs R = A-D-C (paper §I, Frith et al. argument): with a
+        // huge X the aligner bridges the unrelated middle and glues the
+        // two matching flanks; a small X refuses the bridge. BLAST-like
+        // scoring is required for the trap to exist at all: under the
+        // unit scheme (+1/-1/-1) two *random* sequences drift upward
+        // (~+0.3/base, Chvátal–Sankoff), so nothing ever drops.
+        let scoring = Scoring::new(1, -2, -2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let flank_a = random_seq(200, &mut rng);
+        let flank_c = random_seq(200, &mut rng);
+        let mid_b = random_seq(40, &mut rng);
+        let mid_d = random_seq(40, &mut rng);
+        let mut s = flank_a.clone();
+        s.extend_from(&mid_b);
+        s.extend_from(&flank_c);
+        let mut r = flank_a.clone();
+        r.extend_from(&mid_d);
+        r.extend_from(&flank_c);
+
+        let glued = xdrop_extend(&s, &r, scoring, BIG_X);
+        let cut = xdrop_extend(&s, &r, scoring, 15);
+        assert!(
+            glued.score > flank_a.len() as i32 + 20,
+            "large X should bridge the gap (score {})",
+            glued.score
+        );
+        assert!(
+            cut.score <= flank_a.len() as i32 + 10,
+            "small X must stop at the first flank (score {})",
+            cut.score
+        );
+        assert!(cut.dropped);
+    }
+
+    #[test]
+    fn cells_bounded_by_full_matrix() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_seq(200, &mut rng);
+        let b = random_seq(150, &mut rng);
+        let r = xdrop_extend(&a, &b, Scoring::default(), BIG_X);
+        assert!(r.cells <= 200 * 150 + 200 + 150);
+        assert_eq!(r.iterations, (200 + 150) as u64);
+    }
+
+    #[test]
+    fn zero_x_terminates_on_the_first_antidiagonal() {
+        // X = 0 prunes the two gap cells of anti-diagonal 1 (both score
+        // -1 < best - 0), so the search dies before ever reaching the
+        // first diagonal match — faithful Algorithm-1 behaviour.
+        let s = seq("ACGTACGTAC");
+        let r = xdrop_extend(&s, &s, Scoring::default(), 0);
+        assert_eq!(r.score, 0);
+        assert!(r.dropped);
+        assert_eq!(r.cells, 2);
+    }
+
+    #[test]
+    fn x_one_follows_perfect_match_diagonal() {
+        // X = 1 keeps the gap cells alive just long enough for the
+        // diagonal to take over; the band then collapses to (nearly) the
+        // diagonal and the full match score is reached.
+        let s = seq("ACGTACGTAC");
+        let r = xdrop_extend(&s, &s, Scoring::default(), 1);
+        assert_eq!(r.score, s.len() as i32);
+        assert!(r.cells < (s.len() as u64 + 1).pow(2) / 2, "band must stay narrow");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_x_rejected() {
+        let _ = xdrop_extend(&seq("A"), &seq("A"), Scoring::default(), -1);
+    }
+
+    #[test]
+    fn max_width_tracks_band() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let template = random_seq(400, &mut rng);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.15));
+        let (a, _) = model.corrupt(&template, &mut rng);
+        let (b, _) = model.corrupt(&template, &mut rng);
+        let narrow = xdrop_extend(&a, &b, Scoring::default(), 10);
+        let wide = xdrop_extend(&a, &b, Scoring::default(), 200);
+        assert!(narrow.max_width <= wide.max_width);
+        assert!(wide.max_width <= 401);
+    }
+}

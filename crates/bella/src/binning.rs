@@ -1,0 +1,107 @@
+//! Seed choice by binning (BELLA §V of the LOGAN paper).
+//!
+//! Every shared k-mer between two reads implies an overlap *offset*
+//! (`pos1 − pos2`) and an estimated overlap length; BELLA bins k-mers by
+//! offset and extends from a k-mer of the consensus bin. With the two
+//! witnesses the SpGEMM retains, the consensus rule reduces to: prefer
+//! the witness whose implied overlap is longest (a repeat-induced
+//! witness implies a short, off-consensus overlap).
+
+use crate::spgemm::CandidatePair;
+use logan_seq::Seed;
+
+/// Estimated overlap length if reads of lengths `len1`, `len2` truly
+/// overlap with the exact k-mer anchored at `pos1` / `pos2`: the anchor
+/// plus what both reads can cover on each side.
+pub fn overlap_estimate(len1: usize, len2: usize, pos1: usize, pos2: usize, k: usize) -> usize {
+    debug_assert!(pos1 + k <= len1 && pos2 + k <= len2);
+    let left = pos1.min(pos2);
+    let right = (len1 - pos1 - k).min(len2 - pos2 - k);
+    left + k + right
+}
+
+/// Choose the extension seed for a candidate pair. Returns the seed and
+/// its estimated overlap length. Panics when the candidate carries no
+/// witnesses (the SpGEMM never emits such pairs).
+pub fn choose_seed(len1: usize, len2: usize, cand: &CandidatePair, k: usize) -> (Seed, usize) {
+    assert!(!cand.witnesses.is_empty(), "candidate without witnesses");
+    let mut best = (0usize, 0usize); // (witness index, estimate)
+    for (i, &(p1, p2)) in cand.witnesses.iter().enumerate() {
+        let est = overlap_estimate(len1, len2, p1 as usize, p2 as usize, k);
+        if est > best.1 {
+            best = (i, est);
+        }
+    }
+    let (p1, p2) = cand.witnesses[best.0];
+    (
+        Seed {
+            qpos: p1 as usize,
+            tpos: p2 as usize,
+            len: k,
+        },
+        best.1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(witnesses: Vec<(u32, u32)>) -> CandidatePair {
+        CandidatePair {
+            r1: 0,
+            r2: 1,
+            shared: witnesses.len() as u32,
+            witnesses,
+        }
+    }
+
+    #[test]
+    fn estimate_full_containment() {
+        // Same positions, same lengths: the whole read overlaps.
+        assert_eq!(overlap_estimate(100, 100, 40, 40, 10), 100);
+    }
+
+    #[test]
+    fn estimate_staggered_overlap() {
+        // Read 1 hangs left, read 2 hangs right: the overlap is bounded
+        // by the shorter flanks on each side.
+        // len1=100, pos1=80; len2=100, pos2=10, k=10.
+        // left = min(80,10)=10, right = min(10, 80)=10 → 30.
+        assert_eq!(overlap_estimate(100, 100, 80, 10, 10), 30);
+    }
+
+    #[test]
+    fn estimate_is_symmetric() {
+        assert_eq!(
+            overlap_estimate(120, 90, 30, 60, 15),
+            overlap_estimate(90, 120, 60, 30, 15)
+        );
+    }
+
+    #[test]
+    fn seed_prefers_longer_estimate() {
+        // Witness A in the middle (long overlap), witness B near the end
+        // (short, repeat-like).
+        let c = cand(vec![(90, 5), (50, 50)]);
+        let (seed, est) = choose_seed(100, 100, &c, 10);
+        assert_eq!((seed.qpos, seed.tpos), (50, 50));
+        assert_eq!(est, 100);
+        assert_eq!(seed.len, 10);
+    }
+
+    #[test]
+    fn single_witness_is_used_directly() {
+        let c = cand(vec![(12, 34)]);
+        let (seed, est) = choose_seed(80, 80, &c, 10);
+        assert_eq!((seed.qpos, seed.tpos), (12, 34));
+        assert_eq!(est, overlap_estimate(80, 80, 12, 34, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "without witnesses")]
+    fn empty_witnesses_panics() {
+        let c = cand(vec![]);
+        let _ = choose_seed(10, 10, &c, 4);
+    }
+}

@@ -1,0 +1,110 @@
+//! Canonical k-mer counting across a read set.
+
+use crate::fxhash::FxHashMap;
+use logan_seq::{KmerIter, Seq};
+
+/// Count canonical k-mers over all reads. Multiple occurrences within
+/// one read all count (as in BELLA's counter; the *reliable* window
+/// later caps what survives).
+pub fn count_kmers(reads: &[Seq], k: usize) -> FxHashMap<u64, u32> {
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+    // Reserve roughly one slot per expected distinct k-mer (total bases,
+    // capped to keep worst-case memory sane).
+    let total: usize = reads.iter().map(|r| r.len()).sum();
+    counts.reserve(total.min(1 << 24));
+    for read in reads {
+        for (_, km) in KmerIter::new(read, k) {
+            *counts.entry(km.canonical().code).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Histogram of multiplicities (index = multiplicity, capped), useful
+/// for diagnostics and for choosing reliable bounds empirically.
+pub fn multiplicity_histogram(counts: &FxHashMap<u64, u32>, cap: usize) -> Vec<u64> {
+    let mut hist = vec![0u64; cap + 1];
+    for &c in counts.values() {
+        hist[(c as usize).min(cap)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logan_seq::readsim::{random_seq, ReadSimulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    #[test]
+    fn counts_are_strand_canonical() {
+        // A read and its reverse complement contribute identically.
+        let fwd = seq("ACGTTGCATGCAACGTT");
+        let rc = fwd.reverse_complement();
+        let a = count_kmers(&[fwd.clone()], 5);
+        let b = count_kmers(&[rc], 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simple_multiplicities() {
+        // "ACGTACGT" with k=4: ACGT (x2... appears at 0 and 4), CGTA, GTAC, TACG.
+        let counts = count_kmers(&[seq("ACGTACGT")], 4);
+        let acgt = logan_seq::Kmer::from_bases(seq("ACGT").as_slice())
+            .canonical()
+            .code;
+        assert_eq!(counts[&acgt], 2);
+        assert_eq!(counts.values().sum::<u32>(), 5, "5 k-mer positions total");
+    }
+
+    #[test]
+    fn shared_kmers_across_reads_accumulate() {
+        // Canonicalization can merge a k-mer with another position's
+        // reverse complement, so individual counts are multiples of the
+        // read multiplicity rather than exactly equal to it.
+        let r = seq("ACGTTGCAACGGT");
+        let per_read = count_kmers(&[r.clone()], 8);
+        let counts = count_kmers(&[r.clone(), r.clone(), r], 8);
+        assert_eq!(counts.len(), per_read.len());
+        for (code, c) in &counts {
+            assert_eq!(*c, per_read[code] * 3);
+        }
+    }
+
+    #[test]
+    fn histogram_caps() {
+        let r = seq("AAAAAAAAAA");
+        let counts = count_kmers(&[r], 4); // poly-A k-mer, multiplicity 7
+        let hist = multiplicity_histogram(&counts, 5);
+        assert_eq!(hist[5], 1, "capped into the top bucket");
+    }
+
+    #[test]
+    fn depth_drives_multiplicity_of_true_kmers() {
+        // Error-free reads at depth ~8: genomic k-mers should show
+        // multiplicities well above 1.
+        let sim = ReadSimulator {
+            read_len: (400, 600),
+            errors: logan_seq::ErrorProfile::perfect(),
+            ..ReadSimulator::uniform(5_000, 8.0)
+        };
+        let rs = sim.generate(3);
+        let seqs: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
+        let counts = count_kmers(&seqs, 17);
+        let mean =
+            counts.values().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
+        assert!(mean > 4.0, "mean multiplicity {mean}");
+        let mut rng = StdRng::seed_from_u64(1);
+        let foreign = random_seq(17, &mut rng);
+        // A random 17-mer almost surely absent.
+        let code = logan_seq::Kmer::from_bases(foreign.as_slice())
+            .canonical()
+            .code;
+        assert!(!counts.contains_key(&code) || counts[&code] < 3);
+    }
+}

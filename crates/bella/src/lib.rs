@@ -1,0 +1,43 @@
+//! # logan-bella
+//!
+//! A BELLA-style many-to-many long-read overlapper (Guidi et al.,
+//! BELLA: Berkeley Efficient Long-Read to Long-Read Aligner and
+//! Overlapper) — the real-world application the paper integrates LOGAN
+//! into (§V, Tables IV–V, Figs. 10–11).
+//!
+//! Pipeline stages, mirroring BELLA:
+//!
+//! 1. **k-mer counting** ([`kmer_count`]) — canonical k-mers (k = 17)
+//!    across all reads;
+//! 2. **reliable-k-mer pruning** ([`prune`]) — keep multiplicities in a
+//!    window derived from the depth/error model: singletons are almost
+//!    surely errors, heavy k-mers are repeats that cause spurious
+//!    candidates;
+//! 3. **sparse overlap detection** ([`matrix`], [`spgemm`]) — the
+//!    reads × k-mers matrix `A` multiplied with its transpose: every
+//!    nonzero of `A·Aᵀ` is a candidate pair with shared-k-mer witnesses;
+//! 4. **binning** ([`binning`]) — witness positions estimate the overlap
+//!    and pick the seed to extend from;
+//! 5. **X-drop alignment** — through any [`pipeline::AlignerBackend`]:
+//!    the CPU batch aligner (SeqAn-style) or LOGAN on simulated GPUs;
+//! 6. **adaptive threshold** ([`threshold`]) — keep pairs whose score
+//!    clears the expected-score line for a true overlap of the estimated
+//!    length.
+//!
+//! [`metrics`] scores the result against the read simulator's ground
+//! truth.
+
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod fxhash;
+pub mod kmer_count;
+pub mod matrix;
+pub mod metrics;
+pub mod pipeline;
+pub mod prune;
+pub mod spgemm;
+pub mod threshold;
+
+pub use metrics::OverlapMetrics;
+pub use pipeline::{AlignerBackend, BellaConfig, BellaOutput, BellaPipeline, Overlap};

@@ -1,0 +1,194 @@
+//! The sparse reads × reliable-k-mers matrix `A` (CSR).
+//!
+//! BELLA phrases overlap detection as sparse matrix multiplication:
+//! `A(i, j) = position of reliable k-mer j in read i`. We store CSR with
+//! one entry per *(read, k-mer)* pair — the first occurrence position —
+//! which is what the binning stage needs to estimate offsets.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use logan_seq::{KmerIter, Seq};
+
+/// CSR matrix of reads over reliable k-mer columns.
+#[derive(Debug, Clone)]
+pub struct KmerMatrix {
+    /// Number of reads (rows).
+    pub n_reads: usize,
+    /// Number of reliable k-mers (columns).
+    pub n_cols: usize,
+    /// CSR row pointers, length `n_reads + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Column index per nonzero.
+    pub col_idx: Vec<u32>,
+    /// Position (of the k-mer in the read) per nonzero.
+    pub pos: Vec<u32>,
+    /// Column id for each reliable canonical k-mer code.
+    pub col_of_code: FxHashMap<u64, u32>,
+}
+
+impl KmerMatrix {
+    /// Build from reads and the reliable k-mer set. Column ids are
+    /// assigned in first-encounter order (deterministic given the read
+    /// order).
+    pub fn build(reads: &[Seq], k: usize, reliable: &FxHashSet<u64>) -> KmerMatrix {
+        let mut col_of_code: FxHashMap<u64, u32> = FxHashMap::default();
+        col_of_code.reserve(reliable.len());
+        let mut row_ptr = Vec::with_capacity(reads.len() + 1);
+        let mut col_idx = Vec::new();
+        let mut pos = Vec::new();
+        let mut seen_in_read: FxHashSet<u32> = FxHashSet::default();
+
+        row_ptr.push(0);
+        for read in reads {
+            seen_in_read.clear();
+            for (p, km) in KmerIter::new(read, k) {
+                let code = km.canonical().code;
+                if !reliable.contains(&code) {
+                    continue;
+                }
+                let next_col = col_of_code.len() as u32;
+                let col = *col_of_code.entry(code).or_insert(next_col);
+                // First occurrence per (read, k-mer) — later copies of a
+                // reliable k-mer inside the same read carry no extra
+                // pairing information and would bloat the SpGEMM.
+                if seen_in_read.insert(col) {
+                    col_idx.push(col);
+                    pos.push(p as u32);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        KmerMatrix {
+            n_reads: reads.len(),
+            n_cols: col_of_code.len(),
+            row_ptr,
+            col_idx,
+            pos,
+            col_of_code,
+        }
+    }
+
+    /// Nonzeros in the matrix.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The (column, position) entries of one read.
+    pub fn row(&self, read: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.row_ptr[read];
+        let hi = self.row_ptr[read + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.pos[lo..hi].iter().copied())
+    }
+
+    /// Transpose into column-major postings: for each column, the list
+    /// of `(read, position)` entries in read order — the CSC side of the
+    /// SpGEMM.
+    pub fn postings(&self) -> Vec<Vec<(u32, u32)>> {
+        let mut cols: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.n_cols];
+        for read in 0..self.n_reads {
+            for (col, p) in self.row(read) {
+                cols[col as usize].push((read as u32, p));
+            }
+        }
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer_count::count_kmers;
+    use crate::prune::{reliable_kmers, ReliableBounds};
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    fn all_reliable(reads: &[Seq], k: usize) -> FxHashSet<u64> {
+        count_kmers(reads, k).keys().copied().collect()
+    }
+
+    #[test]
+    fn csr_shape_and_rows() {
+        let reads = vec![seq("ACGTACGT"), seq("TTTTACGT")];
+        let rel = all_reliable(&reads, 4);
+        let m = KmerMatrix::build(&reads, 4, &rel);
+        assert_eq!(m.n_reads, 2);
+        assert_eq!(m.row_ptr.len(), 3);
+        assert_eq!(m.nnz(), m.col_idx.len());
+        // Row iteration covers each read's entries exactly once.
+        let r0: Vec<_> = m.row(0).collect();
+        let r1: Vec<_> = m.row(1).collect();
+        assert_eq!(r0.len() + r1.len(), m.nnz());
+    }
+
+    #[test]
+    fn first_occurrence_position_kept() {
+        // ACGT occurs at 0 and 4; position stored must be 0.
+        let reads = vec![seq("ACGTACGT")];
+        let rel = all_reliable(&reads, 4);
+        let m = KmerMatrix::build(&reads, 4, &rel);
+        let acgt_col = m.col_of_code[&logan_seq::Kmer::from_bases(seq("ACGT").as_slice())
+            .canonical()
+            .code];
+        let entry = m.row(0).find(|&(c, _)| c == acgt_col).unwrap();
+        assert_eq!(entry.1, 0);
+    }
+
+    #[test]
+    fn unreliable_kmers_excluded() {
+        let reads = vec![seq("ACGTACGTACGT")];
+        let counts = count_kmers(&reads, 4);
+        // Canonical classes in ACGTACGTACGT (k=4): ACGT (palindromic,
+        // ×3), {CGTA, TACG} (RC partners, ×4 combined), GTAC
+        // (palindromic, ×2). A lo=3 window keeps the first two classes.
+        let rel = reliable_kmers(&counts, ReliableBounds { lo: 3, hi: 100 });
+        assert_eq!(rel.len(), 2);
+        let m = KmerMatrix::build(&reads, 4, &rel);
+        assert_eq!(m.n_cols, rel.len());
+        // One first-occurrence entry per reliable class.
+        assert_eq!(m.nnz(), 2);
+
+        // GTAC (multiplicity 2) must be gone.
+        let gtac = logan_seq::Kmer::from_bases(seq("GTAC").as_slice())
+            .canonical()
+            .code;
+        assert!(!rel.contains(&gtac));
+    }
+
+    #[test]
+    fn postings_are_transpose() {
+        let reads = vec![seq("ACGTACGTAA"), seq("CCACGTACGG"), seq("ACGTTTTTTT")];
+        let rel = all_reliable(&reads, 4);
+        let m = KmerMatrix::build(&reads, 4, &rel);
+        let cols = m.postings();
+        let nnz: usize = cols.iter().map(|c| c.len()).sum();
+        assert_eq!(nnz, m.nnz());
+        // Every posting entry must exist in the corresponding row.
+        for (col, entries) in cols.iter().enumerate() {
+            for &(read, p) in entries {
+                assert!(m
+                    .row(read as usize)
+                    .any(|(c, pp)| c == col as u32 && pp == p));
+            }
+        }
+        // Read order within each column.
+        for entries in &cols {
+            for w in entries.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_reads_produce_empty_matrix() {
+        let reads = vec![seq("AC")]; // shorter than k
+        let rel = FxHashSet::default();
+        let m = KmerMatrix::build(&reads, 4, &rel);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.n_cols, 0);
+    }
+}

@@ -1,0 +1,399 @@
+//! The end-to-end BELLA pipeline with pluggable alignment backends.
+
+use crate::binning::choose_seed;
+use crate::kmer_count::count_kmers;
+use crate::matrix::KmerMatrix;
+use crate::metrics::OverlapMetrics;
+use crate::prune::{reliable_bounds, reliable_kmers, ReliableBounds};
+use crate::spgemm::spgemm_candidates;
+use crate::threshold::AdaptiveThreshold;
+use logan_align::{seed_extend, CpuBatchAligner, SeedExtendResult, XDropExtender};
+use logan_core::{LoganExecutor, MultiGpu};
+use logan_seq::readsim::{ReadPair, ReadSet};
+use logan_seq::{Scoring, Seed, Seq};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Pipeline configuration (BELLA defaults with the paper's parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BellaConfig {
+    /// Seed k-mer length (BELLA: 17).
+    pub k: usize,
+    /// X-drop threshold for the extension stage.
+    pub x: i32,
+    /// Alignment scoring.
+    pub scoring: Scoring,
+    /// Per-read error rate (drives pruning and the threshold).
+    pub error_rate: f64,
+    /// Sequencing depth hint (drives the reliable window).
+    pub depth: f64,
+    /// Adaptive-threshold slack δ.
+    pub delta: f64,
+    /// Poisson tail mass for the reliable upper bound.
+    pub tail: f64,
+    /// Minimum estimated overlap to report (BELLA's evaluation uses
+    /// 2 kb; pairs whose k-mer geometry implies less are by construction
+    /// uninteresting for assembly).
+    pub min_overlap: usize,
+    /// Override the computed reliable window (for experiments).
+    pub reliable_override: Option<ReliableBounds>,
+}
+
+impl BellaConfig {
+    /// Paper-default configuration at the given X.
+    pub fn with_x(x: i32) -> BellaConfig {
+        BellaConfig {
+            k: 17,
+            x,
+            scoring: Scoring::default(),
+            error_rate: 0.15,
+            depth: 30.0,
+            delta: 0.25,
+            tail: 1e-4,
+            min_overlap: 2000,
+            reliable_override: None,
+        }
+    }
+}
+
+/// Alignment backend: the CPU loop BELLA ships with, or LOGAN.
+pub enum AlignerBackend<'a> {
+    /// Multi-threaded CPU X-drop (SeqAn + OpenMP equivalent).
+    Cpu(&'a CpuBatchAligner),
+    /// LOGAN on one simulated GPU.
+    Gpu(&'a LoganExecutor),
+    /// LOGAN across several simulated GPUs.
+    Multi(&'a MultiGpu),
+}
+
+/// What the chosen backend reported.
+#[derive(Debug, Clone)]
+pub enum BackendReport {
+    /// Host wall-clock of the CPU loop.
+    Cpu(Duration),
+    /// Simulated single-GPU report.
+    Gpu(logan_core::GpuBatchReport),
+    /// Simulated multi-GPU report.
+    Multi(logan_core::MultiGpuReport),
+}
+
+/// One aligned candidate pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Overlap {
+    /// Lower read id.
+    pub r1: usize,
+    /// Higher read id.
+    pub r2: usize,
+    /// The seed extension started from.
+    pub seed: Seed,
+    /// Binning-estimated overlap length.
+    pub est_overlap: usize,
+    /// Alignment outcome.
+    pub result: SeedExtendResult,
+    /// Did it clear the adaptive threshold?
+    pub kept: bool,
+}
+
+/// Per-stage statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Reads in.
+    pub reads: usize,
+    /// Distinct canonical k-mers.
+    pub distinct_kmers: usize,
+    /// Reliable k-mers after pruning.
+    pub reliable_kmers: usize,
+    /// The reliable window used.
+    pub bounds: ReliableBounds,
+    /// Nonzeros of the reads × k-mers matrix.
+    pub matrix_nnz: usize,
+    /// Candidate pairs out of the SpGEMM.
+    pub candidates: usize,
+    /// Pairs clearing the adaptive threshold.
+    pub kept: usize,
+    /// Total DP cells spent in alignment.
+    pub total_cells: u64,
+}
+
+/// Pipeline output.
+#[derive(Debug)]
+pub struct BellaOutput {
+    /// All aligned candidates (kept flag included), sorted by pair.
+    pub overlaps: Vec<Overlap>,
+    /// Stage statistics.
+    pub stats: StageStats,
+    /// Backend-specific performance report.
+    pub backend: BackendReport,
+}
+
+impl BellaOutput {
+    /// The kept pairs as `(r1, r2)` tuples.
+    pub fn kept_pairs(&self) -> Vec<(usize, usize)> {
+        self.overlaps
+            .iter()
+            .filter(|o| o.kept)
+            .map(|o| (o.r1, o.r2))
+            .collect()
+    }
+
+    /// Score against ground truth overlaps (`(i, j, len)` with `i < j`).
+    pub fn metrics(&self, truth: &[(usize, usize, usize)]) -> OverlapMetrics {
+        OverlapMetrics::score(&self.kept_pairs(), truth)
+    }
+}
+
+/// The BELLA pipeline.
+pub struct BellaPipeline {
+    /// Configuration.
+    pub config: BellaConfig,
+}
+
+impl BellaPipeline {
+    /// Build with a configuration.
+    pub fn new(config: BellaConfig) -> BellaPipeline {
+        BellaPipeline { config }
+    }
+
+    /// Stages 1–4: k-mer counting, pruning, SpGEMM and binning. Returns
+    /// the to-be-aligned pairs (with seeds and overlap estimates) plus
+    /// partially filled stats.
+    pub fn candidates(&self, reads: &[Seq]) -> (Vec<ReadPair>, Vec<(usize, usize, usize)>, StageStats) {
+        let cfg = &self.config;
+        let counts = count_kmers(reads, cfg.k);
+        let bounds = cfg
+            .reliable_override
+            .unwrap_or_else(|| reliable_bounds(cfg.depth, cfg.error_rate, cfg.k, cfg.tail));
+        let reliable = reliable_kmers(&counts, bounds);
+        let matrix = KmerMatrix::build(reads, cfg.k, &reliable);
+        let cands = spgemm_candidates(&matrix);
+
+        let mut pairs = Vec::with_capacity(cands.len());
+        let mut meta = Vec::with_capacity(cands.len());
+        for c in &cands {
+            let (r1, r2) = (c.r1 as usize, c.r2 as usize);
+            let (seed, est) = choose_seed(reads[r1].len(), reads[r2].len(), c, cfg.k);
+            pairs.push(ReadPair {
+                query: reads[r1].clone(),
+                target: reads[r2].clone(),
+                seed,
+                template_len: est,
+            });
+            meta.push((r1, r2, est));
+        }
+        let stats = StageStats {
+            reads: reads.len(),
+            distinct_kmers: counts.len(),
+            reliable_kmers: reliable.len(),
+            bounds,
+            matrix_nnz: matrix.nnz(),
+            candidates: cands.len(),
+            kept: 0,
+            total_cells: 0,
+        };
+        (pairs, meta, stats)
+    }
+
+    /// Run the full pipeline on `reads` with the given backend.
+    pub fn run(&self, reads: &[Seq], backend: &AlignerBackend<'_>) -> BellaOutput {
+        let (pairs, meta, mut stats) = self.candidates(reads);
+        let (results, backend_report) = match backend {
+            AlignerBackend::Cpu(aligner) => {
+                let ext = XDropExtender::new(self.config.scoring, self.config.x);
+                let batch = aligner.run(&pairs, &ext);
+                (batch.results, BackendReport::Cpu(batch.wall))
+            }
+            AlignerBackend::Gpu(exec) => {
+                let (res, rep) = exec.align_pairs(&pairs);
+                (res, BackendReport::Gpu(rep))
+            }
+            AlignerBackend::Multi(multi) => {
+                let (res, rep) = multi.align_pairs(&pairs);
+                (res, BackendReport::Multi(rep))
+            }
+        };
+
+        let threshold = AdaptiveThreshold::new(self.config.scoring, self.config.error_rate, self.config.delta);
+        let mut overlaps = Vec::with_capacity(results.len());
+        let mut kept = 0usize;
+        let mut cells = 0u64;
+        for (((r1, r2, est), pair), result) in meta.into_iter().zip(&pairs).zip(results) {
+            let keep = est >= self.config.min_overlap && threshold.keep(result.score, est);
+            kept += keep as usize;
+            cells += result.cells();
+            overlaps.push(Overlap {
+                r1,
+                r2,
+                seed: pair.seed,
+                est_overlap: est,
+                result,
+                kept: keep,
+            });
+        }
+        stats.kept = kept;
+        stats.total_cells = cells;
+        BellaOutput {
+            overlaps,
+            stats,
+            backend: backend_report,
+        }
+    }
+
+    /// Convenience: run on a simulated [`ReadSet`] (depth taken from the
+    /// set itself) and return output plus ground-truth metrics at
+    /// `min_overlap`.
+    pub fn run_on_readset(
+        &self,
+        rs: &ReadSet,
+        backend: &AlignerBackend<'_>,
+        min_overlap: usize,
+    ) -> (BellaOutput, OverlapMetrics) {
+        let mut cfg = self.config;
+        cfg.depth = rs.depth();
+        cfg.error_rate = rs.error_rate;
+        let pipeline = BellaPipeline::new(cfg);
+        let seqs: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
+        let out = pipeline.run(&seqs, backend);
+        let truth = rs.true_overlaps(min_overlap);
+        let metrics = out.metrics(&truth);
+        (out, metrics)
+    }
+}
+
+/// Reference single-threaded alignment of a candidate list — used by
+/// tests to pin backend results.
+pub fn align_candidates_reference(
+    pairs: &[ReadPair],
+    scoring: Scoring,
+    x: i32,
+) -> Vec<SeedExtendResult> {
+    let ext = XDropExtender::new(scoring, x);
+    pairs
+        .iter()
+        .map(|p| seed_extend(&p.query, &p.target, p.seed, &ext))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logan_core::LoganConfig;
+    use logan_gpusim::DeviceSpec;
+    use logan_seq::readsim::ReadSimulator;
+    use logan_seq::ErrorProfile;
+
+    fn small_readset() -> ReadSet {
+        let sim = ReadSimulator {
+            read_len: (900, 1400),
+            errors: ErrorProfile::pacbio(0.10),
+            ..ReadSimulator::uniform(25_000, 8.0)
+        };
+        sim.generate(42)
+    }
+
+    fn test_config(x: i32) -> BellaConfig {
+        BellaConfig {
+            error_rate: 0.10,
+            // The test reads are 0.9–1.4 kb, so BELLA's default 2 kb
+            // floor would keep nothing; scale it to the read length.
+            min_overlap: 700,
+            ..BellaConfig::with_x(x)
+        }
+    }
+
+    #[test]
+    fn pipeline_finds_true_overlaps_cpu() {
+        let rs = small_readset();
+        let pipeline = BellaPipeline::new(test_config(50));
+        let aligner = CpuBatchAligner::new(4);
+        let (out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 500);
+        assert!(out.stats.candidates > 0, "SpGEMM must find candidates");
+        assert!(out.stats.kept > 0, "some overlaps must clear the line");
+        // Precision against a loose truth (≥500 bp): anything we keep at
+        // min_overlap=700 should truly overlap by at least 500.
+        let kept = out.kept_pairs();
+        let precision = OverlapMetrics::score(&kept, &rs.true_overlaps(500)).precision;
+        assert!(precision > 0.85, "precision {precision:.2} too low");
+        // Recall against a strict truth (≥1000 bp): long overlaps must
+        // not be missed just because the estimate sits near the floor.
+        let recall = OverlapMetrics::score(&kept, &rs.true_overlaps(1000)).recall;
+        assert!(recall > 0.55, "recall {recall:.2} too low");
+    }
+
+    #[test]
+    fn gpu_backend_reproduces_cpu_backend() {
+        let rs = small_readset();
+        let pipeline = BellaPipeline::new(test_config(50));
+        let aligner = CpuBatchAligner::new(2);
+        let exec = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50));
+        let (cpu_out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
+        let (gpu_out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Gpu(&exec), 600);
+        assert_eq!(cpu_out.kept_pairs(), gpu_out.kept_pairs());
+        assert_eq!(cpu_out.stats.total_cells, gpu_out.stats.total_cells);
+        for (a, b) in cpu_out.overlaps.iter().zip(&gpu_out.overlaps) {
+            assert_eq!(a.result, b.result);
+        }
+        match gpu_out.backend {
+            BackendReport::Gpu(rep) => assert!(rep.sim_time_s > 0.0),
+            _ => panic!("expected GPU report"),
+        }
+    }
+
+    #[test]
+    fn multi_gpu_backend_matches_too() {
+        let rs = small_readset();
+        let pipeline = BellaPipeline::new(test_config(30));
+        let aligner = CpuBatchAligner::new(2);
+        let multi = MultiGpu::new(3, DeviceSpec::v100(), LoganConfig::with_x(30));
+        let (cpu_out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
+        let (mg_out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Multi(&multi), 600);
+        assert_eq!(cpu_out.kept_pairs(), mg_out.kept_pairs());
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let rs = small_readset();
+        let pipeline = BellaPipeline::new(test_config(50));
+        let aligner = CpuBatchAligner::new(2);
+        let (out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
+        assert_eq!(out.overlaps.len(), out.stats.candidates);
+        assert_eq!(
+            out.stats.kept,
+            out.overlaps.iter().filter(|o| o.kept).count()
+        );
+        assert!(out.stats.reliable_kmers <= out.stats.distinct_kmers);
+        assert_eq!(
+            out.stats.total_cells,
+            out.overlaps.iter().map(|o| o.result.cells()).sum::<u64>()
+        );
+        for o in &out.overlaps {
+            assert!(o.r1 < o.r2);
+        }
+    }
+
+    #[test]
+    fn higher_x_does_not_reduce_kept_overlaps() {
+        // §VI-B: larger X raises scores of true overlaps toward the
+        // expectation line, improving separation.
+        let rs = small_readset();
+        let aligner = CpuBatchAligner::new(4);
+        let kept = |x: i32| {
+            let pipeline = BellaPipeline::new(test_config(x));
+            let (out, m) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
+            (out.stats.kept, m.recall)
+        };
+        let (kept_small, recall_small) = kept(5);
+        let (kept_large, recall_large) = kept(100);
+        assert!(kept_large >= kept_small);
+        assert!(recall_large >= recall_small);
+    }
+
+    #[test]
+    fn reliable_override_respected() {
+        let rs = small_readset();
+        let seqs: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
+        let mut cfg = BellaConfig::with_x(20);
+        cfg.reliable_override = Some(crate::prune::ReliableBounds { lo: 2, hi: 3 });
+        let (_, _, stats) = BellaPipeline::new(cfg).candidates(&seqs);
+        assert_eq!(stats.bounds, crate::prune::ReliableBounds { lo: 2, hi: 3 });
+    }
+}

@@ -1,0 +1,152 @@
+//! Candidate overlap detection: the sparse `A·Aᵀ` product.
+//!
+//! BELLA computes `A·Aᵀ` with a multi-threaded hash-accumulator SpGEMM;
+//! each nonzero `(i, j)` of the product is a pair of reads sharing at
+//! least one reliable k-mer, annotated with up to two *witnesses* — the
+//! shared k-mer's positions in both reads — which is exactly what its
+//! binning stage consumes. We implement the outer-product formulation:
+//! every column (k-mer) contributes all pairs of its postings. The
+//! reliable upper bound caps posting-list lengths, which is what keeps
+//! this quadratic-in-column-degree step linear in practice (and is why
+//! BELLA prunes repeats *before* the multiply).
+
+use crate::fxhash::FxHashMap;
+use crate::matrix::KmerMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Maximum witnesses retained per candidate pair (BELLA keeps 2).
+pub const MAX_WITNESSES: usize = 2;
+
+/// A candidate read pair with shared-k-mer evidence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidatePair {
+    /// Lower read id.
+    pub r1: u32,
+    /// Higher read id.
+    pub r2: u32,
+    /// Up to [`MAX_WITNESSES`] shared k-mer positions `(pos_in_r1,
+    /// pos_in_r2)`, in discovery order.
+    pub witnesses: Vec<(u32, u32)>,
+    /// Total shared reliable k-mers (may exceed `witnesses.len()`).
+    pub shared: u32,
+}
+
+/// Compute all candidate pairs from the k-mer matrix.
+///
+/// Deterministic: pairs are emitted sorted by `(r1, r2)` and witnesses
+/// in column-discovery order.
+pub fn spgemm_candidates(matrix: &KmerMatrix) -> Vec<CandidatePair> {
+    let postings = matrix.postings();
+    let mut acc: FxHashMap<(u32, u32), CandidatePair> = FxHashMap::default();
+    for entries in &postings {
+        for (a, &(r1, p1)) in entries.iter().enumerate() {
+            for &(r2, p2) in &entries[a + 1..] {
+                if r1 == r2 {
+                    continue;
+                }
+                let (key, w) = if r1 < r2 {
+                    ((r1, r2), (p1, p2))
+                } else {
+                    ((r2, r1), (p2, p1))
+                };
+                let entry = acc.entry(key).or_insert_with(|| CandidatePair {
+                    r1: key.0,
+                    r2: key.1,
+                    witnesses: Vec::with_capacity(MAX_WITNESSES),
+                    shared: 0,
+                });
+                entry.shared += 1;
+                if entry.witnesses.len() < MAX_WITNESSES {
+                    entry.witnesses.push(w);
+                }
+            }
+        }
+    }
+    let mut out: Vec<CandidatePair> = acc.into_values().collect();
+    out.sort_unstable_by_key(|c| (c.r1, c.r2));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fxhash::FxHashSet;
+    use crate::kmer_count::count_kmers;
+    use logan_seq::Seq;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    fn matrix_of(reads: &[Seq], k: usize) -> KmerMatrix {
+        let rel: FxHashSet<u64> = count_kmers(reads, k).keys().copied().collect();
+        KmerMatrix::build(reads, k, &rel)
+    }
+
+    #[test]
+    fn overlapping_reads_become_candidates() {
+        let genome = seq("ACGTTGCAACGGTTACGATCGATCGGTAC");
+        let r1 = genome.subseq(0, 20);
+        let r2 = genome.subseq(8, 29);
+        let r3 = seq("TTTTTTTTTTTTTTTTT"); // unrelated
+        let m = matrix_of(&[r1, r2, r3], 8);
+        let cands = spgemm_candidates(&m);
+        assert_eq!(cands.len(), 1);
+        let c = &cands[0];
+        assert_eq!((c.r1, c.r2), (0, 1));
+        assert!(c.shared >= 1);
+        assert!(!c.witnesses.is_empty());
+    }
+
+    #[test]
+    fn witness_positions_are_consistent() {
+        let genome = seq("ACGTTGCAACGGTTACGATCGATCGGTACCA");
+        let r1 = genome.subseq(0, 24);
+        let r2 = genome.subseq(6, 31);
+        let m = matrix_of(&[r1.clone(), r2.clone()], 10);
+        let cands = spgemm_candidates(&m);
+        assert_eq!(cands.len(), 1);
+        for &(p1, p2) in &cands[0].witnesses {
+            // The witnessed k-mers must actually match.
+            let w1 = r1.subseq(p1 as usize, p1 as usize + 10);
+            let w2 = r2.subseq(p2 as usize, p2 as usize + 10);
+            assert!(w1 == w2 || w1 == w2.reverse_complement());
+        }
+    }
+
+    #[test]
+    fn witnesses_capped_but_shared_counts_all() {
+        let genome = seq("ACGTTGCAACGGTTACGATCGATCGGTACCAGGTTACGTACG");
+        let r1 = genome.subseq(0, 40);
+        let r2 = genome.subseq(2, 42);
+        let m = matrix_of(&[r1, r2], 8);
+        let cands = spgemm_candidates(&m);
+        assert_eq!(cands.len(), 1);
+        assert!(cands[0].shared as usize > MAX_WITNESSES);
+        assert_eq!(cands[0].witnesses.len(), MAX_WITNESSES);
+    }
+
+    #[test]
+    fn ordering_is_deterministic_and_normalized() {
+        let genome = seq("ACGTTGCAACGGTTACGATCGATCGGTACCAGGTT");
+        let reads: Vec<Seq> = (0..4).map(|i| genome.subseq(i * 3, i * 3 + 20)).collect();
+        let m = matrix_of(&reads, 8);
+        let a = spgemm_candidates(&m);
+        let b = spgemm_candidates(&m);
+        assert_eq!(a, b);
+        for c in &a {
+            assert!(c.r1 < c.r2);
+        }
+        for w in a.windows(2) {
+            assert!((w[0].r1, w[0].r2) < (w[1].r1, w[1].r2));
+        }
+    }
+
+    #[test]
+    fn no_self_pairs() {
+        // A read with an internal repeat must not pair with itself.
+        let r = seq("ACGTACGTACGTACGTACGT");
+        let m = matrix_of(&[r], 8);
+        assert!(spgemm_candidates(&m).is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion benchmarks of kernel policy variants (host-side cost of
+//! the simulation; the *simulated-time* ablation study is the
+//! `ablations` harness binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logan_core::{LoganConfig, LoganExecutor, ThreadPolicy};
+use logan_gpusim::DeviceSpec;
+use logan_seq::readsim::PairSet;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_policies_host");
+    group.sample_size(10);
+    let set = PairSet::generate_with_lengths(16, 0.15, 1200, 1600, 37);
+
+    let baseline = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(100));
+    group.bench_function("baseline_x100", |b| {
+        b.iter(|| baseline.align_pairs(&set.pairs).1.total_cells)
+    });
+
+    let mut cfg = LoganConfig::with_x(100);
+    cfg.reversed_layout = false;
+    let strided = LoganExecutor::new(DeviceSpec::v100(), cfg);
+    group.bench_function("strided_layout", |b| {
+        b.iter(|| strided.align_pairs(&set.pairs).1.total_cells)
+    });
+
+    let mut cfg = LoganConfig::with_x(100);
+    cfg.thread_policy = ThreadPolicy::Fixed(1024);
+    let fixed = LoganExecutor::new(DeviceSpec::v100(), cfg);
+    group.bench_function("fixed_1024_threads", |b| {
+        b.iter(|| fixed.align_pairs(&set.pairs).1.total_cells)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the comparator algorithms: ksw2-style
+//! affine Z-drop, full NW/SW and banded SW.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logan_align::{banded_sw, ksw2_extend, needleman_wunsch, smith_waterman, Ksw2Params};
+use logan_seq::readsim::{random_seq, PairSet};
+use logan_seq::Scoring;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ksw2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ksw2_extend");
+    group.sample_size(15);
+    let set = PairSet::generate_with_lengths(1, 0.15, 4000, 4000, 17);
+    let p = &set.pairs[0];
+    let q = p.query.subseq(p.seed.qpos + p.seed.len, p.query.len());
+    let t = p.target.subseq(p.seed.tpos + p.seed.len, p.target.len());
+    for &z in &[10i32, 100, 1000] {
+        let params = Ksw2Params::with_zdrop(z);
+        let cells = ksw2_extend(&q, &t, params).cells;
+        group.throughput(Throughput::Elements(cells));
+        group.bench_with_input(BenchmarkId::from_parameter(z), &z, |b, &z| {
+            b.iter(|| ksw2_extend(&q, &t, Ksw2Params::with_zdrop(z)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quadratic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quadratic_aligners");
+    group.sample_size(15);
+    let mut rng = StdRng::seed_from_u64(23);
+    let a = random_seq(1000, &mut rng);
+    let b2 = random_seq(1000, &mut rng);
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("needleman_wunsch_1k", |b| {
+        b.iter(|| needleman_wunsch(&a, &b2, Scoring::default()))
+    });
+    group.bench_function("smith_waterman_1k", |b| {
+        b.iter(|| smith_waterman(&a, &b2, Scoring::default()))
+    });
+    group.bench_function("banded_sw_1k_w64", |b| {
+        b.iter(|| banded_sw(&a, &b2, Scoring::default(), 64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ksw2, bench_quadratic);
+criterion_main!(benches);

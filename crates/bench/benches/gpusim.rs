@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the GPU simulator itself: kernel launch
+//! host-side throughput and the wave scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use logan_core::{LoganConfig, LoganExecutor};
+use logan_gpusim::{schedule, BlockCost, DeviceSpec};
+use logan_seq::readsim::PairSet;
+
+fn bench_kernel_host_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpusim_launch");
+    group.sample_size(10);
+    let set = PairSet::generate_with_lengths(32, 0.15, 1500, 2000, 29);
+    let exec = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(100));
+    let (_, rep) = exec.align_pairs(&set.pairs);
+    group.throughput(Throughput::Elements(rep.total_cells));
+    group.bench_function("align_32x2kb_x100", |b| b.iter(|| exec.align_pairs(&set.pairs)));
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wave_scheduler");
+    group.sample_size(10);
+    let spec = DeviceSpec::v100();
+    for &n in &[1_000usize, 100_000] {
+        let costs: Vec<BlockCost> = (0..n)
+            .map(|i| BlockCost {
+                warp_instructions: 50_000 + (i as u64 % 97) * 100,
+                stall_cycles: 1_000,
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("schedule_{n}_blocks"), |b| {
+            b.iter(|| schedule(&spec, &costs, 128, 0, 1 << 30))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_host_throughput, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the X-drop reference and the
+//! seed-and-extend driver — host-side throughput (MCUPS) of the scalar
+//! algorithm that defines LOGAN's semantics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logan_align::{seed_extend, xdrop_extend, XDropExtender};
+use logan_seq::readsim::PairSet;
+use logan_seq::Scoring;
+
+fn bench_xdrop_extend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xdrop_extend");
+    group.sample_size(20);
+    for &(len, x) in &[(1000usize, 20i32), (1000, 100), (5000, 20), (5000, 100)] {
+        let set = PairSet::generate_with_lengths(1, 0.15, len, len, 11);
+        let p = &set.pairs[0];
+        let q = p.query.subseq(p.seed.qpos + p.seed.len, p.query.len());
+        let t = p.target.subseq(p.seed.tpos + p.seed.len, p.target.len());
+        let cells = xdrop_extend(&q, &t, Scoring::default(), x).cells;
+        group.throughput(Throughput::Elements(cells));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("len{len}_x{x}")),
+            &(q, t, x),
+            |b, (q, t, x)| b.iter(|| xdrop_extend(q, t, Scoring::default(), *x)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_seed_extend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seed_extend");
+    group.sample_size(20);
+    let set = PairSet::generate_with_lengths(8, 0.15, 3000, 3000, 13);
+    let ext = XDropExtender::new(Scoring::default(), 100);
+    group.bench_function("pair3kb_x100", |b| {
+        b.iter(|| {
+            set.pairs
+                .iter()
+                .map(|p| seed_extend(&p.query, &p.target, p.seed, &ext).score)
+                .sum::<i32>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xdrop_extend, bench_seed_extend);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Table I — impact of the parallelism levels (paper §IV-B).
+//!
+//! Rows: no parallelism (1 thread, 1 block); intra-sequence only
+//! (128 threads, 1 alignment at a time); intra + inter (128 threads,
+//! one block per alignment). The paper's 100 K-pair intra-only row is an
+//! extrapolation (45 h) — so is ours.
+
+use logan_bench::{fmt_s, heading, project_gpu_time, write_json, BenchScale, Table};
+use logan_core::executor::split_jobs;
+use logan_core::{LoganConfig, LoganExecutor, ThreadPolicy};
+use logan_gpusim::DeviceSpec;
+use logan_seq::PairSet;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    parallelism: String,
+    pairs: usize,
+    threads: usize,
+    blocks: String,
+    time_s: f64,
+    speedup_vs_none: f64,
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let x = 100;
+    let set = PairSet::generate(scale.pairs(), 0.15, scale.seed);
+    let one_pair = &set.pairs[..1];
+
+    let run_single = |threads: usize| -> f64 {
+        let mut cfg = LoganConfig::with_x(x);
+        cfg.thread_policy = ThreadPolicy::Fixed(threads);
+        let exec = LoganExecutor::new(DeviceSpec::v100(), cfg);
+        let (_, rep) = exec.align_pairs(one_pair);
+        rep.sim_time_s
+    };
+
+    // Row 1: no parallelism.
+    let t_none = run_single(1);
+    // Row 2: intra-sequence only, one pair.
+    let t_intra = run_single(128);
+    // Row 3: intra-only for 100 K pairs = sequential alignments
+    // (extrapolated, exactly as the paper's 45 h figure is).
+    let t_intra_100k = t_intra * 100_000.0;
+    // Row 4: intra + inter: the full batch, one block per alignment.
+    let mut cfg = LoganConfig::with_x(x);
+    cfg.thread_policy = ThreadPolicy::Fixed(128);
+    let exec = LoganExecutor::new(DeviceSpec::v100(), cfg);
+    let (_, rep) = exec.align_pairs(&set.pairs);
+    let t_both = project_gpu_time(&DeviceSpec::v100(), &rep, scale.pair_factor());
+
+    let rows = vec![
+        Row {
+            parallelism: "None".into(),
+            pairs: 1,
+            threads: 1,
+            blocks: "1".into(),
+            time_s: t_none,
+            speedup_vs_none: 1.0,
+        },
+        Row {
+            parallelism: "Intra-sequence".into(),
+            pairs: 1,
+            threads: 128,
+            blocks: "1".into(),
+            time_s: t_intra,
+            speedup_vs_none: t_none / t_intra,
+        },
+        Row {
+            parallelism: "Intra-sequence".into(),
+            pairs: 100_000,
+            threads: 128,
+            blocks: "1".into(),
+            time_s: t_intra_100k,
+            speedup_vs_none: f64::NAN,
+        },
+        Row {
+            parallelism: "Intra- and inter-sequence".into(),
+            pairs: 100_000,
+            threads: 128,
+            blocks: "100K".into(),
+            time_s: t_both,
+            speedup_vs_none: t_intra_100k / t_both,
+        },
+    ];
+
+    heading(format!(
+        "Table I — X-drop execution on the simulated V100, X = {x} \
+         (measured at {} pairs, projected to 100K; paper: 1.50 s / 0.16 s / 45 h / 7.35 s)",
+        set.len()
+    ));
+    let mut t = Table::new(&[
+        "Parallelism",
+        "Pairs",
+        "Threads",
+        "Blocks",
+        "Time",
+        "Speed-up",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.parallelism.clone(),
+            r.pairs.to_string(),
+            r.threads.to_string(),
+            r.blocks.clone(),
+            if r.time_s > 3600.0 {
+                format!("{:.1}h", r.time_s / 3600.0)
+            } else {
+                format!("{}s", fmt_s(r.time_s))
+            },
+            if r.speedup_vs_none.is_nan() {
+                "-".into()
+            } else {
+                format!("{:.1}x", r.speedup_vs_none)
+            },
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Sanity echo: jobs per pair.
+    let (l, r) = split_jobs(one_pair);
+    eprintln!(
+        "[table1] one pair = {} left + {} right extension blocks",
+        l.len(),
+        r.len()
+    );
+    write_json("table1", &rows);
+}

@@ -1,0 +1,32 @@
+//! Table IV + Fig. 10 — BELLA with LOGAN on the E. coli-like set
+//! (1.82 M alignments at paper scale).
+
+use logan_bench::bella_bench::{run, BellaExperiment};
+use logan_seq::DatasetPreset;
+
+const XS: [i32; 11] = [5, 10, 15, 20, 25, 30, 35, 40, 50, 80, 100];
+const PAPER: [(f64, f64, f64); 11] = [
+    (53.2, 110.4, 114.3),
+    (108.6, 146.4, 115.3),
+    (139.0, 152.9, 114.8),
+    (226.7, 162.7, 118.4),
+    (275.3, 173.5, 125.3),
+    (558.0, 185.3, 130.6),
+    (654.1, 198.4, 136.8),
+    (750.1, 212.7, 138.4),
+    (913.1, 248.5, 141.4),
+    (1303.7, 295.8, 142.4),
+    (1507.1, 336.3, 144.5),
+];
+
+fn main() {
+    run(&BellaExperiment {
+        preset: DatasetPreset::EcoliLike,
+        gpus: 6,
+        xs: &XS,
+        paper: &PAPER,
+        paper_alignments: 1.82e6,
+        name: "table4_fig10",
+        title: "Table IV — BELLA on E. coli-like reads (POWER9 vs 1/6 simulated V100s)",
+    });
+}

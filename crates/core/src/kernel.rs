@@ -1,0 +1,428 @@
+//! The LOGAN X-drop GPU kernel (paper §IV-A, Algorithms 1–2).
+//!
+//! One block per alignment (inter-sequence parallelism); inside a block,
+//! each anti-diagonal is computed by a grid-stride loop whose segments
+//! are as wide as the block (intra-sequence parallelism, Fig. 3); the
+//! anti-diagonal maximum is found with an in-warp shuffle reduction; the
+//! bounds update runs on thread 0. Only three anti-diagonals are live,
+//! stored in HBM (or in shared memory under the §IV-B ablation).
+//!
+//! The kernel's *results* are computed exactly — cell by cell, with the
+//! same recurrence, pruning, trimming, tie-breaks and termination as the
+//! scalar reference [`logan_align::xdrop_extend`]; the property tests in
+//! this module assert bit-equality. Its *costs* are accounted through
+//! [`BlockCtx`] and the constants in [`crate::calibration`].
+
+use crate::calibration::*;
+use logan_align::{ExtensionResult, NEG_INF};
+use logan_gpusim::{AccessPattern, BlockCtx, BlockKernel};
+use logan_seq::{Scoring, Seq};
+
+/// One extension problem: align a prefix of `query` against a prefix of
+/// `target` (both already oriented by the host — left extensions arrive
+/// reversed).
+#[derive(Debug, Clone)]
+pub struct ExtensionJob {
+    /// Query sequence (vertical axis).
+    pub query: Seq,
+    /// Target sequence (horizontal axis).
+    pub target: Seq,
+}
+
+/// Per-launch execution policy resolved by the host executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelPolicy {
+    /// Threads per block (the executor sets this ∝ X, §IV-B).
+    pub threads: usize,
+    /// Whether the host reversed the target's memory layout so both
+    /// sequences stream forward (Fig. 6). Off = strided ablation.
+    pub reversed_layout: bool,
+    /// Keep the three anti-diagonals in shared memory instead of HBM
+    /// (the §IV-B ablation that caps SM residency).
+    pub antidiag_in_shared: bool,
+    /// Fraction of streaming anti-diagonal/character traffic charged to
+    /// HBM (the remainder hits L2); the executor derives it from the
+    /// estimated hot working set across resident blocks.
+    pub hbm_charge_fraction: f64,
+}
+
+impl KernelPolicy {
+    /// Policy with the paper's defaults for a given thread count.
+    pub fn new(threads: usize) -> KernelPolicy {
+        KernelPolicy {
+            threads,
+            reversed_layout: true,
+            antidiag_in_shared: false,
+            hbm_charge_fraction: 0.0,
+        }
+    }
+}
+
+/// The kernel: a batch of jobs, one block each.
+pub struct LoganKernel<'a> {
+    /// The extension problems, indexed by block id.
+    pub jobs: &'a [ExtensionJob],
+    /// Linear-gap scoring scheme.
+    pub scoring: Scoring,
+    /// X-drop threshold.
+    pub x: i32,
+    /// Execution policy.
+    pub policy: KernelPolicy,
+}
+
+impl BlockKernel for LoganKernel<'_> {
+    type Output = ExtensionResult;
+
+    fn run_block(&self, ctx: &mut BlockCtx, block_id: usize) -> ExtensionResult {
+        let job = &self.jobs[block_id];
+        logan_block_extend(ctx, &job.query, &job.target, self.scoring, self.x, &self.policy)
+    }
+}
+
+/// Execute one X-drop extension inside a block context, accounting SIMT
+/// costs as it goes. Mirrors `logan_align::xdrop_extend` statement for
+/// statement; any divergence is a bug caught by the equivalence tests.
+pub fn logan_block_extend(
+    ctx: &mut BlockCtx,
+    query: &Seq,
+    target: &Seq,
+    scoring: Scoring,
+    x: i32,
+    policy: &KernelPolicy,
+) -> ExtensionResult {
+    assert!(x >= 0, "X-drop parameter must be non-negative");
+    let m = query.len();
+    let n = target.len();
+    if m == 0 || n == 0 {
+        return ExtensionResult::zero();
+    }
+    let q = query.as_slice();
+    let t = target.as_slice();
+    let threads = ctx.threads();
+    let cap = m.min(n) + 1;
+
+    // Anti-diagonal storage: three buffers of capacity `cap`.
+    if policy.antidiag_in_shared {
+        ctx.alloc_shared(3 * cap * 4)
+            .expect("anti-diagonals exceed shared memory: the shared-memory ablation only supports short reads");
+    } else {
+        // Cold allocation traffic: the buffers are written once up front.
+        ctx.hbm_write(3 * cap as u64 * 4, AccessPattern::Coalesced, 4);
+    }
+    // Reduction scratch: one (value, index) partial per warp.
+    ctx.alloc_shared(ctx.warps() * 8)
+        .expect("reduction scratch always fits");
+    let char_pattern = if policy.reversed_layout {
+        AccessPattern::Coalesced
+    } else {
+        AccessPattern::Strided
+    };
+    // Cold sequence load (both sequences stream in once; reuse is L2's
+    // job and is charged via hbm_charge_fraction below). The query
+    // streams forward; the target's pattern depends on whether the host
+    // reversed its layout (Fig. 6) — an un-reversed target is walked
+    // backwards along every anti-diagonal and pays per-element sectors.
+    ctx.hbm_read(m as u64, AccessPattern::Coalesced, 1);
+    ctx.hbm_read(n as u64, char_pattern, 1);
+    let instr_per_cell = if policy.reversed_layout {
+        LOGAN_INSTR_PER_CELL
+    } else {
+        LOGAN_INSTR_PER_CELL + STRIDED_REPLAY_INSTR
+    };
+    let iter_stall = if policy.antidiag_in_shared {
+        ITER_STALL_CYCLES_SHARED
+    } else {
+        ITER_STALL_CYCLES_HBM
+    };
+
+    let mut best: i32 = 0;
+    let mut best_i: usize = 0;
+    let mut best_d: usize = 0;
+    let mut cells: u64 = 0;
+    let mut iterations: u64 = 0;
+    let mut max_width: usize = 1;
+    let mut dropped = false;
+
+    let mut prev2: Vec<i32> = Vec::new();
+    let mut prev2_lo = 0usize;
+    let mut prev: Vec<i32> = vec![0];
+    let mut prev_lo = 0usize;
+    let mut cur: Vec<i32> = Vec::new();
+    // Per-lane local maxima for the reduction, reused across iterations.
+    let mut lane_best: Vec<(i32, usize)> = Vec::with_capacity(threads);
+
+    let get = |buf: &[i32], lo: usize, i: usize| -> i32 {
+        if i < lo || i >= lo + buf.len() {
+            NEG_INF
+        } else {
+            buf[i - lo]
+        }
+    };
+
+    for d in 1..=(m + n) {
+        let lo = prev_lo.max(d.saturating_sub(n));
+        let hi = (prev_lo + prev.len() - 1 + 1).min(d).min(m);
+        if lo > hi {
+            break;
+        }
+        let width = hi - lo + 1;
+
+        // --- Phase 1: grid-stride cell computation (Algorithm 2). ---
+        cur.clear();
+        cur.reserve(width);
+        lane_best.clear();
+        lane_best.resize(width.min(threads), (NEG_INF, usize::MAX));
+        let threshold = best - x;
+        for k in 0..width {
+            let i = lo + k;
+            let j = d - i;
+            let diag = if i >= 1 && j >= 1 {
+                get(&prev2, prev2_lo, i - 1) + scoring.substitution(q[i - 1] == t[j - 1])
+            } else {
+                NEG_INF
+            };
+            let up = if i >= 1 {
+                get(&prev, prev_lo, i - 1) + scoring.gap
+            } else {
+                NEG_INF
+            };
+            let left = if j >= 1 {
+                get(&prev, prev_lo, i) + scoring.gap
+            } else {
+                NEG_INF
+            };
+            let mut val = diag.max(up).max(left);
+            if val < threshold {
+                val = NEG_INF;
+            }
+            cur.push(val);
+            // Thread k % threads keeps its running maximum in a register;
+            // strictly-greater keeps the earliest (smallest i) per lane.
+            let lane = k % threads;
+            if val > lane_best[lane].0 {
+                lane_best[lane] = (val, i);
+            }
+        }
+        cells += width as u64;
+        iterations += 1;
+        ctx.record_iteration(width.min(threads));
+        ctx.strided_loop(width, instr_per_cell);
+
+        // Streaming traffic for this anti-diagonal: two reads + one write
+        // of score words, plus one character of each sequence per cell.
+        // Only the L2-spilled fraction reaches HBM.
+        let f = policy.hbm_charge_fraction;
+        if !policy.antidiag_in_shared && f > 0.0 {
+            let score_read = (2 * width * 4) as f64 * f;
+            let score_write = (width * 4) as f64 * f;
+            ctx.hbm_read(score_read as u64, AccessPattern::Coalesced, 4);
+            ctx.hbm_write(score_write as u64, AccessPattern::Coalesced, 4);
+        }
+        if f > 0.0 {
+            let q_bytes = (width as f64 * f) as u64;
+            ctx.hbm_read(q_bytes, AccessPattern::Coalesced, 1);
+            ctx.hbm_read(q_bytes, char_pattern, 1);
+        }
+        ctx.sync_threads();
+
+        // --- Phase 2: trim −∞ runs (thread 0, Algorithm 1 lines 10–15). ---
+        let first_live = cur.iter().position(|&v| v > NEG_INF);
+        let (trim_front, trim_back) = match first_live {
+            None => {
+                ctx.thread0(BOUNDS_UPDATE_BASE_INSTR + TRIM_INSTR_PER_CELL * width as u32);
+                dropped = true;
+                break;
+            }
+            Some(kf) => {
+                let kl = cur.iter().rposition(|&v| v > NEG_INF).unwrap();
+                (kf, width - 1 - kl)
+            }
+        };
+        cur.drain(..trim_front);
+        cur.truncate(width - trim_front - trim_back);
+        let cur_lo = lo + trim_front;
+        ctx.thread0(
+            BOUNDS_UPDATE_BASE_INSTR + TRIM_INSTR_PER_CELL * (trim_front + trim_back) as u32,
+        );
+        max_width = max_width.max(cur.len());
+
+        // --- Phase 3: block-wide max reduction (in-warp shuffles). ---
+        let live_lanes = width.min(threads);
+        let (row_max, row_arg) = ctx.block_reduce_max_idx(&lane_best[..live_lanes]);
+        if row_max > best {
+            best = row_max;
+            best_i = row_arg;
+            best_d = d;
+        }
+
+        // Serial dependency to the next anti-diagonal.
+        ctx.stall(iter_stall);
+
+        // Rotate buffers.
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev2_lo, &mut prev_lo);
+        std::mem::swap(&mut prev, &mut cur);
+        prev_lo = cur_lo;
+    }
+
+    ExtensionResult {
+        score: best,
+        query_end: best_i,
+        target_end: best_d - best_i,
+        cells,
+        iterations,
+        max_width,
+        dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logan_align::xdrop_extend;
+    use logan_seq::readsim::{random_seq, PairSet};
+    use logan_seq::{ErrorModel, ErrorProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx(threads: usize) -> BlockCtx {
+        BlockCtx::new(threads, 32, 96 * 1024)
+    }
+
+    fn run(q: &Seq, t: &Seq, x: i32, threads: usize) -> ExtensionResult {
+        let mut c = ctx(threads);
+        logan_block_extend(&mut c, q, t, Scoring::default(), x, &KernelPolicy::new(threads))
+    }
+
+    #[test]
+    fn kernel_equals_reference_on_random_pairs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.15));
+        for trial in 0..40 {
+            let len = 50 + (trial * 13) % 400;
+            let template = random_seq(len, &mut rng);
+            let (a, _) = model.corrupt(&template, &mut rng);
+            let (b, _) = model.corrupt(&template, &mut rng);
+            for x in [5, 25, 100] {
+                for threads in [32, 128, 1024] {
+                    let gpu = run(&a, &b, x, threads);
+                    let cpu = xdrop_extend(&a, &b, Scoring::default(), x);
+                    assert_eq!(gpu, cpu, "trial {trial} x {x} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_equals_reference_on_divergent_pairs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let a = random_seq(200, &mut rng);
+            let b = random_seq(220, &mut rng);
+            let gpu = run(&a, &b, 20, 64);
+            let cpu = xdrop_extend(&a, &b, Scoring::default(), 20);
+            assert_eq!(gpu, cpu);
+        }
+    }
+
+    #[test]
+    fn kernel_counters_populated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let template = random_seq(500, &mut rng);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.1));
+        let (a, _) = model.corrupt(&template, &mut rng);
+        let (b, _) = model.corrupt(&template, &mut rng);
+        let mut c = ctx(128);
+        let r = logan_block_extend(&mut c, &a, &b, Scoring::default(), 50, &KernelPolicy::new(128));
+        assert!(c.counters.warp_instructions > 0);
+        assert!(c.counters.iterations == r.iterations);
+        assert!(c.counters.stall_cycles >= r.iterations * ITER_STALL_CYCLES_HBM);
+        assert!(c.counters.hbm_read_bytes > 0, "cold sequence load counted");
+        assert!(c.counters.barriers > 0);
+        assert!(c.counters.thread_ops >= r.cells * LOGAN_INSTR_PER_CELL as u64);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let set = PairSet::generate_with_lengths(5, 0.15, 300, 500, 4);
+        for p in &set.pairs {
+            let base = run(&p.query, &p.target, 50, 32);
+            for threads in [64, 256, 512, 1024] {
+                assert_eq!(run(&p.query, &p.target, 50, threads), base);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_layout_costs_more() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let template = random_seq(400, &mut rng);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.12));
+        let (a, _) = model.corrupt(&template, &mut rng);
+        let (b, _) = model.corrupt(&template, &mut rng);
+
+        let mut pol = KernelPolicy::new(128);
+        pol.hbm_charge_fraction = 1.0;
+        let mut c_rev = ctx(128);
+        let r_rev = logan_block_extend(&mut c_rev, &a, &b, Scoring::default(), 50, &pol);
+
+        pol.reversed_layout = false;
+        let mut c_str = ctx(128);
+        let r_str = logan_block_extend(&mut c_str, &a, &b, Scoring::default(), 50, &pol);
+
+        assert_eq!(r_rev, r_str, "layout must not change results");
+        assert!(
+            c_str.counters.hbm_read_bytes > 2 * c_rev.counters.hbm_read_bytes,
+            "strided char reads must inflate traffic"
+        );
+        assert!(c_str.counters.warp_instructions > c_rev.counters.warp_instructions);
+    }
+
+    #[test]
+    fn shared_ablation_uses_shared_memory_and_less_stall() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_seq(300, &mut rng);
+        let b = random_seq(300, &mut rng);
+        let mut pol = KernelPolicy::new(64);
+        pol.antidiag_in_shared = true;
+        let mut c = ctx(64);
+        let r = logan_block_extend(&mut c, &a, &b, Scoring::default(), 30, &pol);
+        assert!(c.shared_used() >= 3 * (a.len().min(b.len()) + 1) * 4);
+        assert_eq!(c.counters.stall_cycles, r.iterations * ITER_STALL_CYCLES_SHARED);
+    }
+
+    #[test]
+    fn empty_job_is_free() {
+        let mut c = ctx(32);
+        let r = logan_block_extend(
+            &mut c,
+            &Seq::new(),
+            &random_seq(10, &mut StdRng::seed_from_u64(7)),
+            Scoring::default(),
+            10,
+            &KernelPolicy::new(32),
+        );
+        assert_eq!(r, ExtensionResult::zero());
+        assert_eq!(c.counters.warp_instructions, 0);
+    }
+
+    #[test]
+    fn hbm_fraction_scales_traffic() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let template = random_seq(600, &mut rng);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.1));
+        let (a, _) = model.corrupt(&template, &mut rng);
+        let (b, _) = model.corrupt(&template, &mut rng);
+        let traffic = |frac: f64| {
+            let mut pol = KernelPolicy::new(128);
+            pol.hbm_charge_fraction = frac;
+            let mut c = ctx(128);
+            logan_block_extend(&mut c, &a, &b, Scoring::default(), 100, &pol);
+            c.counters.hbm_bytes()
+        };
+        let t0 = traffic(0.0);
+        let t_half = traffic(0.5);
+        let t1 = traffic(1.0);
+        assert!(t0 < t_half && t_half < t1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # logan-core
+//!
+//! LOGAN: the X-drop alignment GPU kernel and its host pipeline — the
+//! primary contribution of Zeni et al. (IPDPS 2020), reproduced on the
+//! simulated device of `logan-gpusim`.
+//!
+//! * [`kernel`] — the block-per-alignment X-drop kernel (paper §IV-A,
+//!   Algorithm 2): grid-stride anti-diagonal segments, in-warp shuffle
+//!   max-reduction, X-drop pruning, adaptive bounds. Bit-equivalent to
+//!   the scalar reference in `logan-align` (enforced by tests).
+//! * [`executor`] — the single-GPU host pipeline (paper §IV-B): seed
+//!   splitting into left/right extensions, sequence reversal for
+//!   coalesced access, dual streams, threads ∝ X scheduling, HBM
+//!   batch sizing.
+//! * [`multi_gpu`] — the multi-GPU load balancer (paper §IV-C, Fig. 7).
+//! * [`comparators`] — GPU comparator kernels for Fig. 12: a
+//!   CUDASW++-style full Smith–Waterman and a manymap-style banded
+//!   extension.
+//! * [`platform`] — calibrated CPU platform models converting measured
+//!   algorithm work into the published testbeds' time domain (POWER9 ×
+//!   SeqAn, Skylake × ksw2); see EXPERIMENTS.md for the calibration
+//!   protocol.
+//! * [`calibration`] — every tunable constant of the performance model
+//!   in one place, each with its provenance.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod comparators;
+pub mod executor;
+pub mod kernel;
+pub mod multi_gpu;
+pub mod platform;
+
+pub use executor::{GpuBatchReport, LoganConfig, LoganExecutor, ThreadPolicy};
+pub use kernel::{ExtensionJob, KernelPolicy, LoganKernel};
+pub use multi_gpu::{MultiGpu, MultiGpuReport};
+pub use platform::CpuPlatformModel;

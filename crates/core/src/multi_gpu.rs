@@ -1,0 +1,199 @@
+//! The multi-GPU load balancer (paper §IV-C, Fig. 7).
+//!
+//! The host partitions alignments across devices weighted by sequence
+//! length (work is roughly proportional to total bases at a given X),
+//! allocates per-device buffers, launches every device's kernels, and
+//! collects results. Devices run concurrently, so simulated batch time
+//! is the *maximum* over devices — plus a serial host-side setup cost
+//! per device (context switches and buffer splitting), which is what
+//! keeps small-X multi-GPU speed-ups modest in Table II and motivates
+//! the paper's future-work item on balancer overhead.
+
+use crate::calibration::BALANCER_SETUP_S_PER_GPU;
+use crate::executor::{GpuBatchReport, LoganConfig, LoganExecutor};
+use logan_align::SeedExtendResult;
+use logan_gpusim::DeviceSpec;
+use logan_seq::readsim::ReadPair;
+use serde::{Deserialize, Serialize};
+
+/// A LOGAN deployment across several (simulated) GPUs.
+pub struct MultiGpu {
+    executors: Vec<LoganExecutor>,
+    /// Serial host seconds charged per device (see
+    /// [`BALANCER_SETUP_S_PER_GPU`]).
+    pub setup_s_per_gpu: f64,
+}
+
+/// Report of a multi-GPU batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiGpuReport {
+    /// Per-device reports, in device order.
+    pub per_gpu: Vec<GpuBatchReport>,
+    /// Simulated wall time: `max(device times) + setup · devices`.
+    pub sim_time_s: f64,
+    /// Total DP cells across devices.
+    pub total_cells: u64,
+    /// Pairs assigned to each device.
+    pub assignment_sizes: Vec<usize>,
+}
+
+impl MultiGpuReport {
+    /// Aggregate GCUPS across the deployment.
+    pub fn gcups(&self) -> f64 {
+        if self.sim_time_s == 0.0 {
+            return 0.0;
+        }
+        self.total_cells as f64 / self.sim_time_s / 1e9
+    }
+}
+
+impl MultiGpu {
+    /// Bring up `n_gpus` devices of the given spec.
+    pub fn new(n_gpus: usize, spec: DeviceSpec, config: LoganConfig) -> MultiGpu {
+        assert!(n_gpus >= 1, "need at least one GPU");
+        let executors = (0..n_gpus)
+            .map(|_| LoganExecutor::new(spec.clone(), config))
+            .collect();
+        MultiGpu {
+            executors,
+            setup_s_per_gpu: BALANCER_SETUP_S_PER_GPU,
+        }
+    }
+
+    /// Number of devices.
+    pub fn gpus(&self) -> usize {
+        self.executors.len()
+    }
+
+    /// Partition pair indices across devices, balancing total bases
+    /// (longest-processing-time greedy; deterministic).
+    pub fn partition(&self, pairs: &[ReadPair]) -> Vec<Vec<usize>> {
+        let n = self.executors.len();
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        // Sort by weight descending, index ascending for determinism.
+        order.sort_by_key(|&i| {
+            let w = pairs[i].query.len() + pairs[i].target.len();
+            (std::cmp::Reverse(w), i)
+        });
+        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut loads = vec![0usize; n];
+        for i in order {
+            let w = pairs[i].query.len() + pairs[i].target.len();
+            let dst = (0..n).min_by_key(|&g| (loads[g], g)).expect("n >= 1");
+            loads[dst] += w;
+            bins[dst].push(i);
+        }
+        bins
+    }
+
+    /// Align pairs across all devices.
+    pub fn align_pairs(&self, pairs: &[ReadPair]) -> (Vec<SeedExtendResult>, MultiGpuReport) {
+        let bins = self.partition(pairs);
+        let mut slots: Vec<Option<SeedExtendResult>> = vec![None; pairs.len()];
+        let mut per_gpu = Vec::with_capacity(self.executors.len());
+        let mut max_time = 0.0f64;
+        let mut total_cells = 0u64;
+        let mut sizes = Vec::with_capacity(bins.len());
+
+        for (exec, bin) in self.executors.iter().zip(&bins) {
+            sizes.push(bin.len());
+            let subset: Vec<ReadPair> = bin.iter().map(|&i| pairs[i].clone()).collect();
+            let (results, report) = exec.align_pairs(&subset);
+            for (&idx, r) in bin.iter().zip(results) {
+                slots[idx] = Some(r);
+            }
+            max_time = max_time.max(report.sim_time_s);
+            total_cells += report.total_cells;
+            per_gpu.push(report);
+        }
+
+        let sim_time_s = max_time + self.setup_s_per_gpu * self.executors.len() as f64;
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every pair assigned to exactly one device"))
+            .collect();
+        (
+            results,
+            MultiGpuReport {
+                per_gpu,
+                sim_time_s,
+                total_cells,
+                assignment_sizes: sizes,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logan_seq::readsim::PairSet;
+
+    fn pairs(n: usize) -> Vec<ReadPair> {
+        PairSet::generate_with_lengths(n, 0.15, 800, 2000, 77).pairs
+    }
+
+    #[test]
+    fn multi_gpu_results_equal_single_gpu() {
+        let ps = pairs(24);
+        let cfg = LoganConfig::with_x(50);
+        let single = LoganExecutor::new(DeviceSpec::v100(), cfg);
+        let (a, _) = single.align_pairs(&ps);
+        let multi = MultiGpu::new(4, DeviceSpec::v100(), cfg);
+        let (b, report) = multi.align_pairs(&ps);
+        assert_eq!(a, b, "distribution must not change results");
+        assert_eq!(report.assignment_sizes.iter().sum::<usize>(), 24);
+    }
+
+    #[test]
+    fn partition_balances_bases() {
+        let ps = pairs(40);
+        let multi = MultiGpu::new(4, DeviceSpec::v100(), LoganConfig::with_x(50));
+        let bins = multi.partition(&ps);
+        let loads: Vec<usize> = bins
+            .iter()
+            .map(|b| {
+                b.iter()
+                    .map(|&i| ps[i].query.len() + ps[i].target.len())
+                    .sum()
+            })
+            .collect();
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(max / min < 1.3, "LPT should balance within 30%: {loads:?}");
+    }
+
+    #[test]
+    fn kernel_time_shrinks_with_gpus_but_overhead_grows() {
+        let ps = pairs(64);
+        let cfg = LoganConfig::with_x(200);
+        let one = MultiGpu::new(1, DeviceSpec::v100(), cfg);
+        let six = MultiGpu::new(6, DeviceSpec::v100(), cfg);
+        let (_, r1) = one.align_pairs(&ps);
+        let (_, r6) = six.align_pairs(&ps);
+        // Per-device kernel time must shrink...
+        let k1: f64 = r1.per_gpu[0].sim_time_s;
+        let k6 = r6
+            .per_gpu
+            .iter()
+            .map(|r| r.sim_time_s)
+            .fold(0.0f64, f64::max);
+        assert!(k6 < k1, "{k6} !< {k1}");
+        // ...but total time carries 6 setup charges.
+        assert!(r6.sim_time_s > 6.0 * BALANCER_SETUP_S_PER_GPU);
+        assert!((r1.sim_time_s - (k1 + BALANCER_SETUP_S_PER_GPU)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_partition() {
+        let ps = pairs(30);
+        let multi = MultiGpu::new(3, DeviceSpec::v100(), LoganConfig::with_x(50));
+        assert_eq!(multi.partition(&ps), multi.partition(&ps));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_rejected() {
+        let _ = MultiGpu::new(0, DeviceSpec::v100(), LoganConfig::with_x(10));
+    }
+}

@@ -1,0 +1,22 @@
+//! # logan-roofline
+//!
+//! The instruction Roofline model (Williams et al. 2009; Ding & Williams
+//! 2019) adapted to LOGAN, reproducing the paper's §VII analysis and
+//! Fig. 13.
+//!
+//! The paper plots billions of *warp instructions* per second (y) against
+//! operational intensity in warp instructions per HBM byte (x). Two
+//! ceilings bound a kernel: the memory slope `OI × bandwidth` and the
+//! INT32 issue-rate plateau. LOGAN additionally derives an *adapted*
+//! ceiling (Eq. 1) that discounts the plateau by the average thread
+//! occupancy of its anti-diagonal iterations — anti-diagonals narrower
+//! than the block leave lanes idle, and no amount of tuning recovers
+//! them.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod report;
+
+pub use model::{adapted_ceiling, InstructionRoofline, RooflinePoint};
+pub use report::{ascii_plot, roofline_summary};

@@ -1,0 +1,163 @@
+//! ASCII rendering of the roofline (the harness's Fig. 13).
+
+use crate::model::{InstructionRoofline, RooflinePoint};
+
+/// Render a log-log ASCII roofline chart with the memory slope, the
+/// INT32 plateau, an optional adapted ceiling, and measured points
+/// (marked `*`, labelled by index).
+pub fn ascii_plot(
+    roof: &InstructionRoofline,
+    adapted: Option<f64>,
+    points: &[RooflinePoint],
+) -> String {
+    const W: usize = 72;
+    const H: usize = 22;
+    // X range: 1e-2 .. 1e3 warp instr/byte; Y range: 1 .. 1e3 GIPS.
+    let (x_lo, x_hi) = (-2.0f64, 3.0f64);
+    let (y_lo, y_hi) = (0.0f64, 3.0f64);
+    let xpix = |oi: f64| -> Option<usize> {
+        let lx = oi.max(1e-9).log10();
+        if !(x_lo..=x_hi).contains(&lx) {
+            return None;
+        }
+        Some(((lx - x_lo) / (x_hi - x_lo) * (W as f64 - 1.0)).round() as usize)
+    };
+    let ypix = |gips: f64| -> Option<usize> {
+        let ly = gips.max(1e-9).log10();
+        if !(y_lo..=y_hi).contains(&ly) {
+            return None;
+        }
+        Some((H as f64 - 1.0 - (ly - y_lo) / (y_hi - y_lo) * (H as f64 - 1.0)).round() as usize)
+    };
+
+    let mut grid = vec![vec![' '; W]; H];
+    // Roofline ceiling.
+    for px in 0..W {
+        let oi = 10f64.powf(x_lo + px as f64 / (W as f64 - 1.0) * (x_hi - x_lo));
+        if let Some(py) = ypix(roof.attainable_gips(oi)) {
+            grid[py][px] = '-';
+        }
+        if let Some(c) = adapted {
+            if oi >= roof.ridge_oi() * 0.3 {
+                if let Some(py) = ypix(c) {
+                    if grid[py][px] == ' ' {
+                        grid[py][px] = '.';
+                    }
+                }
+            }
+        }
+    }
+    // Ridge marker.
+    if let (Some(px), Some(py)) = (xpix(roof.ridge_oi()), ypix(roof.int_warp_gips)) {
+        grid[py][px] = '+';
+    }
+    // Points.
+    for (i, p) in points.iter().enumerate() {
+        if let (Some(px), Some(py)) = (xpix(p.oi), ypix(p.gips)) {
+            grid[py][px] = char::from_digit(((i + 1) % 10) as u32, 10).unwrap_or('*');
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Instruction Roofline — {} (plateau {:.1} warp GIPS, BW {:.0} GB/s{})\n",
+        roof.device,
+        roof.int_warp_gips,
+        roof.hbm_bw_gbps,
+        adapted
+            .map(|a| format!(", adapted ceiling {a:.1}"))
+            .unwrap_or_default()
+    ));
+    out.push_str("GIPS (log)\n");
+    for row in &grid {
+        out.push_str("  |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(W));
+    out.push('\n');
+    out.push_str("   1e-2          1e-1           1e0           1e1           1e2        1e3\n");
+    out.push_str("                  Operational intensity (warp instructions / byte, log)\n");
+    out
+}
+
+/// One-paragraph verdict string for a measured point — the sentence the
+/// paper's §VII draws from Fig. 13.
+pub fn roofline_summary(
+    roof: &InstructionRoofline,
+    adapted: Option<f64>,
+    point: &RooflinePoint,
+) -> String {
+    let bound = if roof.is_compute_bound(point.oi) {
+        "compute-bound"
+    } else {
+        "memory-bound"
+    };
+    let ceiling = adapted.unwrap_or(roof.int_warp_gips);
+    let pct = 100.0 * point.gips / ceiling;
+    format!(
+        "kernel at OI {:.2} instr/B, {:.1} warp GIPS ({:.1} GCUPS): {bound}; \
+         {:.0}% of the {} ceiling ({:.1} GIPS)",
+        point.oi,
+        point.gips,
+        point.gcups,
+        pct,
+        if adapted.is_some() { "adapted" } else { "INT32" },
+        ceiling,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logan_gpusim::DeviceSpec;
+
+    fn roof() -> InstructionRoofline {
+        InstructionRoofline::from_spec(&DeviceSpec::v100())
+    }
+
+    #[test]
+    fn plot_contains_ceiling_and_point() {
+        let p = RooflinePoint {
+            oi: 10.0,
+            gips: 180.0,
+            gcups: 150.0,
+        };
+        let s = ascii_plot(&roof(), Some(200.0), &[p]);
+        assert!(s.contains('-'), "ceiling drawn");
+        assert!(s.contains('1'), "point marker drawn");
+        assert!(s.contains("adapted ceiling 200.0"));
+        assert!(s.lines().count() > 20);
+    }
+
+    #[test]
+    fn point_outside_range_is_dropped_not_panicking() {
+        let p = RooflinePoint {
+            oi: 1e9,
+            gips: 1e9,
+            gcups: 0.0,
+        };
+        // An off-chart point renders exactly like no point at all.
+        let with_point = ascii_plot(&roof(), None, &[p]);
+        let without = ascii_plot(&roof(), None, &[]);
+        assert_eq!(with_point, without);
+    }
+
+    #[test]
+    fn summary_verdicts() {
+        let r = roof();
+        let compute = RooflinePoint {
+            oi: 10.0,
+            gips: 220.0,
+            gcups: 180.0,
+        };
+        let memory = RooflinePoint {
+            oi: 0.05,
+            gips: 40.0,
+            gcups: 30.0,
+        };
+        assert!(roofline_summary(&r, Some(230.0), &compute).contains("compute-bound"));
+        assert!(roofline_summary(&r, None, &memory).contains("memory-bound"));
+    }
+}

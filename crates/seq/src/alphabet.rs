@@ -1,0 +1,229 @@
+//! The DNA alphabet used throughout LOGAN-rs.
+//!
+//! Sequences are stored as one byte per base (`A`, `C`, `G`, `T`) for the
+//! aligners — the LOGAN kernel compares raw characters exactly as the CUDA
+//! implementation does — plus a 2-bit packed representation
+//! ([`PackedSeq`]) used by the k-mer machinery where memory traffic
+//! matters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single DNA nucleotide.
+///
+/// The discriminant is the 2-bit encoding (`A=0, C=1, G=2, T=3`), so
+/// `base as u8` is directly usable as a packed code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in encoding order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Decode from the 2-bit code (the low two bits of `code` are used).
+    #[inline]
+    pub fn from_code(code: u8) -> Base {
+        match code & 3 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// Parse an ASCII character (case-insensitive). Returns `None` for
+    /// anything that is not `ACGTacgt`; ambiguity codes are not supported
+    /// by the aligners, mirroring the original LOGAN which operates on the
+    /// plain 4-letter alphabet.
+    #[inline]
+    pub fn from_ascii(ch: u8) -> Option<Base> {
+        match ch {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// The ASCII representation (upper case).
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// Watson–Crick complement.
+    #[inline]
+    pub fn complement(self) -> Base {
+        // Complement in the 2-bit encoding is bitwise NOT of the code:
+        // A(0)<->T(3), C(1)<->G(2).
+        Base::from_code(!(self as u8))
+    }
+
+    /// The three bases different from `self`, in encoding order. Used by
+    /// the error model to draw substitutions.
+    #[inline]
+    pub fn others(self) -> [Base; 3] {
+        let mut out = [Base::A; 3];
+        let mut k = 0;
+        for b in Base::ALL {
+            if b != self {
+                out[k] = b;
+                k += 1;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+/// A 2-bit-packed immutable DNA sequence.
+///
+/// Four bases per byte, little-endian within the byte (base `i` occupies
+/// bits `2*(i%4)..2*(i%4)+2` of byte `i/4`). Packing is used by the k-mer
+/// pipeline in `logan-bella`, where the k-mer matrix for a multi-Mb data
+/// set dominates memory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PackedSeq {
+    data: Vec<u8>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Pack a slice of bases.
+    pub fn from_bases(bases: &[Base]) -> PackedSeq {
+        let mut data = vec![0u8; bases.len().div_ceil(4)];
+        for (i, &b) in bases.iter().enumerate() {
+            data[i / 4] |= (b as u8) << (2 * (i % 4));
+        }
+        PackedSeq {
+            data,
+            len: bases.len(),
+        }
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the sequence holds no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base at position `i`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> Base {
+        assert!(i < self.len, "PackedSeq index {i} out of bounds ({})", self.len);
+        Base::from_code(self.data[i / 4] >> (2 * (i % 4)))
+    }
+
+    /// Unpack into a vector of bases.
+    pub fn unpack(&self) -> Vec<Base> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Bytes of the packed payload (exposed for hashing / serialization).
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_code(b as u8), b);
+        }
+    }
+
+    #[test]
+    fn ascii_roundtrip_and_case() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_ascii(b.to_ascii()), Some(b));
+            assert_eq!(Base::from_ascii(b.to_ascii().to_ascii_lowercase()), Some(b));
+        }
+        assert_eq!(Base::from_ascii(b'N'), None);
+        assert_eq!(Base::from_ascii(b'-'), None);
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+            assert_ne!(b.complement(), b);
+        }
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::C.complement(), Base::G);
+    }
+
+    #[test]
+    fn others_excludes_self() {
+        for b in Base::ALL {
+            let o = b.others();
+            assert_eq!(o.len(), 3);
+            assert!(!o.contains(&b));
+        }
+    }
+
+    #[test]
+    fn packed_roundtrip_various_lengths() {
+        for n in [0usize, 1, 3, 4, 5, 8, 9, 63, 64, 65, 1000] {
+            let bases: Vec<Base> = (0..n).map(|i| Base::from_code((i % 4) as u8)).collect();
+            let packed = PackedSeq::from_bases(&bases);
+            assert_eq!(packed.len(), n);
+            assert_eq!(packed.is_empty(), n == 0);
+            assert_eq!(packed.unpack(), bases);
+        }
+    }
+
+    #[test]
+    fn packed_get_matches_unpack() {
+        let bases = vec![Base::T, Base::G, Base::C, Base::A, Base::T, Base::T];
+        let p = PackedSeq::from_bases(&bases);
+        for (i, &b) in bases.iter().enumerate() {
+            assert_eq!(p.get(i), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn packed_get_out_of_bounds_panics() {
+        let p = PackedSeq::from_bases(&[Base::A]);
+        let _ = p.get(1);
+    }
+
+    #[test]
+    fn packed_payload_is_compact() {
+        let bases = vec![Base::A; 100];
+        let p = PackedSeq::from_bases(&bases);
+        assert_eq!(p.as_bytes().len(), 25);
+    }
+}

@@ -1,0 +1,254 @@
+//! Minimal FASTA/FASTQ I/O.
+//!
+//! The benchmark harnesses are fully synthetic, but a real adopter of a
+//! long-read aligner needs to get reads in and out of files; this module
+//! supplies buffered readers/writers for the two ubiquitous formats.
+//! Lines are read with a reusable buffer (no per-line allocation), per
+//! the Rust performance guide.
+
+use crate::seq::Seq;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// A named sequence record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Record identifier (text after `>` / `@`, up to the first space).
+    pub id: String,
+    /// The sequence.
+    pub seq: Seq,
+}
+
+/// Errors from FASTA/FASTQ parsing.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem, with a line number and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> FastaError {
+        FastaError::Io(e)
+    }
+}
+
+fn parse_id(header: &str) -> String {
+    header
+        .split_whitespace()
+        .next()
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Read all records from FASTA text. Sequences may span multiple lines;
+/// blank lines are ignored. Characters outside `ACGTacgt` are rejected
+/// (the aligners have no ambiguity handling).
+pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
+    let mut br = BufReader::new(reader);
+    let mut records = Vec::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    let mut current: Option<(String, Vec<u8>)> = None;
+
+    loop {
+        line.clear();
+        let n = br.read_line(&mut line)?;
+        lineno += 1;
+        let at_eof = n == 0;
+        let trimmed = line.trim_end();
+        if !at_eof && trimmed.is_empty() {
+            continue;
+        }
+        if at_eof || trimmed.starts_with('>') {
+            if let Some((id, bytes)) = current.take() {
+                let seq = Seq::from_ascii(&bytes).map_err(|e| FastaError::Parse {
+                    line: lineno,
+                    message: format!("record {id}: {e}"),
+                })?;
+                records.push(Record { id, seq });
+            }
+            if at_eof {
+                break;
+            }
+            current = Some((parse_id(&trimmed[1..]), Vec::new()));
+        } else {
+            match current.as_mut() {
+                Some((_, bytes)) => bytes.extend_from_slice(trimmed.as_bytes()),
+                None => {
+                    return Err(FastaError::Parse {
+                        line: lineno,
+                        message: "sequence data before first header".into(),
+                    })
+                }
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Write records as FASTA, wrapping sequence lines at `width` characters.
+pub fn write_fasta<W: Write>(writer: W, records: &[Record], width: usize) -> io::Result<()> {
+    assert!(width > 0, "line width must be positive");
+    let mut bw = BufWriter::new(writer);
+    for r in records {
+        writeln!(bw, ">{}", r.id)?;
+        let ascii = r.seq.to_ascii();
+        for chunk in ascii.chunks(width) {
+            bw.write_all(chunk)?;
+            bw.write_all(b"\n")?;
+        }
+    }
+    bw.flush()
+}
+
+/// Read all records from FASTQ text (4-line records; qualities are
+/// discarded — the aligners are quality-agnostic, like the original
+/// LOGAN).
+pub fn read_fastq<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
+    let mut br = BufReader::new(reader);
+    let mut records = Vec::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if br.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let header = line.trim_end().to_string();
+        if header.is_empty() {
+            continue;
+        }
+        if !header.starts_with('@') {
+            return Err(FastaError::Parse {
+                line: lineno,
+                message: format!("expected '@' header, found {header:?}"),
+            });
+        }
+        let id = parse_id(&header[1..]);
+
+        line.clear();
+        br.read_line(&mut line)?;
+        lineno += 1;
+        let seq = Seq::from_ascii(line.trim_end().as_bytes()).map_err(|e| FastaError::Parse {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+
+        line.clear();
+        br.read_line(&mut line)?;
+        lineno += 1;
+        if !line.starts_with('+') {
+            return Err(FastaError::Parse {
+                line: lineno,
+                message: "expected '+' separator".into(),
+            });
+        }
+
+        line.clear();
+        br.read_line(&mut line)?;
+        lineno += 1;
+        if line.trim_end().len() != seq.len() {
+            return Err(FastaError::Parse {
+                line: lineno,
+                message: format!(
+                    "quality length {} != sequence length {}",
+                    line.trim_end().len(),
+                    seq.len()
+                ),
+            });
+        }
+        records.push(Record { id, seq });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fasta_roundtrip() {
+        let records = vec![
+            Record {
+                id: "r1".into(),
+                seq: Seq::from_str_strict("ACGTACGTACGT").unwrap(),
+            },
+            Record {
+                id: "r2".into(),
+                seq: Seq::from_str_strict("TTTT").unwrap(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 5).unwrap();
+        let back = read_fasta(&buf[..]).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn fasta_multiline_and_blank_lines() {
+        let text = b">read one extra words\nACGT\n\nACGT\n>two\nGG\n";
+        let recs = read_fasta(&text[..]).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "read");
+        assert_eq!(recs[0].seq.len(), 8);
+        assert_eq!(recs[1].seq.to_ascii(), b"GG");
+    }
+
+    #[test]
+    fn fasta_rejects_leading_garbage() {
+        let err = read_fasta(&b"ACGT\n>x\nACGT\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("before first header"));
+    }
+
+    #[test]
+    fn fasta_rejects_bad_base() {
+        let err = read_fasta(&b">x\nACNT\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("invalid DNA"));
+    }
+
+    #[test]
+    fn fastq_roundtrip_shape() {
+        let text = b"@r1 desc\nACGT\n+\nIIII\n@r2\nGG\n+\nII\n";
+        let recs = read_fastq(&text[..]).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "r1");
+        assert_eq!(recs[1].seq.to_ascii(), b"GG");
+    }
+
+    #[test]
+    fn fastq_quality_length_mismatch() {
+        let err = read_fastq(&b"@r\nACGT\n+\nIII\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("quality length"));
+    }
+
+    #[test]
+    fn fastq_missing_plus() {
+        let err = read_fastq(&b"@r\nACGT\nIIII\nIIII\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("'+' separator"));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(read_fasta(&b""[..]).unwrap().is_empty());
+        assert!(read_fastq(&b""[..]).unwrap().is_empty());
+    }
+}

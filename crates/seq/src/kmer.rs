@@ -1,0 +1,217 @@
+//! K-mer extraction for seeding.
+//!
+//! BELLA's overlap detection works on k-mers (k = 17 by default): every
+//! read is decomposed into its k-mers, unreliable ones are pruned, and
+//! shared k-mers between reads become candidate alignment seeds. A 17-mer
+//! fits in 34 bits, so k-mers are stored as `u64` codes.
+
+use crate::alphabet::Base;
+use crate::seq::Seq;
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported k (2 bits per base in a `u64`).
+pub const MAX_K: usize = 32;
+
+/// A k-mer: packed 2-bit code plus its length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Kmer {
+    /// 2-bit packed bases, most significant pair = first base.
+    pub code: u64,
+    /// Number of bases (`<= MAX_K`).
+    pub k: u8,
+}
+
+impl Kmer {
+    /// Build from a slice of bases. Panics if `bases.len() > MAX_K`.
+    pub fn from_bases(bases: &[Base]) -> Kmer {
+        assert!(bases.len() <= MAX_K, "k-mer too long: {}", bases.len());
+        let mut code = 0u64;
+        for &b in bases {
+            code = (code << 2) | b as u64;
+        }
+        Kmer {
+            code,
+            k: bases.len() as u8,
+        }
+    }
+
+    /// Unpack into bases.
+    pub fn bases(&self) -> Vec<Base> {
+        let mut out = Vec::with_capacity(self.k as usize);
+        for i in (0..self.k as usize).rev() {
+            out.push(Base::from_code((self.code >> (2 * i)) as u8));
+        }
+        out
+    }
+
+    /// Reverse complement of this k-mer.
+    pub fn reverse_complement(&self) -> Kmer {
+        let mut code = 0u64;
+        let mut src = self.code;
+        for _ in 0..self.k {
+            let b = Base::from_code(src as u8).complement();
+            code = (code << 2) | b as u64;
+            src >>= 2;
+        }
+        Kmer { code, k: self.k }
+    }
+
+    /// The lexicographically smaller of this k-mer and its reverse
+    /// complement. Canonical k-mers unify the two strands, as in BELLA.
+    pub fn canonical(&self) -> Kmer {
+        let rc = self.reverse_complement();
+        if rc.code < self.code {
+            rc
+        } else {
+            *self
+        }
+    }
+}
+
+/// Canonical form of the k-mer starting at `pos` in `seq`.
+pub fn canonical_kmer(seq: &Seq, pos: usize, k: usize) -> Kmer {
+    Kmer::from_bases(&seq.as_slice()[pos..pos + k]).canonical()
+}
+
+/// Iterator over all (position, k-mer) pairs of a sequence, using a
+/// rolling 2-bit encoding (O(1) per step).
+pub struct KmerIter<'a> {
+    seq: &'a Seq,
+    k: usize,
+    pos: usize,
+    code: u64,
+    mask: u64,
+}
+
+impl<'a> KmerIter<'a> {
+    /// Create an iterator over the k-mers of `seq`.
+    pub fn new(seq: &'a Seq, k: usize) -> KmerIter<'a> {
+        assert!(k >= 1 && k <= MAX_K, "k out of range: {k}");
+        let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+        let mut code = 0u64;
+        // Pre-roll the first k-1 bases.
+        for i in 0..k.saturating_sub(1).min(seq.len()) {
+            code = (code << 2) | seq[i] as u64;
+        }
+        KmerIter {
+            seq,
+            k,
+            pos: 0,
+            code,
+            mask,
+        }
+    }
+}
+
+impl<'a> Iterator for KmerIter<'a> {
+    type Item = (usize, Kmer);
+
+    fn next(&mut self) -> Option<(usize, Kmer)> {
+        let end = self.pos + self.k;
+        if end > self.seq.len() {
+            return None;
+        }
+        self.code = ((self.code << 2) | self.seq[end - 1] as u64) & self.mask;
+        let item = (
+            self.pos,
+            Kmer {
+                code: self.code,
+                k: self.k as u8,
+            },
+        );
+        self.pos += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.seq.len() + 1).saturating_sub(self.pos + self.k);
+        (n, Some(n))
+    }
+}
+
+impl<'a> ExactSizeIterator for KmerIter<'a> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    #[test]
+    fn kmer_roundtrip() {
+        let s = seq("ACGTTGCA");
+        let k = Kmer::from_bases(s.as_slice());
+        let back: Seq = k.bases().into_iter().collect();
+        assert_eq!(back, s);
+        assert_eq!(k.k, 8);
+    }
+
+    #[test]
+    fn rolling_matches_direct() {
+        let s = seq("ACGTACGTTGCAACGT");
+        for k in [1usize, 2, 3, 5, 8, 16] {
+            let rolled: Vec<(usize, Kmer)> = KmerIter::new(&s, k).collect();
+            assert_eq!(rolled.len(), s.len() - k + 1);
+            for &(pos, km) in &rolled {
+                let direct = Kmer::from_bases(&s.as_slice()[pos..pos + k]);
+                assert_eq!(km, direct, "k={k} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_empty_when_seq_shorter_than_k() {
+        let s = seq("ACG");
+        assert_eq!(KmerIter::new(&s, 4).count(), 0);
+        assert_eq!(KmerIter::new(&s, 3).count(), 1);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let s = seq("ACGTACGTAC");
+        let mut it = KmerIter::new(&s, 4);
+        assert_eq!(it.len(), 7);
+        it.next();
+        assert_eq!(it.len(), 6);
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let k = Kmer::from_bases(seq("ACGTTG").as_slice());
+        assert_eq!(k.reverse_complement().reverse_complement(), k);
+        let rc: Seq = k.reverse_complement().bases().into_iter().collect();
+        assert_eq!(rc, seq("CAACGT"));
+    }
+
+    #[test]
+    fn canonical_is_strand_invariant() {
+        let fwd = Kmer::from_bases(seq("ACGTTGCAACGTTGCAA").as_slice());
+        let rc = fwd.reverse_complement();
+        assert_eq!(fwd.canonical(), rc.canonical());
+    }
+
+    #[test]
+    fn canonical_kmer_helper() {
+        let s = seq("ACGTACGT");
+        let k = canonical_kmer(&s, 2, 4);
+        assert_eq!(k, Kmer::from_bases(seq("GTAC").as_slice()).canonical());
+    }
+
+    #[test]
+    fn k32_uses_full_mask() {
+        let s: Seq = (0..40).map(|i| Base::from_code((i % 4) as u8)).collect();
+        let kms: Vec<_> = KmerIter::new(&s, 32).collect();
+        assert_eq!(kms.len(), 9);
+        let direct = Kmer::from_bases(&s.as_slice()[0..32]);
+        assert_eq!(kms[0].1, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn k_zero_panics() {
+        let s = seq("ACGT");
+        let _ = KmerIter::new(&s, 0);
+    }
+}

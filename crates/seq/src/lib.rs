@@ -1,0 +1,42 @@
+//! # logan-seq
+//!
+//! Sequence substrate for the LOGAN-rs reproduction of
+//! *LOGAN: High-Performance GPU-Based X-Drop Long-Read Alignment*
+//! (Zeni et al., IPDPS 2020).
+//!
+//! This crate provides everything the alignment kernels and the BELLA
+//! overlapper need to talk about DNA:
+//!
+//! * [`alphabet`] — the 2-bit DNA alphabet, complements, packing;
+//! * [`seq`] — owned sequences with cheap reversal / reverse-complement;
+//! * [`scoring`] — linear and affine scoring schemes used by X-drop and
+//!   ksw2-style aligners;
+//! * [`error`] — a PacBio-like sequencing error model (substitutions,
+//!   insertions, deletions);
+//! * [`readsim`] — synthetic genome and long-read simulation with ground
+//!   truth, including the paper's 100 K read-pair benchmark set and
+//!   E. coli / C. elegans-like data sets;
+//! * [`kmer`] — k-mer extraction and canonicalization for seeding;
+//! * [`fasta`] — minimal FASTA/FASTQ I/O;
+//! * [`stats`] — summary statistics over read sets.
+//!
+//! All randomness is seeded [`rand::rngs::StdRng`], so every data set in
+//! the benchmark harness is reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod error;
+pub mod fasta;
+pub mod kmer;
+pub mod readsim;
+pub mod scoring;
+pub mod seq;
+pub mod stats;
+
+pub use alphabet::{Base, PackedSeq};
+pub use error::{ErrorModel, ErrorProfile};
+pub use kmer::{canonical_kmer, Kmer, KmerIter};
+pub use readsim::{DatasetPreset, PairSet, ReadPair, ReadSet, ReadSimulator, Seed, SimulatedRead};
+pub use scoring::{AffineScoring, Scoring};
+pub use seq::Seq;

@@ -1,0 +1,265 @@
+//! Owned DNA sequences.
+//!
+//! [`Seq`] stores one [`Base`] per element. The LOGAN host pipeline
+//! reverses the query of every left extension so the (simulated) GPU can
+//! read both sequences in increasing address order (paper §IV-B, Fig. 6);
+//! [`Seq::reversed`] and [`Seq::reverse_complement`] support that step.
+
+use crate::alphabet::Base;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// An owned DNA sequence (one byte per base).
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Seq {
+    bases: Vec<Base>,
+}
+
+impl Seq {
+    /// Create an empty sequence.
+    pub fn new() -> Seq {
+        Seq { bases: Vec::new() }
+    }
+
+    /// Create from a vector of bases.
+    pub fn from_bases(bases: Vec<Base>) -> Seq {
+        Seq { bases }
+    }
+
+    /// Parse from ASCII. Characters outside `ACGTacgt` are rejected with
+    /// an error naming the offending position.
+    pub fn from_ascii(s: &[u8]) -> Result<Seq, SeqParseError> {
+        let mut bases = Vec::with_capacity(s.len());
+        for (i, &ch) in s.iter().enumerate() {
+            match Base::from_ascii(ch) {
+                Some(b) => bases.push(b),
+                None => return Err(SeqParseError { position: i, byte: ch }),
+            }
+        }
+        Ok(Seq { bases })
+    }
+
+    /// Parse from a `&str`; convenience over [`Seq::from_ascii`].
+    pub fn from_str_strict(s: &str) -> Result<Seq, SeqParseError> {
+        Seq::from_ascii(s.as_bytes())
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Borrow the bases.
+    #[inline]
+    pub fn as_slice(&self) -> &[Base] {
+        &self.bases
+    }
+
+    /// Push one base.
+    #[inline]
+    pub fn push(&mut self, b: Base) {
+        self.bases.push(b);
+    }
+
+    /// Append another sequence.
+    pub fn extend_from(&mut self, other: &Seq) {
+        self.bases.extend_from_slice(&other.bases);
+    }
+
+    /// Subsequence `[start, end)` as a new sequence.
+    ///
+    /// Panics if `start > end` or `end > len` — slicing errors at this
+    /// layer are programmer bugs, not data errors.
+    pub fn subseq(&self, start: usize, end: usize) -> Seq {
+        Seq {
+            bases: self.bases[start..end].to_vec(),
+        }
+    }
+
+    /// The sequence reversed (not complemented). This is the
+    /// transformation LOGAN's host applies to left-extension queries to
+    /// obtain coalesced GPU memory access.
+    pub fn reversed(&self) -> Seq {
+        Seq {
+            bases: self.bases.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Reverse complement, as used when overlapping reads sampled from
+    /// opposite strands.
+    pub fn reverse_complement(&self) -> Seq {
+        Seq {
+            bases: self.bases.iter().rev().map(|b| b.complement()).collect(),
+        }
+    }
+
+    /// ASCII rendering (upper-case).
+    pub fn to_ascii(&self) -> Vec<u8> {
+        self.bases.iter().map(|b| b.to_ascii()).collect()
+    }
+
+    /// Iterate over bases.
+    pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        self.bases.iter().copied()
+    }
+
+    /// Hamming distance against another sequence of equal length.
+    /// Panics on length mismatch.
+    pub fn hamming(&self, other: &Seq) -> usize {
+        assert_eq!(self.len(), other.len(), "hamming requires equal lengths");
+        self.bases
+            .iter()
+            .zip(&other.bases)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl Index<usize> for Seq {
+    type Output = Base;
+    #[inline]
+    fn index(&self, i: usize) -> &Base {
+        &self.bases[i]
+    }
+}
+
+impl fmt::Debug for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 48;
+        let ascii = self.to_ascii();
+        if ascii.len() <= PREVIEW {
+            write!(f, "Seq({})", String::from_utf8_lossy(&ascii))
+        } else {
+            write!(
+                f,
+                "Seq({}… len={})",
+                String::from_utf8_lossy(&ascii[..PREVIEW]),
+                self.len()
+            )
+        }
+    }
+}
+
+impl fmt::Display for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", String::from_utf8_lossy(&self.to_ascii()))
+    }
+}
+
+impl FromIterator<Base> for Seq {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> Seq {
+        Seq {
+            bases: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Error produced when parsing a sequence from ASCII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqParseError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// The offending byte.
+    pub byte: u8,
+}
+
+impl fmt::Display for SeqParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid DNA character {:?} at position {}",
+            self.byte as char, self.position
+        )
+    }
+}
+
+impl std::error::Error for SeqParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    #[test]
+    fn parse_valid_and_invalid() {
+        let s = seq("ACGTacgt");
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.to_ascii(), b"ACGTACGT");
+
+        let err = Seq::from_str_strict("ACGNT").unwrap_err();
+        assert_eq!(err.position, 3);
+        assert_eq!(err.byte, b'N');
+        assert!(err.to_string().contains("position 3"));
+    }
+
+    #[test]
+    fn reversal_is_involution() {
+        let s = seq("ACGTTGCA");
+        assert_eq!(s.reversed().reversed(), s);
+        assert_eq!(s.reversed().to_ascii(), b"ACGTTGCA".iter().rev().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reverse_complement_is_involution() {
+        let s = seq("AACGT");
+        let rc = s.reverse_complement();
+        assert_eq!(rc.to_ascii(), b"ACGTT");
+        assert_eq!(rc.reverse_complement(), s);
+    }
+
+    #[test]
+    fn subseq_and_index() {
+        let s = seq("ACGTACGT");
+        let sub = s.subseq(2, 6);
+        assert_eq!(sub.to_ascii(), b"GTAC");
+        assert_eq!(s[0], Base::A);
+        assert_eq!(s[3], Base::T);
+    }
+
+    #[test]
+    fn subseq_empty_range_ok() {
+        let s = seq("ACGT");
+        assert!(s.subseq(2, 2).is_empty());
+    }
+
+    #[test]
+    fn hamming_counts_mismatches() {
+        assert_eq!(seq("ACGT").hamming(&seq("ACGT")), 0);
+        assert_eq!(seq("ACGT").hamming(&seq("TCGA")), 2);
+        assert_eq!(seq("AAAA").hamming(&seq("TTTT")), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_length_mismatch_panics() {
+        let _ = seq("ACG").hamming(&seq("ACGT"));
+    }
+
+    #[test]
+    fn debug_preview_truncates() {
+        let long: Seq = std::iter::repeat(Base::A).take(100).collect();
+        let dbg = format!("{long:?}");
+        assert!(dbg.contains("len=100"));
+        let short = seq("ACGT");
+        assert_eq!(format!("{short:?}"), "Seq(ACGT)");
+    }
+
+    #[test]
+    fn extend_and_push() {
+        let mut s = seq("AC");
+        s.push(Base::G);
+        s.extend_from(&seq("T"));
+        assert_eq!(s.to_ascii(), b"ACGT");
+    }
+}

@@ -1,0 +1,121 @@
+//! Summary statistics over read sets — used by the harness binaries to
+//! print the data-set panel the paper describes in §VI-A, and by tests to
+//! validate that generated data matches its nominal parameters.
+
+use crate::readsim::{PairSet, ReadSet};
+use serde::{Deserialize, Serialize};
+
+/// Length statistics of a collection of sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LengthStats {
+    /// Number of sequences.
+    pub count: usize,
+    /// Shortest length.
+    pub min: usize,
+    /// Longest length.
+    pub max: usize,
+    /// Mean length.
+    pub mean: f64,
+    /// N50: length such that half of all bases live in sequences at
+    /// least this long (the assembly-world summary statistic).
+    pub n50: usize,
+    /// Total bases.
+    pub total: usize,
+}
+
+/// Compute [`LengthStats`] from raw lengths. Returns `None` on empty
+/// input (there is no meaningful min/max/N50 of nothing).
+pub fn length_stats(lengths: &[usize]) -> Option<LengthStats> {
+    if lengths.is_empty() {
+        return None;
+    }
+    let total: usize = lengths.iter().sum();
+    let mut sorted = lengths.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut acc = 0usize;
+    let mut n50 = *sorted.last().unwrap();
+    for &l in &sorted {
+        acc += l;
+        if acc * 2 >= total {
+            n50 = l;
+            break;
+        }
+    }
+    Some(LengthStats {
+        count: lengths.len(),
+        min: *sorted.last().unwrap(),
+        max: sorted[0],
+        mean: total as f64 / lengths.len() as f64,
+        n50,
+        total,
+    })
+}
+
+/// Stats for a [`ReadSet`].
+pub fn read_set_stats(rs: &ReadSet) -> LengthStats {
+    let lengths: Vec<usize> = rs.reads.iter().map(|r| r.seq.len()).collect();
+    length_stats(&lengths).expect("read set is never empty")
+}
+
+/// Stats over all sequences (queries and targets) of a [`PairSet`].
+pub fn pair_set_stats(ps: &PairSet) -> LengthStats {
+    let lengths: Vec<usize> = ps
+        .pairs
+        .iter()
+        .flat_map(|p| [p.query.len(), p.target.len()])
+        .collect();
+    length_stats(&lengths).expect("pair set is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::readsim::{PairSet, ReadSimulator};
+
+    #[test]
+    fn empty_gives_none() {
+        assert!(length_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn single_element() {
+        let s = length_stats(&[42]).unwrap();
+        assert_eq!(s.min, 42);
+        assert_eq!(s.max, 42);
+        assert_eq!(s.n50, 42);
+        assert_eq!(s.total, 42);
+        assert!((s.mean - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn n50_definition() {
+        // Lengths 10, 10, 10, 30: total 60; the 30 alone covers half.
+        let s = length_stats(&[10, 10, 10, 30]).unwrap();
+        assert_eq!(s.n50, 30);
+        // Uniform lengths: N50 equals the common length.
+        let u = length_stats(&[7; 13]).unwrap();
+        assert_eq!(u.n50, 7);
+    }
+
+    #[test]
+    fn pair_set_stats_cover_both_sides() {
+        let ps = PairSet::generate(10, 0.15, 1);
+        let s = pair_set_stats(&ps);
+        assert_eq!(s.count, 20);
+        assert!(s.min >= 2000, "reads should stay near template scale");
+    }
+
+    #[test]
+    fn read_set_stats_match_simulator_bounds() {
+        let sim = ReadSimulator {
+            read_len: (1000, 2000),
+            ..ReadSimulator::uniform(50_000, 5.0)
+        };
+        let rs = sim.generate(3);
+        let s = read_set_stats(&rs);
+        // Indels can push lengths slightly past the template bounds.
+        assert!(s.min as f64 >= 1000.0 * 0.8);
+        assert!(s.max as f64 <= 2000.0 * 1.2);
+        assert_eq!(s.total, rs.reads.iter().map(|r| r.seq.len()).sum::<usize>());
+    }
+}

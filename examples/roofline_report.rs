@@ -1,0 +1,49 @@
+//! Roofline analysis of the LOGAN kernel (the paper's §VII / Fig. 13).
+//!
+//! ```sh
+//! cargo run --release --example roofline_report
+//! ```
+//!
+//! Runs a batch at several X values and places each kernel on the
+//! V100's instruction roofline, with the paper's adapted ceiling
+//! (Eq. 1) for the X = 100 configuration.
+
+use logan::gpusim::KernelStats;
+use logan::prelude::*;
+use logan::roofline::{adapted_ceiling, ascii_plot, roofline_summary};
+
+fn main() {
+    let spec = DeviceSpec::v100();
+    let set = PairSet::generate(256, 0.15, 5);
+    let roof = InstructionRoofline::from_spec(&spec);
+
+    let mut points = Vec::new();
+    let mut adapted = None;
+    for &x in &[10, 100, 1000] {
+        let exec = LoganExecutor::new(spec.clone(), LoganConfig::with_x(x));
+        let (_, report) = exec.align_pairs(&set.pairs);
+        let mut stats = KernelStats::default();
+        let mut time = 0.0;
+        for kr in &report.kernel_reports {
+            stats.merge(&kr.stats);
+            time += kr.sim_time_s();
+        }
+        let point = RooflinePoint {
+            oi: stats.operational_intensity(),
+            gips: stats.total.warp_instructions as f64 / time / 1e9,
+            gcups: report.total_cells as f64 / time / 1e9,
+        };
+        println!(
+            "X = {x:>4}: {}",
+            roofline_summary(&roof, None, &point)
+        );
+        if x == 100 {
+            adapted = Some(adapted_ceiling(&spec, &stats));
+        }
+        points.push(point);
+    }
+
+    println!();
+    println!("{}", ascii_plot(&roof, adapted, &points));
+    println!("points: 1 = X=10, 2 = X=100, 3 = X=1000");
+}

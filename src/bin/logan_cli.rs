@@ -1,0 +1,230 @@
+//! `logan_cli` — command-line front end for LOGAN-rs.
+//!
+//! ```text
+//! logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--gpus N]
+//! logan_cli overlap <reads.fa>                [-x N] [--gpus N] [-k K] [--min-overlap L]
+//! ```
+//!
+//! `pairs` aligns record *i* of the first file against record *i* of the
+//! second (seed = first shared canonical 17-mer), printing one TSV row
+//! per pair. `overlap` runs the BELLA pipeline on a read set and prints
+//! kept overlaps in a PAF-like TSV. Both run on simulated V100s.
+
+use logan::bella::{AlignerBackend, BellaConfig, BellaPipeline};
+use logan::prelude::*;
+use logan::seq::fasta::read_fasta;
+use logan::seq::kmer::KmerIter;
+use std::collections::HashMap;
+use std::fs::File;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--gpus N]\n  \
+         logan_cli overlap <reads.fa> [-x N] [--gpus N] [-k K] [--min-overlap L]"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    x: i32,
+    gpus: usize,
+    k: usize,
+    min_overlap: usize,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        x: 100,
+        gpus: 1,
+        k: 17,
+        min_overlap: 2000,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "-x" => opts.x = grab("-x")?.parse().map_err(|e| format!("-x: {e}"))?,
+            "--gpus" => opts.gpus = grab("--gpus")?.parse().map_err(|e| format!("--gpus: {e}"))?,
+            "-k" => opts.k = grab("-k")?.parse().map_err(|e| format!("-k: {e}"))?,
+            "--min-overlap" => {
+                opts.min_overlap = grab("--min-overlap")?
+                    .parse()
+                    .map_err(|e| format!("--min-overlap: {e}"))?
+            }
+            _ => opts.positional.push(a.clone()),
+        }
+    }
+    if opts.x < 0 {
+        return Err("-x must be non-negative".into());
+    }
+    if opts.gpus == 0 {
+        return Err("--gpus must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+/// First shared canonical k-mer between two sequences.
+fn find_seed(q: &Seq, t: &Seq, k: usize) -> Option<Seed> {
+    if q.len() < k || t.len() < k {
+        return None;
+    }
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    for (pos, km) in KmerIter::new(q, k) {
+        index.entry(km.canonical().code).or_insert(pos);
+    }
+    for (pos, km) in KmerIter::new(t, k) {
+        if let Some(&qpos) = index.get(&km.canonical().code) {
+            // Only accept forward-strand exact matches (the aligners are
+            // strand-naive; reverse-complement hits need an RC pass).
+            if q.subseq(qpos, qpos + k) == t.subseq(pos, pos + k) {
+                return Some(Seed {
+                    qpos,
+                    tpos: pos,
+                    len: k,
+                });
+            }
+        }
+    }
+    None
+}
+
+fn cmd_pairs(opts: &Opts) -> Result<(), String> {
+    let [qf, tf] = &opts.positional[..] else {
+        return Err("pairs needs exactly two FASTA files".into());
+    };
+    let queries = read_fasta(File::open(qf).map_err(|e| format!("{qf}: {e}"))?)
+        .map_err(|e| format!("{qf}: {e}"))?;
+    let targets = read_fasta(File::open(tf).map_err(|e| format!("{tf}: {e}"))?)
+        .map_err(|e| format!("{tf}: {e}"))?;
+    if queries.len() != targets.len() {
+        return Err(format!(
+            "record count mismatch: {} queries vs {} targets",
+            queries.len(),
+            targets.len()
+        ));
+    }
+
+    let mut pairs = Vec::new();
+    let mut skipped = Vec::new();
+    for (i, (qr, tr)) in queries.iter().zip(&targets).enumerate() {
+        match find_seed(&qr.seq, &tr.seq, opts.k) {
+            Some(seed) => pairs.push(ReadPair {
+                query: qr.seq.clone(),
+                target: tr.seq.clone(),
+                seed,
+                template_len: qr.seq.len().max(tr.seq.len()),
+            }),
+            None => skipped.push(i),
+        }
+    }
+    for i in &skipped {
+        eprintln!(
+            "warning: no shared {}-mer for pair {} ({} / {}); skipped",
+            opts.k, i, queries[*i].id, targets[*i].id
+        );
+    }
+
+    let multi = MultiGpu::new(opts.gpus, DeviceSpec::v100(), LoganConfig::with_x(opts.x));
+    let (results, report) = multi.align_pairs(&pairs);
+    println!("#query\ttarget\tscore\tq_start\tq_end\tt_start\tt_end\tcells");
+    let mut pi = 0usize;
+    for (i, (qr, tr)) in queries.iter().zip(&targets).enumerate() {
+        if skipped.contains(&i) {
+            continue;
+        }
+        let r = &results[pi];
+        pi += 1;
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            qr.id, tr.id, r.score, r.query_start, r.query_end, r.target_start, r.target_end,
+            r.cells()
+        );
+    }
+    eprintln!(
+        "aligned {} pairs on {} simulated GPU(s): {:.3} s simulated, {:.1} GCUPS",
+        pairs.len(),
+        opts.gpus,
+        report.sim_time_s,
+        report.gcups()
+    );
+    Ok(())
+}
+
+fn cmd_overlap(opts: &Opts) -> Result<(), String> {
+    let [rf] = &opts.positional[..] else {
+        return Err("overlap needs exactly one FASTA file".into());
+    };
+    let records = read_fasta(File::open(rf).map_err(|e| format!("{rf}: {e}"))?)
+        .map_err(|e| format!("{rf}: {e}"))?;
+    let seqs: Vec<Seq> = records.iter().map(|r| r.seq.clone()).collect();
+    let total: usize = seqs.iter().map(|s| s.len()).sum();
+    let mean_len = total / seqs.len().max(1);
+
+    let config = BellaConfig {
+        k: opts.k,
+        min_overlap: opts.min_overlap,
+        // Depth is unknown for arbitrary input; a neutral default keeps
+        // the reliable window sane and can be refined by the caller.
+        depth: 20.0,
+        ..BellaConfig::with_x(opts.x)
+    };
+    let pipeline = BellaPipeline::new(config);
+    let multi = MultiGpu::new(opts.gpus, DeviceSpec::v100(), LoganConfig::with_x(opts.x));
+    let out = pipeline.run(&seqs, &AlignerBackend::Multi(&multi));
+
+    println!("#read1\tread2\tscore\test_overlap\tq_span\tt_span\tkept");
+    for o in &out.overlaps {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            records[o.r1].id,
+            records[o.r2].id,
+            o.result.score,
+            o.est_overlap,
+            o.result.query_span(),
+            o.result.target_span(),
+            o.kept as u8
+        );
+    }
+    eprintln!(
+        "{} reads (mean {} bp) -> {} candidates, {} kept; {} DP cells",
+        seqs.len(),
+        mean_len,
+        out.stats.candidates,
+        out.stats.kept,
+        out.stats.total_cells
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "pairs" => cmd_pairs(&opts),
+        "overlap" => cmd_overlap(&opts),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

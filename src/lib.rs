@@ -1,0 +1,62 @@
+//! # LOGAN-rs
+//!
+//! A comprehensive Rust reproduction of *LOGAN: High-Performance
+//! GPU-Based X-Drop Long-Read Alignment* (Zeni et al., IPDPS 2020),
+//! built on a simulated multi-GPU substrate (see `DESIGN.md` for the
+//! substitution argument and the per-experiment index).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`seq`] — sequences, scoring, read simulation, k-mers, FASTA;
+//! * [`align`] — the scalar X-drop reference, NW/SW/banded-SW, ksw2;
+//! * [`gpusim`] — the execution-driven GPU simulator;
+//! * [`core`] — the LOGAN kernel, host executor, multi-GPU balancer,
+//!   comparator kernels and CPU platform models;
+//! * [`bella`] — the BELLA many-to-many overlapper;
+//! * [`roofline`] — the instruction roofline with the paper's adapted
+//!   ceiling.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use logan::prelude::*;
+//!
+//! // Two noisy copies of the same template, plus a planted exact seed.
+//! let pairs = PairSet::generate(4, 0.15, 42).pairs;
+//!
+//! // LOGAN on one simulated V100.
+//! let executor = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(100));
+//! let (results, report) = executor.align_pairs(&pairs);
+//!
+//! // The GPU pipeline agrees with the scalar reference bit for bit.
+//! let cpu = XDropExtender::new(Scoring::default(), 100);
+//! for (p, r) in pairs.iter().zip(&results) {
+//!     assert_eq!(*r, seed_extend(&p.query, &p.target, p.seed, &cpu));
+//! }
+//! assert!(report.sim_time_s > 0.0);
+//! ```
+
+pub use logan_align as align;
+pub use logan_bella as bella;
+pub use logan_core as core;
+pub use logan_gpusim as gpusim;
+pub use logan_roofline as roofline;
+pub use logan_seq as seq;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use logan_align::{
+        banded_sw, ksw2_extend, needleman_wunsch, seed_extend, smith_waterman, xdrop_extend,
+        CpuBatchAligner, ExtensionResult, Ksw2Params, SeedExtendResult, XDropExtender,
+    };
+    pub use logan_bella::{BellaConfig, BellaPipeline, OverlapMetrics};
+    pub use logan_core::{
+        ExtensionJob, GpuBatchReport, LoganConfig, LoganExecutor, MultiGpu, ThreadPolicy,
+    };
+    pub use logan_gpusim::{Device, DeviceSpec, KernelReport, LaunchConfig};
+    pub use logan_roofline::{InstructionRoofline, RooflinePoint};
+    pub use logan_seq::{
+        DatasetPreset, ErrorModel, ErrorProfile, PairSet, ReadPair, ReadSet, ReadSimulator,
+        Scoring, Seed, Seq,
+    };
+}
