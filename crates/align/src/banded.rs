@@ -132,8 +132,8 @@ mod tests {
     #[test]
     fn banded_explores_entire_band_on_divergent_input() {
         // This is Fig. 2's contrast: X-drop quits, banded SW does not.
-        let a: Seq = std::iter::repeat(logan_seq::Base::A).take(400).collect();
-        let t: Seq = std::iter::repeat(logan_seq::Base::T).take(400).collect();
+        let a: Seq = std::iter::repeat_n(logan_seq::Base::A, 400).collect();
+        let t: Seq = std::iter::repeat_n(logan_seq::Base::T, 400).collect();
         let banded = banded_sw(&a, &t, Scoring::default(), 10);
         let xdrop = crate::xdrop::xdrop_extend(&a, &t, Scoring::default(), 10);
         assert!(banded.cells > 10 * xdrop.cells);

@@ -89,9 +89,7 @@ impl CpuBatchAligner {
     {
         use rayon::prelude::*;
         let start = Instant::now();
-        let out = self
-            .pool
-            .install(|| pairs.par_iter().map(|p| f(p)).collect());
+        let out = self.pool.install(|| pairs.par_iter().map(&f).collect());
         (out, start.elapsed())
     }
 }

@@ -160,8 +160,14 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let p = Ksw2Params::with_zdrop(100);
-        assert_eq!(ksw2_extend(&Seq::new(), &seq("ACGT"), p), ExtensionResult::zero());
-        assert_eq!(ksw2_extend(&seq("ACGT"), &Seq::new(), p), ExtensionResult::zero());
+        assert_eq!(
+            ksw2_extend(&Seq::new(), &seq("ACGT"), p),
+            ExtensionResult::zero()
+        );
+        assert_eq!(
+            ksw2_extend(&seq("ACGT"), &Seq::new(), p),
+            ExtensionResult::zero()
+        );
     }
 
     #[test]

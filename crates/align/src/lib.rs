@@ -7,7 +7,7 @@
 //! * [`xdrop`] — the anti-diagonal X-drop extension algorithm of Zhang et
 //!   al. (2000) as implemented in SeqAn's `extendSeedL` (paper §III,
 //!   Algorithm 1). This is the ground truth for `logan-core`'s kernel.
-//! * [`seed_extend`] — the seed-and-extend driver (paper Fig. 5): a seed
+//! * [`seed_extend`](mod@seed_extend) — the seed-and-extend driver (paper Fig. 5): a seed
 //!   splits each pair into a left extension (computed on reversed
 //!   prefixes) and a right extension.
 //! * [`full`] — exact Needleman–Wunsch and Smith–Waterman, quadratic,
@@ -19,8 +19,20 @@
 //!   (the paper's Table III / Fig. 9 baseline).
 //! * [`batch`] — a multi-threaded batch runner over read pairs: the
 //!   "SeqAn + OpenMP" configuration BELLA uses on the CPU.
+//!
+//! # Position in the workspace
+//!
+//! Builds on [`logan_seq`] (sequences and scoring). The GPU side lives
+//! upstack: `logan-core`'s kernel must match [`xdrop_extend`] bit for
+//! bit, and `logan-bella` uses [`batch::CpuBatchAligner`] as its CPU
+//! backend. See `DESIGN.md` for the full map.
 
 #![warn(missing_docs)]
+// The DP inner loops index rows by `j` on purpose: the index participates
+// in the recurrence (gap penalties like `j as i32 * e`, anti-diagonal
+// coordinates), so iterator rewrites would obscure the wavefront math the
+// kernels are checked against.
+#![allow(clippy::needless_range_loop)]
 
 pub mod affine;
 pub mod banded;

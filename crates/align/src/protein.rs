@@ -51,7 +51,12 @@ impl SubstMatrix {
 
     /// A match/mismatch matrix over any alphabet — the DNA scheme lifted
     /// to bytes (used by the equivalence tests).
-    pub fn match_mismatch(alphabet: &[u8], match_score: i32, mismatch: i32, gap: i32) -> SubstMatrix {
+    pub fn match_mismatch(
+        alphabet: &[u8],
+        match_score: i32,
+        mismatch: i32,
+        gap: i32,
+    ) -> SubstMatrix {
         let mut entries = Vec::new();
         for &a in alphabet {
             for &b in alphabet {
@@ -67,26 +72,66 @@ impl SubstMatrix {
     pub fn blosum62(gap: i32) -> SubstMatrix {
         // Upper triangle of BLOSUM62 in AMINO_ACIDS order.
         const B62: [[i8; 20]; 20] = [
-            [4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0],
-            [-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3],
-            [-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3],
-            [-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3],
-            [0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1],
-            [-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2],
-            [-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2],
-            [0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3],
-            [-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3],
-            [-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3],
-            [-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1],
-            [-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2],
-            [-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1],
-            [-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1],
-            [-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2],
-            [1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2],
-            [0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0],
-            [-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3],
-            [-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1],
-            [0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4],
+            [
+                4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0,
+            ],
+            [
+                -1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3,
+            ],
+            [
+                -2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3,
+            ],
+            [
+                -2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3,
+            ],
+            [
+                0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1,
+            ],
+            [
+                -1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2,
+            ],
+            [
+                -1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2,
+            ],
+            [
+                0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3,
+            ],
+            [
+                -2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3,
+            ],
+            [
+                -1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3,
+            ],
+            [
+                -1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1,
+            ],
+            [
+                -1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2,
+            ],
+            [
+                -1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1,
+            ],
+            [
+                -2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1,
+            ],
+            [
+                -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2,
+            ],
+            [
+                1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2,
+            ],
+            [
+                0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0,
+            ],
+            [
+                -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3,
+            ],
+            [
+                -2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1,
+            ],
+            [
+                0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4,
+            ],
         ];
         let mut entries = Vec::with_capacity(400);
         for (i, &a) in AMINO_ACIDS.iter().enumerate() {
@@ -157,8 +202,16 @@ pub fn xdrop_extend_generic(
             } else {
                 NEG_INF
             };
-            let up = if i >= 1 { get(&prev, prev_lo, i - 1) + matrix.gap } else { NEG_INF };
-            let left = if j >= 1 { get(&prev, prev_lo, i) + matrix.gap } else { NEG_INF };
+            let up = if i >= 1 {
+                get(&prev, prev_lo, i - 1) + matrix.gap
+            } else {
+                NEG_INF
+            };
+            let left = if j >= 1 {
+                get(&prev, prev_lo, i) + matrix.gap
+            } else {
+                NEG_INF
+            };
             let mut val = diag.max(up).max(left);
             if val < threshold {
                 val = NEG_INF;
@@ -251,7 +304,9 @@ mod tests {
     }
 
     fn random_protein<R: Rng>(n: usize, rng: &mut R) -> Vec<u8> {
-        (0..n).map(|_| AMINO_ACIDS[rng.gen_range(0..20)]).collect()
+        (0..n)
+            .map(|_| AMINO_ACIDS[rng.gen_range(0..20usize)])
+            .collect()
     }
 
     #[test]
@@ -275,14 +330,17 @@ mod tests {
         let mut homolog = p.clone();
         for i in 0..homolog.len() {
             if rng.gen_bool(0.2) {
-                homolog[i] = AMINO_ACIDS[rng.gen_range(0..20)];
+                homolog[i] = AMINO_ACIDS[rng.gen_range(0..20usize)];
             }
         }
         let unrelated = random_protein(300, &mut rng);
         let hom = xdrop_extend_generic(&p, &homolog, &m, 50);
         let unr = xdrop_extend_generic(&p, &unrelated, &m, 50);
         assert!(hom.score > 3 * unr.score, "{} vs {}", hom.score, unr.score);
-        assert!(unr.dropped, "BLOSUM62 drifts negative on unrelated proteins");
+        assert!(
+            unr.dropped,
+            "BLOSUM62 drifts negative on unrelated proteins"
+        );
         // This is the §VIII expectation: X-drop is effective for protein
         // homology search because non-homologs terminate quickly.
         assert!(unr.cells < hom.cells / 2);
@@ -291,7 +349,10 @@ mod tests {
     #[test]
     fn empty_and_bounds() {
         let m = SubstMatrix::blosum62(-6);
-        assert_eq!(xdrop_extend_generic(b"", b"ARND", &m, 10), ExtensionResult::zero());
+        assert_eq!(
+            xdrop_extend_generic(b"", b"ARND", &m, 10),
+            ExtensionResult::zero()
+        );
         let r = xdrop_extend_generic(b"ARND", b"ARND", &m, 10);
         assert!(r.score > 0);
     }

@@ -174,7 +174,12 @@ mod tests {
             // A 15%-divergent pair should recover a large fraction of the
             // template as alignment score under unit scoring.
             let lower = (p.template_len as f64 * 0.25) as i32;
-            assert!(r.score > lower, "score {} template {}", r.score, p.template_len);
+            assert!(
+                r.score > lower,
+                "score {} template {}",
+                r.score,
+                p.template_len
+            );
             assert!(r.query_start <= p.seed.qpos);
             assert!(r.query_end >= p.seed.qpos + p.seed.len);
         }

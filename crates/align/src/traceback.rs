@@ -250,7 +250,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "quadratic-memory")]
     fn size_guard() {
-        let a: Seq = std::iter::repeat(logan_seq::Base::A).take(10_000).collect();
+        let a: Seq = std::iter::repeat_n(logan_seq::Base::A, 10_000).collect();
         let _ = nw_traceback(&a, &a, Scoring::default());
     }
 }

@@ -107,9 +107,17 @@ pub fn xdrop_extend(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> Exte
                 NEG_INF
             };
             // Vertical move: gap in the target (consume query base).
-            let up = if i >= 1 { prev.get(i - 1) + scoring.gap } else { NEG_INF };
+            let up = if i >= 1 {
+                prev.get(i - 1) + scoring.gap
+            } else {
+                NEG_INF
+            };
             // Horizontal move: gap in the query (consume target base).
-            let left = if j >= 1 { prev.get(i) + scoring.gap } else { NEG_INF };
+            let left = if j >= 1 {
+                prev.get(i) + scoring.gap
+            } else {
+                NEG_INF
+            };
             let mut val = diag.max(up).max(left);
             if val < threshold {
                 val = NEG_INF;
@@ -214,8 +222,14 @@ mod tests {
     fn empty_inputs_score_zero() {
         let s = seq("ACGT");
         let e = Seq::new();
-        assert_eq!(xdrop_extend(&e, &s, Scoring::default(), 10), ExtensionResult::zero());
-        assert_eq!(xdrop_extend(&s, &e, Scoring::default(), 10), ExtensionResult::zero());
+        assert_eq!(
+            xdrop_extend(&e, &s, Scoring::default(), 10),
+            ExtensionResult::zero()
+        );
+        assert_eq!(
+            xdrop_extend(&s, &e, Scoring::default(), 10),
+            ExtensionResult::zero()
+        );
     }
 
     #[test]
@@ -242,8 +256,8 @@ mod tests {
     fn divergent_sequences_drop_early() {
         // Query all-A, target all-T: every path scores negatively, so the
         // search dies once the score falls X below zero.
-        let a: Seq = std::iter::repeat(logan_seq::Base::A).take(500).collect();
-        let t: Seq = std::iter::repeat(logan_seq::Base::T).take(500).collect();
+        let a: Seq = std::iter::repeat_n(logan_seq::Base::A, 500).collect();
+        let t: Seq = std::iter::repeat_n(logan_seq::Base::T, 500).collect();
         let r = xdrop_extend(&a, &t, Scoring::default(), 10);
         assert_eq!(r.score, 0);
         assert!(r.dropped);
@@ -386,7 +400,10 @@ mod tests {
         let s = seq("ACGTACGTAC");
         let r = xdrop_extend(&s, &s, Scoring::default(), 1);
         assert_eq!(r.score, s.len() as i32);
-        assert!(r.cells < (s.len() as u64 + 1).pow(2) / 2, "band must stay narrow");
+        assert!(
+            r.cells < (s.len() as u64 + 1).pow(2) / 2,
+            "band must stay narrow"
+        );
     }
 
     #[test]

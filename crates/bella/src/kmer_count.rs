@@ -46,7 +46,7 @@ mod tests {
         // A read and its reverse complement contribute identically.
         let fwd = seq("ACGTTGCATGCAACGTT");
         let rc = fwd.reverse_complement();
-        let a = count_kmers(&[fwd.clone()], 5);
+        let a = count_kmers(std::slice::from_ref(&fwd), 5);
         let b = count_kmers(&[rc], 5);
         assert_eq!(a, b);
     }
@@ -68,7 +68,7 @@ mod tests {
         // reverse complement, so individual counts are multiples of the
         // read multiplicity rather than exactly equal to it.
         let r = seq("ACGTTGCAACGGT");
-        let per_read = count_kmers(&[r.clone()], 8);
+        let per_read = count_kmers(std::slice::from_ref(&r), 8);
         let counts = count_kmers(&[r.clone(), r.clone(), r], 8);
         assert_eq!(counts.len(), per_read.len());
         for (code, c) in &counts {
@@ -96,8 +96,7 @@ mod tests {
         let rs = sim.generate(3);
         let seqs: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
         let counts = count_kmers(&seqs, 17);
-        let mean =
-            counts.values().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
+        let mean = counts.values().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
         assert!(mean > 4.0, "mean multiplicity {mean}");
         let mut rng = StdRng::seed_from_u64(1);
         let foreign = random_seq(17, &mut rng);

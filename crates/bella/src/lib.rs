@@ -26,6 +26,14 @@
 //!
 //! [`metrics`] scores the result against the read simulator's ground
 //! truth.
+//!
+//! # Position in the workspace
+//!
+//! The application layer: consumes [`logan_seq`] read sets,
+//! [`logan_align`]'s CPU batch aligner, and [`logan_core`]'s GPU
+//! executor on the [`logan_gpusim`] device. `logan-bench`'s
+//! Table IV/V binaries wrap this pipeline. See `DESIGN.md` for the
+//! full map.
 
 #![warn(missing_docs)]
 

@@ -22,8 +22,10 @@ impl OverlapMetrics {
     /// Score `reported` `(i, j)` pairs (any order, `i != j`) against
     /// `truth` `(i, j, len)` with `i < j`.
     pub fn score(reported: &[(usize, usize)], truth: &[(usize, usize, usize)]) -> OverlapMetrics {
-        let truth_set: FxHashSet<(usize, usize)> =
-            truth.iter().map(|&(i, j, _)| (i.min(j), i.max(j))).collect();
+        let truth_set: FxHashSet<(usize, usize)> = truth
+            .iter()
+            .map(|&(i, j, _)| (i.min(j), i.max(j)))
+            .collect();
         let mut reported_set: FxHashSet<(usize, usize)> = FxHashSet::default();
         for &(i, j) in reported {
             assert!(i != j, "self-overlap reported");

@@ -157,7 +157,10 @@ impl BellaPipeline {
     /// Stages 1–4: k-mer counting, pruning, SpGEMM and binning. Returns
     /// the to-be-aligned pairs (with seeds and overlap estimates) plus
     /// partially filled stats.
-    pub fn candidates(&self, reads: &[Seq]) -> (Vec<ReadPair>, Vec<(usize, usize, usize)>, StageStats) {
+    pub fn candidates(
+        &self,
+        reads: &[Seq],
+    ) -> (Vec<ReadPair>, Vec<(usize, usize, usize)>, StageStats) {
         let cfg = &self.config;
         let counts = count_kmers(reads, cfg.k);
         let bounds = cfg
@@ -212,7 +215,11 @@ impl BellaPipeline {
             }
         };
 
-        let threshold = AdaptiveThreshold::new(self.config.scoring, self.config.error_rate, self.config.delta);
+        let threshold = AdaptiveThreshold::new(
+            self.config.scoring,
+            self.config.error_rate,
+            self.config.delta,
+        );
         let mut overlaps = Vec::with_capacity(results.len());
         let mut kept = 0usize;
         let mut cells = 0u64;

@@ -33,7 +33,10 @@ pub fn kmer_survival(error_rate: f64, k: usize) -> f64 {
 pub fn reliable_bounds(depth: f64, error_rate: f64, k: usize, tail: f64) -> ReliableBounds {
     assert!(depth > 0.0, "depth must be positive");
     assert!((0.0..1.0).contains(&error_rate));
-    assert!((0.0..0.5).contains(&tail), "tail must be a small probability");
+    assert!(
+        (0.0..0.5).contains(&tail),
+        "tail must be a small probability"
+    );
     let lambda = depth * kmer_survival(error_rate, k);
     // Walk the Poisson pmf until the remaining tail is below `tail`.
     let mut pmf = (-lambda).exp();
@@ -99,10 +102,7 @@ mod tests {
         counts.insert(1, 1); // error singleton
         counts.insert(2, 3); // reliable
         counts.insert(3, 50); // repeat
-        let set = reliable_kmers(
-            &counts,
-            ReliableBounds { lo: 2, hi: 8 },
-        );
+        let set = reliable_kmers(&counts, ReliableBounds { lo: 2, hi: 8 });
         assert!(!set.contains(&1));
         assert!(set.contains(&2));
         assert!(!set.contains(&3));

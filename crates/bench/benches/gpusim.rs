@@ -13,7 +13,9 @@ fn bench_kernel_host_throughput(c: &mut Criterion) {
     let exec = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(100));
     let (_, rep) = exec.align_pairs(&set.pairs);
     group.throughput(Throughput::Elements(rep.total_cells));
-    group.bench_function("align_32x2kb_x100", |b| b.iter(|| exec.align_pairs(&set.pairs)));
+    group.bench_function("align_32x2kb_x100", |b| {
+        b.iter(|| exec.align_pairs(&set.pairs))
+    });
     group.finish();
 }
 

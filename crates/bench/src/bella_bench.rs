@@ -91,10 +91,8 @@ pub fn run(exp: &BellaExperiment) {
 
         let spec = DeviceSpec::v100();
         let cells_full = rep1.total_cells as f64 * factor;
-        let cpu_s = overlap_stage
-            + power9.time_s(cells_full as u64, exp.paper_alignments as usize);
-        let gpu1_s =
-            overlap_stage + marshal + crate::project_gpu_time(&spec, &rep1, factor);
+        let cpu_s = overlap_stage + power9.time_s(cells_full as u64, exp.paper_alignments as usize);
+        let gpu1_s = overlap_stage + marshal + crate::project_gpu_time(&spec, &rep1, factor);
         let gpun_s = overlap_stage
             + marshal
             + crate::project_multi_time(&spec, &repn, BALANCER_SETUP_S_PER_GPU, factor);

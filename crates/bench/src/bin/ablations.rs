@@ -127,7 +127,13 @@ fn main() {
         set.len(),
         factor
     ));
-    let mut t = Table::new(&["Ablation", "baseline", "variant", "variant/baseline", "unit"]);
+    let mut t = Table::new(&[
+        "Ablation",
+        "baseline",
+        "variant",
+        "variant/baseline",
+        "unit",
+    ]);
     for r in &rows {
         t.row(vec![
             r.name.clone(),

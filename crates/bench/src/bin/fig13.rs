@@ -7,7 +7,9 @@
 use logan_bench::{heading, project_gpu_time, write_json, BenchScale};
 use logan_core::{LoganConfig, LoganExecutor};
 use logan_gpusim::{DeviceSpec, KernelStats};
-use logan_roofline::{adapted_ceiling, ascii_plot, roofline_summary, InstructionRoofline, RooflinePoint};
+use logan_roofline::{
+    adapted_ceiling, ascii_plot, roofline_summary, InstructionRoofline, RooflinePoint,
+};
 use logan_seq::PairSet;
 use serde::Serialize;
 
@@ -44,10 +46,8 @@ fn main() {
     let gips = stats.total.warp_instructions as f64 * factor / kernel_time / 1e9;
     // Useful-lane GIPS discounts lanes idled by anti-diagonals narrower
     // than the block — the quantity Eq. 1's ceiling bounds.
-    let useful_gips = stats.total.thread_ops as f64 * factor
-        / spec.warp_size as f64
-        / kernel_time
-        / 1e9;
+    let useful_gips =
+        stats.total.thread_ops as f64 * factor / spec.warp_size as f64 / kernel_time / 1e9;
     let point = RooflinePoint {
         oi: stats.operational_intensity(),
         gips,

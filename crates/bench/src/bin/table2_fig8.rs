@@ -6,7 +6,9 @@
 //! model; LOGAN times come from the device simulator. Paper reference
 //! columns are printed alongside.
 
-use logan_bench::{fmt_s, fmt_x, heading, project_gpu_time, project_multi_time, write_json, BenchScale, Table};
+use logan_bench::{
+    fmt_s, fmt_x, heading, project_gpu_time, project_multi_time, write_json, BenchScale, Table,
+};
 use logan_core::calibration::BALANCER_SETUP_S_PER_GPU;
 use logan_core::{CpuPlatformModel, LoganConfig, LoganExecutor, MultiGpu};
 use logan_gpusim::DeviceSpec;
@@ -51,7 +53,8 @@ fn main() {
         let cells_full = rep1.total_cells as f64 * factor;
         let seqan_s = power9.time_s(cells_full as u64, 100_000);
         let logan1_s = project_gpu_time(&DeviceSpec::v100(), &rep1, factor);
-        let logan6_s = project_multi_time(&DeviceSpec::v100(), &rep6, BALANCER_SETUP_S_PER_GPU, factor);
+        let logan6_s =
+            project_multi_time(&DeviceSpec::v100(), &rep6, BALANCER_SETUP_S_PER_GPU, factor);
         rows.push(Row {
             x,
             cells_measured: rep1.total_cells,

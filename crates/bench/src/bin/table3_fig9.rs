@@ -9,7 +9,9 @@
 //! paper's Fig. 9.
 
 use logan_align::{ksw2_extend, CpuBatchAligner, Ksw2Params};
-use logan_bench::{fmt_s, fmt_x, heading, project_gpu_time, project_multi_time, write_json, BenchScale, Table};
+use logan_bench::{
+    fmt_s, fmt_x, heading, project_gpu_time, project_multi_time, write_json, BenchScale, Table,
+};
 use logan_core::calibration::BALANCER_SETUP_S_PER_GPU;
 use logan_core::{CpuPlatformModel, LoganConfig, LoganExecutor, MultiGpu};
 use logan_gpusim::DeviceSpec;
@@ -71,7 +73,8 @@ fn main() {
         let multi = MultiGpu::new(8, DeviceSpec::v100(), LoganConfig::with_x(z));
         let (_, rep8) = multi.align_pairs(&set.pairs);
         let logan1_s = project_gpu_time(&DeviceSpec::v100(), &rep1, factor);
-        let logan8_s = project_multi_time(&DeviceSpec::v100(), &rep8, BALANCER_SETUP_S_PER_GPU, factor);
+        let logan8_s =
+            project_multi_time(&DeviceSpec::v100(), &rep8, BALANCER_SETUP_S_PER_GPU, factor);
 
         rows.push(Row {
             z,

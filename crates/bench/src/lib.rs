@@ -17,6 +17,14 @@
 //! * `LOGAN_BELLA_SCALE` — fraction of the genome length for the BELLA
 //!   data sets (default 0.004);
 //! * `LOGAN_SEED` — RNG seed (default 42).
+//!
+//! # Position in the workspace
+//!
+//! The leaf of the crate DAG: depends on every sibling —
+//! [`logan_seq`], [`logan_align`], [`logan_gpusim`], [`logan_core`],
+//! [`logan_bella`] and [`logan_roofline`] — and owns the five Criterion
+//! micro-benchmarks under `benches/`. See `DESIGN.md` for the
+//! figure/table → binary index.
 
 #![warn(missing_docs)]
 
@@ -78,7 +86,11 @@ impl BenchScale {
 /// For very large factors the tiling is capped once the device is
 /// saturated (≥ `SATURATION_BLOCKS` blocks) and the remainder projected
 /// linearly, which is exact in the throughput regime.
-pub fn project_gpu_time(spec: &logan_gpusim::DeviceSpec, report: &GpuBatchReport, factor: f64) -> f64 {
+pub fn project_gpu_time(
+    spec: &logan_gpusim::DeviceSpec,
+    report: &GpuBatchReport,
+    factor: f64,
+) -> f64 {
     const SATURATION_BLOCKS: usize = 200_000;
     let mut total = 0.0;
     for kr in &report.kernel_reports {

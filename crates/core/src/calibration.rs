@@ -123,7 +123,10 @@ mod tests {
             spec.int_warp_gips() * spec.warp_size as f64 / LOGAN_INSTR_PER_CELL as f64;
         // Paper's measured peak is 181.6 GCUPS; the ceiling must sit just
         // above it (the kernel cannot beat its own instruction mix).
-        assert!(gcups_ceiling > 181.6 && gcups_ceiling < 230.0, "{gcups_ceiling}");
+        assert!(
+            gcups_ceiling > 181.6 && gcups_ceiling < 230.0,
+            "{gcups_ceiling}"
+        );
     }
 
     #[test]
@@ -133,8 +136,8 @@ mod tests {
         let resident = spec.blocks_resident_per_sm(FULLSW_THREADS, FULLSW_SHARED_PER_BLOCK);
         assert_eq!(resident, 1);
         let eff = (FULLSW_THREADS as f64 / 32.0) / spec.warps_to_saturate_sm as f64;
-        let gcups = eff * spec.int_warp_gips() * spec.warp_size as f64
-            / FULLSW_INSTR_PER_CELL as f64;
+        let gcups =
+            eff * spec.int_warp_gips() * spec.warp_size as f64 / FULLSW_INSTR_PER_CELL as f64;
         // CUDASW++ GPU-only is ~70 GCUPS in Fig. 12.
         assert!(gcups > 55.0 && gcups < 90.0, "{gcups}");
     }

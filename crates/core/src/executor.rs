@@ -139,7 +139,9 @@ impl LoganExecutor {
 
     /// The thread count this configuration resolves to.
     pub fn threads(&self) -> usize {
-        self.config.thread_policy.resolve(self.config.x, self.device.spec())
+        self.config
+            .thread_policy
+            .resolve(self.config.x, self.device.spec())
     }
 
     /// Estimate the L2-spill fraction for a batch of jobs: the share of
@@ -361,7 +363,7 @@ mod tests {
         let p = ThreadPolicy::ProportionalToX;
         assert_eq!(p.resolve(10, &spec), 32);
         let t100 = p.resolve(100, &spec);
-        assert!(t100 >= 128 && t100 <= 160, "got {t100}");
+        assert!((128..=160).contains(&t100), "got {t100}");
         assert_eq!(p.resolve(5000, &spec), 1024);
         assert_eq!(ThreadPolicy::Fixed(1).resolve(100, &spec), 1);
         assert_eq!(ThreadPolicy::Fixed(4096).resolve(100, &spec), 1024);

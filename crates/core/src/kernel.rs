@@ -75,7 +75,14 @@ impl BlockKernel for LoganKernel<'_> {
 
     fn run_block(&self, ctx: &mut BlockCtx, block_id: usize) -> ExtensionResult {
         let job = &self.jobs[block_id];
-        logan_block_extend(ctx, &job.query, &job.target, self.scoring, self.x, &self.policy)
+        logan_block_extend(
+            ctx,
+            &job.query,
+            &job.target,
+            self.scoring,
+            self.x,
+            &self.policy,
+        )
     }
 }
 
@@ -291,7 +298,14 @@ mod tests {
 
     fn run(q: &Seq, t: &Seq, x: i32, threads: usize) -> ExtensionResult {
         let mut c = ctx(threads);
-        logan_block_extend(&mut c, q, t, Scoring::default(), x, &KernelPolicy::new(threads))
+        logan_block_extend(
+            &mut c,
+            q,
+            t,
+            Scoring::default(),
+            x,
+            &KernelPolicy::new(threads),
+        )
     }
 
     #[test]
@@ -333,7 +347,14 @@ mod tests {
         let (a, _) = model.corrupt(&template, &mut rng);
         let (b, _) = model.corrupt(&template, &mut rng);
         let mut c = ctx(128);
-        let r = logan_block_extend(&mut c, &a, &b, Scoring::default(), 50, &KernelPolicy::new(128));
+        let r = logan_block_extend(
+            &mut c,
+            &a,
+            &b,
+            Scoring::default(),
+            50,
+            &KernelPolicy::new(128),
+        );
         assert!(c.counters.warp_instructions > 0);
         assert!(c.counters.iterations == r.iterations);
         assert!(c.counters.stall_cycles >= r.iterations * ITER_STALL_CYCLES_HBM);
@@ -388,7 +409,10 @@ mod tests {
         let mut c = ctx(64);
         let r = logan_block_extend(&mut c, &a, &b, Scoring::default(), 30, &pol);
         assert!(c.shared_used() >= 3 * (a.len().min(b.len()) + 1) * 4);
-        assert_eq!(c.counters.stall_cycles, r.iterations * ITER_STALL_CYCLES_SHARED);
+        assert_eq!(
+            c.counters.stall_cycles,
+            r.iterations * ITER_STALL_CYCLES_SHARED
+        );
     }
 
     #[test]

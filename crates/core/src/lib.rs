@@ -22,6 +22,14 @@
 //!   protocol.
 //! * [`calibration`] — every tunable constant of the performance model
 //!   in one place, each with its provenance.
+//!
+//! # Position in the workspace
+//!
+//! Sits on [`logan_seq`] (data), [`logan_align`] (the scalar semantics
+//! the kernel must reproduce) and [`logan_gpusim`] (the device).
+//! `logan-bella` plugs [`executor::LoganExecutor`] in as an alignment
+//! backend and `logan-bench` drives it to regenerate the paper's
+//! tables. See `DESIGN.md` for the full map.
 
 #![warn(missing_docs)]
 

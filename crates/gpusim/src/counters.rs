@@ -122,7 +122,9 @@ impl KernelStats {
     pub fn merge(&mut self, other: &KernelStats) {
         self.total.merge(&other.total);
         self.blocks += other.blocks;
-        self.max_block_instructions = self.max_block_instructions.max(other.max_block_instructions);
+        self.max_block_instructions = self
+            .max_block_instructions
+            .max(other.max_block_instructions);
         self.work_items += other.work_items;
         if self.threads_per_block == 0 {
             self.threads_per_block = other.threads_per_block;

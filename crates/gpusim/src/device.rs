@@ -68,7 +68,6 @@ impl KernelReport {
         self.schedule.kernel_time_s
     }
 
-
     /// Giga cell updates per *simulated* second, using the work items the
     /// kernel attributed to itself.
     pub fn gcups(&self) -> f64 {
@@ -136,7 +135,11 @@ impl Device {
     /// folded into a [`KernelReport`]. The report's time is *simulated*
     /// device time from the wave scheduler — host wall-clock plays no
     /// part in it.
-    pub fn launch<K: BlockKernel>(&self, config: LaunchConfig, kernel: &K) -> (Vec<K::Output>, KernelReport) {
+    pub fn launch<K: BlockKernel>(
+        &self,
+        config: LaunchConfig,
+        kernel: &K,
+    ) -> (Vec<K::Output>, KernelReport) {
         assert!(
             config.threads_per_block >= 1
                 && config.threads_per_block <= self.spec.max_threads_per_block,

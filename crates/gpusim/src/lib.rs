@@ -26,6 +26,13 @@
 //! * [`sched`] — the SM wave scheduler turning block costs into time;
 //! * [`device`] — the device façade: kernel launches, streams,
 //!   host↔device transfers.
+//!
+//! # Position in the workspace
+//!
+//! Depends on no sibling (it is generic over the kernels it runs).
+//! `logan-core` implements the LOGAN kernel against [`block::BlockCtx`],
+//! and `logan-roofline` reads [`counters::KernelStats`] to place kernels
+//! on the instruction roofline. See `DESIGN.md` for the full map.
 
 #![warn(missing_docs)]
 

@@ -128,12 +128,11 @@ impl DeviceSpec {
         assert!(threads >= 1, "a block needs at least one thread");
         let by_blocks = self.max_blocks_per_sm;
         let by_threads = self.max_threads_per_sm / threads.min(self.max_threads_per_block);
-        let by_shared = if shared == 0 {
-            usize::MAX
-        } else {
-            self.shared_mem_per_sm / shared
-        };
-        by_blocks.min(by_threads).min(by_shared).max(0)
+        let by_shared = self
+            .shared_mem_per_sm
+            .checked_div(shared)
+            .unwrap_or(usize::MAX);
+        by_blocks.min(by_threads).min(by_shared)
     }
 }
 

@@ -12,6 +12,13 @@
 //! occupancy of its anti-diagonal iterations — anti-diagonals narrower
 //! than the block leave lanes idle, and no amount of tuning recovers
 //! them.
+//!
+//! # Position in the workspace
+//!
+//! Reads [`logan_gpusim`]'s kernel counters
+//! ([`logan_gpusim::KernelStats`]) and device specs; `logan-bench`'s
+//! `fig13` binary renders the resulting plot. See `DESIGN.md` for the
+//! full map.
 
 #![warn(missing_docs)]
 

@@ -5,6 +5,9 @@ use crate::model::{InstructionRoofline, RooflinePoint};
 /// Render a log-log ASCII roofline chart with the memory slope, the
 /// INT32 plateau, an optional adapted ceiling, and measured points
 /// (marked `*`, labelled by index).
+// `px` is both the column index and the x-coordinate fed to the inverse
+// log scale, so the indexed loop is the clearest form.
+#[allow(clippy::needless_range_loop)]
 pub fn ascii_plot(
     roof: &InstructionRoofline,
     adapted: Option<f64>,
@@ -103,7 +106,11 @@ pub fn roofline_summary(
         point.gips,
         point.gcups,
         pct,
-        if adapted.is_some() { "adapted" } else { "INT32" },
+        if adapted.is_some() {
+            "adapted"
+        } else {
+            "INT32"
+        },
         ceiling,
     )
 }

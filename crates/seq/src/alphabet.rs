@@ -137,7 +137,11 @@ impl PackedSeq {
     /// Base at position `i`. Panics if out of bounds.
     #[inline]
     pub fn get(&self, i: usize) -> Base {
-        assert!(i < self.len, "PackedSeq index {i} out of bounds ({})", self.len);
+        assert!(
+            i < self.len,
+            "PackedSeq index {i} out of bounds ({})",
+            self.len
+        );
         Base::from_code(self.data[i / 4] >> (2 * (i % 4)))
     }
 

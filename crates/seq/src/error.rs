@@ -27,7 +27,10 @@ impl ErrorProfile {
     /// A PacBio-like profile totalling `total` error, split 50 % insertion,
     /// 30 % deletion, 20 % substitution (Ono et al., PBSIM defaults).
     pub fn pacbio(total: f64) -> ErrorProfile {
-        assert!((0.0..=0.9).contains(&total), "total error rate out of range");
+        assert!(
+            (0.0..=0.9).contains(&total),
+            "total error rate out of range"
+        );
         ErrorProfile {
             substitution: total * 0.20,
             insertion: total * 0.50,
@@ -119,7 +122,7 @@ impl ErrorModel {
             }
             if rng.gen_bool(p.substitution) {
                 let others = b.others();
-                out.push(others[rng.gen_range(0..3)]);
+                out.push(others[rng.gen_range(0..3usize)]);
                 counts.substitutions += 1;
             } else {
                 out.push(b);
@@ -165,7 +168,7 @@ mod tests {
     #[test]
     fn substitutions_always_change_the_base() {
         let mut rng = StdRng::seed_from_u64(3);
-        let t: Seq = std::iter::repeat(Base::A).take(1000).collect();
+        let t: Seq = std::iter::repeat_n(Base::A, 1000).collect();
         let (read, counts) =
             ErrorModel::new(ErrorProfile::substitutions_only(0.5)).corrupt(&t, &mut rng);
         let changed = read.iter().filter(|&b| b != Base::A).count();
@@ -185,7 +188,10 @@ mod tests {
         let t = template(20_000);
         let (read, counts) = ErrorModel::new(ErrorProfile::pacbio(0.15)).corrupt(&t, &mut rng);
         let observed = counts.total() as f64 / t.len() as f64;
-        assert!((observed - 0.15).abs() < 0.02, "observed error rate {observed}");
+        assert!(
+            (observed - 0.15).abs() < 0.02,
+            "observed error rate {observed}"
+        );
         // Length change consistent with indel counts.
         assert_eq!(
             read.len() as i64,

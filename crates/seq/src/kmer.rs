@@ -86,8 +86,12 @@ pub struct KmerIter<'a> {
 impl<'a> KmerIter<'a> {
     /// Create an iterator over the k-mers of `seq`.
     pub fn new(seq: &'a Seq, k: usize) -> KmerIter<'a> {
-        assert!(k >= 1 && k <= MAX_K, "k out of range: {k}");
-        let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+        assert!((1..=MAX_K).contains(&k), "k out of range: {k}");
+        let mask = if k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        };
         let mut code = 0u64;
         // Pre-roll the first k-1 bases.
         for i in 0..k.saturating_sub(1).min(seq.len()) {

@@ -22,6 +22,14 @@
 //!
 //! All randomness is seeded [`rand::rngs::StdRng`], so every data set in
 //! the benchmark harness is reproducible bit-for-bit.
+//!
+//! # Position in the workspace
+//!
+//! `logan-seq` is the root of the crate DAG — it depends on no sibling.
+//! `logan-align` builds the scalar aligners on these types, `logan-core`
+//! runs them on the `logan-gpusim` device, `logan-bella` overlaps whole
+//! read sets, and `logan-bench` regenerates the paper's tables from the
+//! simulated data sets defined here. See `DESIGN.md` for the full map.
 
 #![warn(missing_docs)]
 

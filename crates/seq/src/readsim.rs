@@ -84,7 +84,10 @@ impl PairSet {
         max_len: usize,
         seed: u64,
     ) -> PairSet {
-        assert!(min_len >= 2 * DEFAULT_SEED_LEN, "templates too short for a seed");
+        assert!(
+            min_len >= 2 * DEFAULT_SEED_LEN,
+            "templates too short for a seed"
+        );
         assert!(min_len <= max_len);
         assert!((0.0..1.0).contains(&pairwise_error));
         let per_read = 1.0 - (1.0 - pairwise_error).sqrt();
@@ -137,11 +140,7 @@ fn make_pair<R: Rng>(tlen: usize, k: usize, model: &ErrorModel, rng: &mut R) -> 
     ReadPair {
         query,
         target,
-        seed: Seed {
-            qpos,
-            tpos,
-            len: k,
-        },
+        seed: Seed { qpos, tpos, len: k },
         template_len: tlen,
     }
 }
@@ -168,7 +167,9 @@ fn corrupt_around_seed<R: Rng>(
 
 /// Uniform random DNA of length `n`.
 pub fn random_seq<R: Rng>(n: usize, rng: &mut R) -> Seq {
-    (0..n).map(|_| Base::from_code(rng.gen_range(0..4))).collect()
+    (0..n)
+        .map(|_| Base::from_code(rng.gen_range(0..4)))
+        .collect()
 }
 
 /// A read sampled from a genome, with its ground-truth origin.
@@ -276,7 +277,10 @@ impl ReadSimulator {
 
     /// Generate the genome and reads.
     pub fn generate(&self, seed: u64) -> ReadSet {
-        assert!(self.genome_len > self.read_len.1, "genome shorter than reads");
+        assert!(
+            self.genome_len > self.read_len.1,
+            "genome shorter than reads"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut genome = random_seq(self.genome_len, &mut rng);
         // Plant repeat families: copy a template to several random loci.
@@ -440,7 +444,11 @@ mod tests {
     #[test]
     fn total_bases_consistent() {
         let set = PairSet::generate(10, 0.15, 3);
-        let sum: usize = set.pairs.iter().map(|p| p.query.len() + p.target.len()).sum();
+        let sum: usize = set
+            .pairs
+            .iter()
+            .map(|p| p.query.len() + p.target.len())
+            .sum();
         assert_eq!(set.total_bases(), sum);
     }
 

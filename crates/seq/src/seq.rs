@@ -34,7 +34,12 @@ impl Seq {
         for (i, &ch) in s.iter().enumerate() {
             match Base::from_ascii(ch) {
                 Some(b) => bases.push(b),
-                None => return Err(SeqParseError { position: i, byte: ch }),
+                None => {
+                    return Err(SeqParseError {
+                        position: i,
+                        byte: ch,
+                    })
+                }
             }
         }
         Ok(Seq { bases })
@@ -207,7 +212,10 @@ mod tests {
     fn reversal_is_involution() {
         let s = seq("ACGTTGCA");
         assert_eq!(s.reversed().reversed(), s);
-        assert_eq!(s.reversed().to_ascii(), b"ACGTTGCA".iter().rev().copied().collect::<Vec<_>>());
+        assert_eq!(
+            s.reversed().to_ascii(),
+            b"ACGTTGCA".iter().rev().copied().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -248,7 +256,7 @@ mod tests {
 
     #[test]
     fn debug_preview_truncates() {
-        let long: Seq = std::iter::repeat(Base::A).take(100).collect();
+        let long: Seq = std::iter::repeat_n(Base::A, 100).collect();
         let dbg = format!("{long:?}");
         assert!(dbg.contains("len=100"));
         let short = seq("ACGT");

@@ -49,10 +49,7 @@ fn main() {
         "candidates: {}; kept after adaptive threshold: {}",
         out.stats.candidates, out.stats.kept
     );
-    println!(
-        "alignment work: {} DP cells",
-        out.stats.total_cells
-    );
+    println!("alignment work: {} DP cells", out.stats.total_cells);
     println!(
         "vs ground truth (>=1 kb overlaps): precision {:.3}, recall {:.3}, F1 {:.3}",
         metrics.precision,

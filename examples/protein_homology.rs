@@ -16,7 +16,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn random_protein<R: Rng>(n: usize, rng: &mut R) -> Vec<u8> {
-    (0..n).map(|_| AMINO_ACIDS[rng.gen_range(0..20)]).collect()
+    (0..n)
+        .map(|_| AMINO_ACIDS[rng.gen_range(0..20usize)])
+        .collect()
 }
 
 fn main() {
@@ -31,13 +33,19 @@ fn main() {
     let mut homolog = query.clone();
     for residue in homolog.iter_mut() {
         if rng.gen_bool(0.25) {
-            *residue = AMINO_ACIDS[rng.gen_range(0..20)];
+            *residue = AMINO_ACIDS[rng.gen_range(0..20usize)];
         }
     }
     database.push(("homolog".to_string(), homolog));
 
-    println!("query: 400 aa; database: {} entries; X = 60, BLOSUM62\n", database.len());
-    println!("{:>12} {:>8} {:>10} {:>9}", "entry", "score", "DP cells", "dropped");
+    println!(
+        "query: 400 aa; database: {} entries; X = 60, BLOSUM62\n",
+        database.len()
+    );
+    println!(
+        "{:>12} {:>8} {:>10} {:>9}",
+        "entry", "score", "DP cells", "dropped"
+    );
     let mut results: Vec<(String, i32, u64, bool)> = database
         .iter()
         .map(|(name, seq)| {

@@ -33,10 +33,7 @@ fn main() {
             gips: stats.total.warp_instructions as f64 / time / 1e9,
             gcups: report.total_cells as f64 / time / 1e9,
         };
-        println!(
-            "X = {x:>4}: {}",
-            roofline_summary(&roof, None, &point)
-        );
+        println!("X = {x:>4}: {}", roofline_summary(&roof, None, &point));
         if x == 100 {
             adapted = Some(adapted_ceiling(&spec, &stats));
         }

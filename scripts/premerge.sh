@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Pre-merge gate for LOGAN-rs. Run from the repository root:
+#
+#     ./scripts/premerge.sh          # full gate (what CI runs)
+#     ./scripts/premerge.sh --quick  # skip the release build
+#
+# Mirrors the tier-1 definition in ROADMAP.md plus the style gates:
+# rustfmt, clippy (warnings are errors), release build, full test suite,
+# and warning-free rustdoc.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+  step "cargo build --release"
+  cargo build --release
+fi
+
+step "cargo test -q"
+cargo test -q
+
+step "cargo doc --no-deps --workspace (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+printf '\npremerge: all gates green\n'

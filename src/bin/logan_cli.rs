@@ -51,7 +51,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         };
         match a.as_str() {
             "-x" => opts.x = grab("-x")?.parse().map_err(|e| format!("-x: {e}"))?,
-            "--gpus" => opts.gpus = grab("--gpus")?.parse().map_err(|e| format!("--gpus: {e}"))?,
+            "--gpus" => {
+                opts.gpus = grab("--gpus")?
+                    .parse()
+                    .map_err(|e| format!("--gpus: {e}"))?
+            }
             "-k" => opts.k = grab("-k")?.parse().map_err(|e| format!("-k: {e}"))?,
             "--min-overlap" => {
                 opts.min_overlap = grab("--min-overlap")?
@@ -143,7 +147,13 @@ fn cmd_pairs(opts: &Opts) -> Result<(), String> {
         pi += 1;
         println!(
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            qr.id, tr.id, r.score, r.query_start, r.query_end, r.target_start, r.target_end,
+            qr.id,
+            tr.id,
+            r.score,
+            r.query_start,
+            r.query_end,
+            r.target_start,
+            r.target_end,
             r.cells()
         );
     }

@@ -23,7 +23,10 @@ fn gpu_cpu_reference_three_way_agreement() {
         for (i, p) in pairs.iter().enumerate() {
             let reference = seed_extend(&p.query, &p.target, p.seed, &ext);
             assert_eq!(gpu_res[i], reference, "gpu vs reference, pair {i}, x {x}");
-            assert_eq!(cpu_res.results[i], reference, "cpu vs reference, pair {i}, x {x}");
+            assert_eq!(
+                cpu_res.results[i], reference,
+                "cpu vs reference, pair {i}, x {x}"
+            );
         }
     }
 }

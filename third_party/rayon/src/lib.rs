@@ -1,0 +1,299 @@
+//! Offline, API-compatible subset of
+//! [`rayon`](https://crates.io/crates/rayon), vendored so the workspace
+//! builds without a crates.io mirror.
+//!
+//! The subset covers what LOGAN-rs uses: `slice.par_iter().map(f).collect()`,
+//! `range.into_par_iter().map(f).collect()`, and scoped pools built with
+//! [`ThreadPoolBuilder`] and entered with [`ThreadPool::install`]. Unlike a
+//! toy sequential shim, `map` really fans out over `std::thread::scope`
+//! workers: the input is split into one contiguous chunk per worker and the
+//! results are reassembled in input order, so parallel output order is
+//! identical to sequential order (the property the alignment tests assert).
+//!
+//! There is no work stealing: chunks are static, which is fine for the
+//! embarrassingly parallel batch loops in this workspace.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Worker count installed by [`ThreadPool::install`] on this thread.
+    static INSTALLED_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_width() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn current_width() -> usize {
+    let w = INSTALLED_WIDTH.with(|c| c.get());
+    if w == 0 {
+        default_width()
+    } else {
+        w
+    }
+}
+
+/// Chunked fork-join map over `0..len`, preserving index order.
+fn par_map_indexed<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let width = current_width().min(len).max(1);
+    if width <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(width);
+    let mut per_worker: Vec<Vec<U>> = Vec::with_capacity(width);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..width)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(len);
+                    (lo..hi).map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        per_worker = handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect();
+    });
+    per_worker.into_iter().flatten().collect()
+}
+
+/// Error building a [`ThreadPool`]; this shim never actually fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder with the default (machine-sized) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count; `0` means one worker per hardware thread.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Accepted for compatibility; workers are spawned per call here, so
+    /// the name function is not retained.
+    pub fn thread_name<F>(self, _name: F) -> Self
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_width()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A fixed-width pool; parallel iterators run inside [`ThreadPool::install`]
+/// fan out over this pool's width.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's width installed for nested parallel
+    /// iterators, returning its result.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        INSTALLED_WIDTH.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+
+    /// Width of the pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Parallel iterator adaptors; import with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Parallel iterator implementation.
+pub mod iter {
+    use super::par_map_indexed;
+
+    /// By-value conversion into a parallel iterator (ranges, vectors).
+    pub trait IntoParallelIterator {
+        /// Element type produced.
+        type Item;
+        /// Concrete parallel iterator.
+        type Iter;
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// By-shared-reference conversion (`slice.par_iter()`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type produced (`&'data T`).
+        type Item: 'data;
+        /// Concrete parallel iterator.
+        type Iter;
+        /// Borrow as a parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// Parallel iterator over `&[T]`.
+    pub struct ParSliceIter<'data, T> {
+        slice: &'data [T],
+    }
+
+    /// Parallel iterator over an integer range.
+    pub struct ParRangeIter<T> {
+        range: std::ops::Range<T>,
+    }
+
+    /// `map` adaptor over a slice iterator.
+    pub struct ParSliceMap<'data, T, F> {
+        slice: &'data [T],
+        f: F,
+    }
+
+    /// `map` adaptor over a range iterator.
+    pub struct ParRangeMap<T, F> {
+        range: std::ops::Range<T>,
+        f: F,
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = ParSliceIter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            ParSliceIter { slice: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = ParSliceIter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            ParSliceIter { slice: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = ParRangeIter<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            ParRangeIter { range: self }
+        }
+    }
+
+    impl<'data, T: Sync> ParSliceIter<'data, T> {
+        /// Apply `f` to every element in parallel.
+        pub fn map<U, F>(self, f: F) -> ParSliceMap<'data, T, F>
+        where
+            F: Fn(&'data T) -> U + Sync,
+            U: Send,
+        {
+            ParSliceMap {
+                slice: self.slice,
+                f,
+            }
+        }
+    }
+
+    impl ParRangeIter<usize> {
+        /// Apply `f` to every index in parallel.
+        pub fn map<U, F>(self, f: F) -> ParRangeMap<usize, F>
+        where
+            F: Fn(usize) -> U + Sync,
+            U: Send,
+        {
+            ParRangeMap {
+                range: self.range,
+                f,
+            }
+        }
+    }
+
+    impl<'data, T: Sync, U: Send, F: Fn(&'data T) -> U + Sync> ParSliceMap<'data, T, F> {
+        /// Execute the parallel map and gather results in input order.
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            let slice = self.slice;
+            let f = &self.f;
+            par_map_indexed(slice.len(), |i| f(&slice[i]))
+                .into_iter()
+                .collect()
+        }
+    }
+
+    impl<U: Send, F: Fn(usize) -> U + Sync> ParRangeMap<usize, F> {
+        /// Execute the parallel map and gather results in input order.
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            let start = self.range.start;
+            let len = self.range.end.saturating_sub(start);
+            let f = &self.f;
+            par_map_indexed(len, |i| f(start + i)).into_iter().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn slice_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_preserves_order() {
+        let sq: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(sq, (0..257usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_controls_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..10usize).into_par_iter().map(|i| i).collect());
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+}
