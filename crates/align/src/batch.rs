@@ -60,6 +60,22 @@ impl CpuBatchAligner {
         self.threads
     }
 
+    /// Align every pair with the X-drop extender on the given compute
+    /// engine — the common case, spelled out so callers selecting an
+    /// engine at runtime don't have to build an extender themselves.
+    pub fn run_xdrop(
+        &self,
+        pairs: &[ReadPair],
+        scoring: logan_seq::Scoring,
+        x: i32,
+        engine: crate::simd::Engine,
+    ) -> BatchResult {
+        self.run(
+            pairs,
+            &crate::xdrop::XDropExtender::with_engine(scoring, x, engine),
+        )
+    }
+
     /// Align every pair with `ext`, in parallel.
     pub fn run<E: Extender + Sync>(&self, pairs: &[ReadPair], ext: &E) -> BatchResult {
         use rayon::prelude::*;
@@ -140,6 +156,17 @@ mod tests {
         });
         assert_eq!(scores.len(), 4);
         assert!(scores.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn run_xdrop_engines_agree() {
+        use crate::simd::Engine;
+        let ps = pairs(6);
+        let aligner = CpuBatchAligner::new(4);
+        let scalar = aligner.run_xdrop(&ps, Scoring::default(), 50, Engine::Scalar);
+        let simd = aligner.run_xdrop(&ps, Scoring::default(), 50, Engine::Simd);
+        assert_eq!(scalar.results, simd.results);
+        assert_eq!(scalar.total_cells, simd.total_cells);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! * [`xdrop`] — the anti-diagonal X-drop extension algorithm of Zhang et
 //!   al. (2000) as implemented in SeqAn's `extendSeedL` (paper §III,
 //!   Algorithm 1). This is the ground truth for `logan-core`'s kernel.
+//! * [`simd`] — the lane-parallel i16 analogue of the GPU kernel's
+//!   int16 math (paper §III-C), bit-identical to the scalar routine,
+//!   selected at runtime through [`Engine`].
 //! * [`seed_extend`](mod@seed_extend) — the seed-and-extend driver (paper Fig. 5): a seed
 //!   splits each pair into a left extension (computed on reversed
 //!   prefixes) and a right extension.
@@ -42,6 +45,7 @@ pub mod ksw2;
 pub mod protein;
 pub mod result;
 pub mod seed_extend;
+pub mod simd;
 pub mod traceback;
 pub mod xdrop;
 
@@ -53,6 +57,7 @@ pub use ksw2::{ksw2_extend, Ksw2Params};
 pub use protein::{xdrop_extend_generic, SubstMatrix};
 pub use result::{AlignmentResult, ExtensionResult, SeedExtendResult};
 pub use seed_extend::{seed_extend, Extender};
+pub use simd::{simd_eligible, xdrop_extend_simd, Engine};
 pub use traceback::{nw_traceback, Cigar, CigarOp};
 pub use xdrop::{xdrop_extend, XDropExtender};
 

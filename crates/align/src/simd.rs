@@ -1,0 +1,716 @@
+//! Lane-parallel X-drop extension: the CPU analogue of LOGAN's int16
+//! GPU kernel (paper §III-C), and the engine-dispatch seam every future
+//! backend plugs into.
+//!
+//! The GPU kernel computes each anti-diagonal with thousands of int16
+//! lanes; the proven CPU analogue (minimap2's KSW2) is a saturating
+//! 16-bit striped inner loop. This module does the same with *portable*
+//! fixed-width chunks — `[i16; LANES]` arrays with saturating
+//! arithmetic, which LLVM auto-vectorizes to whatever SIMD width the
+//! host offers — while keeping the exact bounds, pruning, trimming,
+//! tie-break and termination logic of the scalar ground truth
+//! [`xdrop_extend`].
+//!
+//! # Bit-for-bit equality, by construction
+//!
+//! The i16 kernel is only entered when [`simd_eligible`] holds:
+//!
+//! * the best attainable score (`min(m, n) · match`) fits in
+//!   [`SIMD_MAX_SCORE`] = `i16::MAX / 2`, so live cell values are exact
+//!   in 16 bits;
+//! * `x + match ≤ SIMD_MAX_SCORE`, so every value derived from a pruned
+//!   (−∞) parent stays below the X-drop threshold and is re-pruned —
+//!   the i16 sentinel behaves exactly like the scalar `NEG_INF`;
+//! * `|mismatch|` and `|gap|` are bounded by [`SIMD_MAX_SCORE`], so
+//!   sums of *live* parents never saturate (saturation can only happen
+//!   on already-dead values, which the threshold then kills — the
+//!   overflow clamp of paper §III-C).
+//!
+//! Under these conditions every cell value, trim decision and tie-break
+//! is identical to the scalar routine, which the differential suite
+//! (`tests/simd_equivalence.rs`) asserts over random sequences,
+//! scorings and X values. Outside them, [`xdrop_extend_simd`] falls
+//! back to the scalar routine — [`Engine::Simd`] is therefore *always*
+//! bit-identical to [`Engine::Scalar`], just faster when the workload
+//! allows.
+//!
+//! # The stepper
+//!
+//! [`SimdState`] exposes the extension one anti-diagonal at a time so
+//! that `logan-core`'s simulated GPU kernel can drive the same compute
+//! while accounting SIMT costs per iteration (see
+//! `logan_core::kernel::logan_block_extend_simd`). [`xdrop_extend_simd`]
+//! is the plain "run to completion" wrapper.
+
+use crate::result::ExtensionResult;
+use crate::xdrop::xdrop_extend;
+use logan_seq::{Scoring, Seq};
+use serde::{Deserialize, Serialize};
+
+/// Number of `i16` lanes processed per chunk. 16 lanes = one 256-bit
+/// vector; on narrower hardware LLVM splits the chunk, on wider it
+/// fuses iterations.
+pub const LANES: usize = 16;
+
+/// Padding (in cells) kept on both sides of every anti-diagonal buffer
+/// so chunked loads of `i−1`/`i` neighbours never need a range check:
+/// out-of-band reads land in the pad and read as −∞.
+const PAD: usize = LANES;
+
+/// The i16 "−∞" sentinel, chosen (like the scalar `NEG_INF`) far enough
+/// from `i16::MIN` that adding a penalty cannot wrap before saturation.
+const NEG_INF16: i16 = i16::MIN / 2;
+
+/// Largest magnitude the i16 kernel accepts for the best score, the
+/// X-drop threshold and the per-cell penalties (see [`simd_eligible`]).
+pub const SIMD_MAX_SCORE: i32 = (i16::MAX / 2) as i32;
+
+/// Which X-drop kernel computes an extension.
+///
+/// Both engines produce bit-identical [`ExtensionResult`]s — the choice
+/// is purely a performance knob, which is what makes it safe to select
+/// at runtime (CLI `--engine`, `LOGAN_ENGINE`, or per-config fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Engine {
+    /// The scalar i32 reference ([`xdrop_extend`]): the semantic ground
+    /// truth every other backend is tested against.
+    #[default]
+    Scalar,
+    /// The lane-parallel i16 kernel ([`xdrop_extend_simd`]); falls back
+    /// to the scalar routine when [`simd_eligible`] is false.
+    Simd,
+}
+
+impl Engine {
+    /// Extend with this engine. Same contract as [`xdrop_extend`].
+    pub fn extend(self, query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> ExtensionResult {
+        match self {
+            Engine::Scalar => xdrop_extend(query, target, scoring, x),
+            Engine::Simd => xdrop_extend_simd(query, target, scoring, x),
+        }
+    }
+
+    /// Read `LOGAN_ENGINE` (`scalar` / `simd`, case-insensitive) from
+    /// the environment; unset selects [`Engine::Scalar`], and an
+    /// unrecognized value selects it too but warns on stderr (a typo
+    /// would otherwise silently benchmark the wrong engine). Because
+    /// engines are bit-identical, flipping the variable can never
+    /// change any result or simulated metric — only host wall-clock.
+    pub fn from_env() -> Engine {
+        match std::env::var("LOGAN_ENGINE") {
+            Ok(v) => v.parse().unwrap_or_else(|e| {
+                eprintln!("warning: LOGAN_ENGINE ignored: {e}");
+                Engine::Scalar
+            }),
+            Err(_) => Engine::Scalar,
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Scalar => "scalar",
+            Engine::Simd => "simd",
+        })
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Engine::Scalar),
+            "simd" => Ok(Engine::Simd),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `scalar` or `simd`)"
+            )),
+        }
+    }
+}
+
+/// True when the i16 kernel can reproduce the scalar result exactly
+/// (see the module docs for why each bound is required). The SIMD entry
+/// points fall back to the scalar routine when this is false.
+pub fn simd_eligible(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> bool {
+    let max = SIMD_MAX_SCORE as i64;
+    let perfect = query.len().min(target.len()) as i64 * scoring.match_score as i64;
+    perfect <= max
+        && x as i64 + scoring.match_score as i64 <= max
+        && scoring.mismatch as i64 >= -max
+        && scoring.gap as i64 >= -max
+}
+
+/// One anti-diagonal of i16 scores.
+///
+/// `vals` holds the cells *computed* for the diagonal (before
+/// trimming), flanked by [`PAD`] sentinel cells on each side; the cell
+/// for query index `i` lives at `vals[PAD + i - base]`. Trimming only
+/// narrows the *live* window `[lo, lo + len)` — trimmed cells already
+/// hold [`NEG_INF16`], so reads through the computed window stay
+/// correct without moving memory.
+#[derive(Debug, Default, Clone)]
+struct Diag {
+    vals: Vec<i16>,
+    /// Query index of the first computed cell (`vals[PAD]`).
+    base: usize,
+    /// Live (trimmed) window start.
+    lo: usize,
+    /// Live (trimmed) window length.
+    len: usize,
+}
+
+impl Diag {
+    fn sentinel() -> Diag {
+        Diag {
+            vals: vec![NEG_INF16; 2 * PAD],
+            base: 0,
+            lo: 0,
+            len: 0,
+        }
+    }
+
+    /// Range-checked read against the *computed* window; everything
+    /// outside reads as −∞, exactly like the scalar `AntiDiag::get`.
+    #[inline(always)]
+    fn get(&self, i: usize) -> i16 {
+        let w = self.vals.len() - 2 * PAD;
+        if i < self.base || i >= self.base + w {
+            NEG_INF16
+        } else {
+            self.vals[PAD + i - self.base]
+        }
+    }
+}
+
+/// Per-anti-diagonal statistics reported by [`SimdState::step`], sized
+/// for `logan-core`'s SIMT cost accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct DiagStats {
+    /// Cells computed on this anti-diagonal (before trimming).
+    pub width: usize,
+    /// Cells alive after X-drop trimming.
+    pub live_width: usize,
+    /// −∞ cells trimmed from the low end.
+    pub trim_front: usize,
+    /// −∞ cells trimmed from the high end.
+    pub trim_back: usize,
+    /// Maximum score on this anti-diagonal (exact, widened to i32).
+    pub row_max: i32,
+}
+
+/// Outcome of one [`SimdState::step`].
+#[derive(Debug, Clone, Copy)]
+pub enum SimdStep {
+    /// An anti-diagonal was computed and trimmed; the extension
+    /// continues.
+    Advanced(DiagStats),
+    /// Every cell of the anti-diagonal fell below `best − X`: the
+    /// extension dropped. `width` cells were still computed.
+    Dropped {
+        /// Cells computed on the final (fully pruned) anti-diagonal.
+        width: usize,
+    },
+    /// The band slid off the matrix or the last anti-diagonal was
+    /// already computed; nothing happened.
+    Finished,
+}
+
+/// Rolling state of a lane-parallel X-drop extension, advanced one
+/// anti-diagonal per [`step`](SimdState::step) call.
+#[derive(Debug, Clone)]
+pub struct SimdState {
+    /// Query codes widened to i16 (index `i − 1` for query position `i`).
+    q16: Vec<i16>,
+    /// Target codes, *reversed* and widened: cell `(i, j = d − i)` reads
+    /// `trev16[n + i − d]`, so every anti-diagonal walks both sequences
+    /// in increasing address order — the CPU mirror of LOGAN's Fig. 6
+    /// sequence reversal.
+    trev16: Vec<i16>,
+    m: usize,
+    n: usize,
+    mat: i16,
+    mis: i16,
+    gap: i16,
+    x: i32,
+    d: usize,
+    prev2: Diag,
+    prev: Diag,
+    cur: Diag,
+    best: i32,
+    best_i: usize,
+    best_d: usize,
+    cells: u64,
+    iterations: u64,
+    max_width: usize,
+    dropped: bool,
+    finished: bool,
+}
+
+impl SimdState {
+    /// Start an extension, or `None` when the inputs are empty or not
+    /// [`simd_eligible`] (callers then use the scalar routine).
+    ///
+    /// Panics if `x` is negative, like [`xdrop_extend`].
+    pub fn new(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> Option<SimdState> {
+        assert!(x >= 0, "X-drop parameter must be non-negative");
+        if query.is_empty() || target.is_empty() || !simd_eligible(query, target, scoring, x) {
+            return None;
+        }
+        let q16: Vec<i16> = query.as_slice().iter().map(|&b| b as i16).collect();
+        let trev16: Vec<i16> = target.as_slice().iter().rev().map(|&b| b as i16).collect();
+        // d = 0: the single origin cell with score 0.
+        let mut origin = Diag::sentinel();
+        origin.vals.insert(PAD, 0);
+        origin.len = 1;
+        Some(SimdState {
+            q16,
+            trev16,
+            m: query.len(),
+            n: target.len(),
+            mat: scoring.match_score as i16,
+            mis: scoring.mismatch as i16,
+            gap: scoring.gap as i16,
+            x,
+            d: 0,
+            prev2: Diag::sentinel(),
+            prev: origin,
+            cur: Diag::default(),
+            best: 0,
+            best_i: 0,
+            best_d: 0,
+            cells: 0,
+            iterations: 0,
+            max_width: 1,
+            dropped: false,
+            finished: false,
+        })
+    }
+
+    /// Compute, prune and trim the next anti-diagonal.
+    pub fn step(&mut self) -> SimdStep {
+        if self.finished || self.dropped {
+            return SimdStep::Finished;
+        }
+        self.d += 1;
+        let d = self.d;
+        let (m, n) = (self.m, self.n);
+        if d > m + n {
+            self.finished = true;
+            return SimdStep::Finished;
+        }
+        // Candidate bounds from the previous live range, clamped to the
+        // matrix — identical to the scalar routine.
+        let lo = self.prev.lo.max(d.saturating_sub(n));
+        let hi = (self.prev.lo + self.prev.len).min(d).min(m);
+        if lo > hi {
+            self.finished = true;
+            return SimdStep::Finished;
+        }
+        let w = hi - lo + 1;
+        debug_assert!(
+            (-SIMD_MAX_SCORE..=SIMD_MAX_SCORE).contains(&(self.best - self.x)),
+            "threshold escaped the i16-exact window"
+        );
+        let thr = (self.best - self.x) as i16;
+        let (mat, mis, gap) = (self.mat, self.mis, self.gap);
+
+        let row_max = {
+            let SimdState {
+                q16,
+                trev16,
+                prev2,
+                prev,
+                cur,
+                ..
+            } = self;
+            cur.vals.clear();
+            cur.vals.resize(w + 2 * PAD, NEG_INF16);
+            cur.base = lo;
+            let mut row_max = NEG_INF16;
+
+            // Boundary cell i = 0 (j = d): only the horizontal move —
+            // a gap consuming target bases — can reach it.
+            if lo == 0 {
+                let v = prune(prev.get(0).saturating_add(gap), thr);
+                cur.vals[PAD] = v;
+                row_max = row_max.max(v);
+            }
+            // Boundary cell j = 0 (i = d): only the vertical move.
+            if hi == d {
+                let v = prune(prev.get(d - 1).saturating_add(gap), thr);
+                cur.vals[PAD + d - lo] = v;
+                row_max = row_max.max(v);
+            }
+
+            // Interior cells have i ≥ 1 and j ≥ 1: all three moves are
+            // in play and every operand sits in a padded buffer, so the
+            // chunks below run with no per-lane range checks.
+            let ilo = lo.max(1);
+            let ihi = hi.min(d - 1);
+            if ilo <= ihi {
+                let chunks = (ihi - ilo + 1) / LANES;
+                let mut acc = [NEG_INF16; LANES];
+                for ci in 0..chunks {
+                    let c = ilo + ci * LANES;
+                    let qv: &[i16; LANES] = q16[c - 1..c - 1 + LANES].try_into().unwrap();
+                    let tv: &[i16; LANES] =
+                        trev16[n + c - d..n + c - d + LANES].try_into().unwrap();
+                    let p2: &[i16; LANES] = prev2.vals[PAD + c - 1 - prev2.base..][..LANES]
+                        .try_into()
+                        .unwrap();
+                    let pm1: &[i16; LANES] = prev.vals[PAD + c - 1 - prev.base..][..LANES]
+                        .try_into()
+                        .unwrap();
+                    let p0: &[i16; LANES] = prev.vals[PAD + c - prev.base..][..LANES]
+                        .try_into()
+                        .unwrap();
+                    let out = chunk_cells(qv, tv, p2, pm1, p0, mat, mis, gap, thr, &mut acc);
+                    cur.vals[PAD + c - lo..PAD + c - lo + LANES].copy_from_slice(&out);
+                }
+                for &v in &acc {
+                    row_max = row_max.max(v);
+                }
+                // Remainder lanes: the same i16 arithmetic, scalar.
+                for i in ilo + chunks * LANES..=ihi {
+                    let sub = if q16[i - 1] == trev16[n + i - d] {
+                        mat
+                    } else {
+                        mis
+                    };
+                    let diag = prev2.get(i - 1).saturating_add(sub);
+                    let up = prev.get(i - 1).saturating_add(gap);
+                    let left = prev.get(i).saturating_add(gap);
+                    let v = prune(diag.max(up).max(left), thr);
+                    cur.vals[PAD + i - lo] = v;
+                    row_max = row_max.max(v);
+                }
+            }
+            row_max
+        };
+
+        self.cells += w as u64;
+        self.iterations += 1;
+
+        if row_max <= NEG_INF16 {
+            // Entire anti-diagonal pruned: the alignment dropped.
+            self.dropped = true;
+            return SimdStep::Dropped { width: w };
+        }
+
+        // Trim −∞ runs from both ends. The scans exit early, so their
+        // cost is proportional to the trimmed cells, not the width.
+        let vals = &self.cur.vals[PAD..PAD + w];
+        let kf = vals.iter().position(|&v| v > NEG_INF16).unwrap();
+        let kl = vals.iter().rposition(|&v| v > NEG_INF16).unwrap();
+        self.cur.lo = lo + kf;
+        self.cur.len = kl - kf + 1;
+        self.max_width = self.max_width.max(self.cur.len);
+
+        // Raise the global best; the argmax scan (earliest i wins, the
+        // kernel reduction's tie-break) only runs on improvement, and
+        // skips ahead chunk-wise until the winning chunk.
+        if row_max as i32 > self.best {
+            let mut arg = 0;
+            'outer: for (ci, chunk) in vals.chunks(LANES).enumerate() {
+                let mut hit = false;
+                for &v in chunk {
+                    hit |= v == row_max;
+                }
+                if hit {
+                    for (k, &v) in chunk.iter().enumerate() {
+                        if v == row_max {
+                            arg = lo + ci * LANES + k;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            self.best = row_max as i32;
+            self.best_i = arg;
+            self.best_d = d;
+        }
+
+        // Rotate the three buffers, as the GPU rotates its HBM
+        // anti-diagonals.
+        std::mem::swap(&mut self.prev2, &mut self.prev);
+        std::mem::swap(&mut self.prev, &mut self.cur);
+        SimdStep::Advanced(DiagStats {
+            width: w,
+            live_width: self.prev.len,
+            trim_front: kf,
+            trim_back: w - 1 - kl,
+            row_max: row_max as i32,
+        })
+    }
+
+    /// Finish into an [`ExtensionResult`] (identical to what the scalar
+    /// routine would return for the same inputs).
+    pub fn into_result(self) -> ExtensionResult {
+        ExtensionResult {
+            score: self.best,
+            query_end: self.best_i,
+            target_end: self.best_d - self.best_i,
+            cells: self.cells,
+            iterations: self.iterations,
+            max_width: self.max_width,
+            dropped: self.dropped,
+        }
+    }
+}
+
+#[inline(always)]
+fn prune(v: i16, thr: i16) -> i16 {
+    if v < thr {
+        NEG_INF16
+    } else {
+        v
+    }
+}
+
+/// One chunk of the anti-diagonal recurrence over [`LANES`] cells.
+/// Everything is branch-free per lane (the `if`s compile to selects),
+/// which is what lets LLVM emit packed i16 min/max/saturating-add.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn chunk_cells(
+    q: &[i16; LANES],
+    t: &[i16; LANES],
+    p2: &[i16; LANES],
+    pm1: &[i16; LANES],
+    p0: &[i16; LANES],
+    mat: i16,
+    mis: i16,
+    gap: i16,
+    thr: i16,
+    acc: &mut [i16; LANES],
+) -> [i16; LANES] {
+    let mut out = [0i16; LANES];
+    for k in 0..LANES {
+        let sub = if q[k] == t[k] { mat } else { mis };
+        let diag = p2[k].saturating_add(sub);
+        let up = pm1[k].saturating_add(gap);
+        let left = p0[k].saturating_add(gap);
+        let mut v = diag.max(up).max(left);
+        if v < thr {
+            v = NEG_INF16;
+        }
+        out[k] = v;
+        acc[k] = acc[k].max(v);
+    }
+    out
+}
+
+/// Lane-parallel X-drop extension: bit-identical to [`xdrop_extend`]
+/// (to which it silently falls back when the inputs are not
+/// [`simd_eligible`]), typically several times faster on long
+/// extensions.
+pub fn xdrop_extend_simd(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> ExtensionResult {
+    assert!(x >= 0, "X-drop parameter must be non-negative");
+    if query.is_empty() || target.is_empty() {
+        return ExtensionResult::zero();
+    }
+    let Some(mut state) = SimdState::new(query, target, scoring, x) else {
+        return xdrop_extend(query, target, scoring, x);
+    };
+    while let SimdStep::Advanced(_) = state.step() {}
+    state.into_result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logan_seq::readsim::random_seq;
+    use logan_seq::{Base, ErrorModel, ErrorProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const BIG_X: i32 = i32::MAX / 4;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    /// Both engines on the same input; returns the (asserted equal)
+    /// result.
+    fn both(q: &Seq, t: &Seq, scoring: Scoring, x: i32) -> ExtensionResult {
+        let scalar = Engine::Scalar.extend(q, t, scoring, x);
+        let simd = Engine::Simd.extend(q, t, scoring, x);
+        assert_eq!(simd, scalar, "engines diverged (x={x})");
+        scalar
+    }
+
+    #[test]
+    fn engine_parsing_and_display() {
+        assert_eq!("simd".parse::<Engine>().unwrap(), Engine::Simd);
+        assert_eq!("SCALAR".parse::<Engine>().unwrap(), Engine::Scalar);
+        assert!("cuda".parse::<Engine>().is_err());
+        assert_eq!(Engine::Simd.to_string(), "simd");
+        assert_eq!(Engine::default(), Engine::Scalar);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero_on_both_engines() {
+        let s = seq("ACGT");
+        let e = Seq::new();
+        for engine in [Engine::Scalar, Engine::Simd] {
+            assert_eq!(
+                engine.extend(&e, &s, Scoring::default(), 10),
+                ExtensionResult::zero()
+            );
+            assert_eq!(
+                engine.extend(&s, &e, Scoring::default(), 10),
+                ExtensionResult::zero()
+            );
+            assert_eq!(
+                engine.extend(&e, &e, Scoring::default(), 10),
+                ExtensionResult::zero()
+            );
+        }
+    }
+
+    #[test]
+    fn single_base_pairs() {
+        let r = both(&seq("A"), &seq("A"), Scoring::default(), 3);
+        assert_eq!((r.score, r.query_end, r.target_end), (1, 1, 1));
+        let r = both(&seq("A"), &seq("C"), Scoring::default(), 3);
+        assert_eq!((r.score, r.query_end, r.target_end), (0, 0, 0));
+        let r = both(&seq("A"), &seq("C"), Scoring::default(), 0);
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn all_mismatch_pair_drops_early() {
+        let a: Seq = std::iter::repeat_n(Base::A, 400).collect();
+        let t: Seq = std::iter::repeat_n(Base::T, 400).collect();
+        let r = both(&a, &t, Scoring::default(), 10);
+        assert_eq!(r.score, 0);
+        assert!(r.dropped);
+        assert!(r.cells < 1_000);
+    }
+
+    #[test]
+    fn zero_x_terminates_on_the_first_antidiagonal() {
+        let s = seq("ACGTACGTAC");
+        let r = both(&s, &s, Scoring::default(), 0);
+        assert_eq!(r.score, 0);
+        assert!(r.dropped);
+        assert_eq!(r.cells, 2);
+    }
+
+    #[test]
+    fn identical_sequences_reach_the_corner() {
+        let s = seq("ACGTACGTACGTACGT");
+        let r = both(&s, &s, Scoring::default(), 5);
+        assert_eq!(r.score, s.len() as i32);
+        assert_eq!((r.query_end, r.target_end), (s.len(), s.len()));
+    }
+
+    #[test]
+    fn random_pairs_match_scalar_across_x() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.15));
+        for trial in 0..25 {
+            let len = 30 + (trial * 37) % 500;
+            let template = random_seq(len, &mut rng);
+            let (a, _) = model.corrupt(&template, &mut rng);
+            let (b, _) = model.corrupt(&template, &mut rng);
+            for x in [0, 1, 5, 25, 100, 1000] {
+                both(&a, &b, Scoring::default(), x);
+                both(&a, &b, Scoring::new(1, -2, -2), x);
+            }
+        }
+    }
+
+    #[test]
+    fn score_at_the_i16_saturation_boundary() {
+        // A perfect match of exactly SIMD_MAX_SCORE bases is the
+        // largest score the i16 kernel accepts; it must stay exact.
+        let n = SIMD_MAX_SCORE as usize;
+        let s: Seq = (0..n).map(|i| Base::from_code((i % 4) as u8)).collect();
+        assert!(simd_eligible(&s, &s, Scoring::default(), 2));
+        let r = both(&s, &s, Scoring::default(), 2);
+        assert_eq!(r.score, SIMD_MAX_SCORE);
+        assert!(!r.dropped);
+    }
+
+    #[test]
+    fn past_the_saturation_boundary_falls_back_to_scalar() {
+        // match = 1000 makes a 17-base perfect run overflow the
+        // eligibility bound; the SIMD engine must detect it and defer.
+        let scoring = Scoring::new(1000, -1000, -1000);
+        let s = seq("ACGTACGTACGTACGTA");
+        assert!(!simd_eligible(&s, &s, scoring, 50));
+        both(&s, &s, scoring, 50);
+    }
+
+    #[test]
+    fn huge_x_falls_back_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = random_seq(120, &mut rng);
+        let b = random_seq(140, &mut rng);
+        assert!(!simd_eligible(&a, &b, Scoring::default(), BIG_X));
+        both(&a, &b, Scoring::default(), BIG_X);
+        // Largest eligible X still runs the i16 kernel.
+        let x = SIMD_MAX_SCORE - 1;
+        assert!(simd_eligible(&a, &b, Scoring::default(), x));
+        both(&a, &b, Scoring::default(), x);
+    }
+
+    #[test]
+    fn eligibility_bounds() {
+        let s = seq("ACGTACGT");
+        assert!(simd_eligible(&s, &s, Scoring::default(), 100));
+        assert!(!simd_eligible(&s, &s, Scoring::default(), SIMD_MAX_SCORE));
+        assert!(!simd_eligible(
+            &s,
+            &s,
+            Scoring::new(1, -(SIMD_MAX_SCORE + 1), -1),
+            10
+        ));
+        assert!(!simd_eligible(
+            &s,
+            &s,
+            Scoring::new(1, -1, -(SIMD_MAX_SCORE + 1)),
+            10
+        ));
+    }
+
+    #[test]
+    fn stepper_reports_consistent_stats() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let template = random_seq(300, &mut rng);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.12));
+        let (a, _) = model.corrupt(&template, &mut rng);
+        let (b, _) = model.corrupt(&template, &mut rng);
+        let mut st = SimdState::new(&a, &b, Scoring::default(), 40).unwrap();
+        let mut widths = 0u64;
+        let mut iters = 0u64;
+        loop {
+            match st.step() {
+                SimdStep::Advanced(s) => {
+                    assert_eq!(s.width, s.live_width + s.trim_front + s.trim_back);
+                    widths += s.width as u64;
+                    iters += 1;
+                }
+                SimdStep::Dropped { width } => {
+                    widths += width as u64;
+                    iters += 1;
+                    break;
+                }
+                SimdStep::Finished => break,
+            }
+        }
+        let r = st.into_result();
+        assert_eq!(r.cells, widths);
+        assert_eq!(r.iterations, iters);
+        assert_eq!(r, xdrop_extend(&a, &b, Scoring::default(), 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_x_rejected() {
+        let _ = xdrop_extend_simd(&seq("A"), &seq("A"), Scoring::default(), -1);
+    }
+}

@@ -22,6 +22,7 @@
 //! positions and cell counts between the two.
 
 use crate::result::ExtensionResult;
+use crate::simd::Engine;
 use crate::NEG_INF;
 use logan_seq::{Scoring, Seq};
 
@@ -34,11 +35,17 @@ struct AntiDiag {
 }
 
 impl AntiDiag {
+    /// Score at query index `i`, or −∞ outside the live range.
+    ///
+    /// Contract: `i == usize::MAX` is a legal probe and reads as −∞.
+    /// Callers computing a neighbour index with `wrapping_sub(1)` at
+    /// `i = 0` rely on this; it is handled by an explicit check rather
+    /// than by the range comparison, which only rejects `usize::MAX`
+    /// incidentally (because `lo + vals.len()` never overflows for real
+    /// diagonals).
     #[inline(always)]
     fn get(&self, i: usize) -> i32 {
-        // Callers may probe i-1 at i=0 via wrapping_sub; usize::MAX is
-        // simply out of range and reads as -inf.
-        if i < self.lo || i >= self.lo + self.vals.len() {
+        if i == usize::MAX || i < self.lo || i >= self.lo + self.vals.len() {
             NEG_INF
         } else {
             self.vals[i - self.lo]
@@ -176,26 +183,34 @@ pub fn xdrop_extend(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> Exte
     }
 }
 
-/// An [`crate::seed_extend::Extender`] wrapping [`xdrop_extend`] with a
-/// fixed scoring scheme and X.
+/// An [`crate::seed_extend::Extender`] wrapping the X-drop extension
+/// with a fixed scoring scheme, X, and compute [`Engine`].
 #[derive(Debug, Clone, Copy)]
 pub struct XDropExtender {
     /// Scoring scheme (linear gaps).
     pub scoring: Scoring,
     /// The X-drop threshold.
     pub x: i32,
+    /// Which kernel computes each extension (bit-identical results
+    /// either way; see [`crate::simd`]).
+    pub engine: Engine,
 }
 
 impl XDropExtender {
-    /// Create an extender.
+    /// Create an extender running the scalar reference engine.
     pub fn new(scoring: Scoring, x: i32) -> XDropExtender {
-        XDropExtender { scoring, x }
+        XDropExtender::with_engine(scoring, x, Engine::Scalar)
+    }
+
+    /// Create an extender with an explicit compute engine.
+    pub fn with_engine(scoring: Scoring, x: i32, engine: Engine) -> XDropExtender {
+        XDropExtender { scoring, x, engine }
     }
 }
 
 impl crate::seed_extend::Extender for XDropExtender {
     fn extend(&self, query: &Seq, target: &Seq) -> ExtensionResult {
-        xdrop_extend(query, target, self.scoring, self.x)
+        self.engine.extend(query, target, self.scoring, self.x)
     }
 
     fn match_score(&self) -> i32 {
@@ -410,6 +425,28 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_x_rejected() {
         let _ = xdrop_extend(&seq("A"), &seq("A"), Scoring::default(), -1);
+    }
+
+    #[test]
+    fn antidiag_wrapping_sub_probe_reads_neg_inf() {
+        // The documented `AntiDiag::get` contract: a caller probing the
+        // `i - 1` neighbour at `i = 0` through `wrapping_sub` must read
+        // −∞, exactly like any other out-of-range index.
+        let diag = AntiDiag {
+            vals: vec![3, 7, 1],
+            lo: 2,
+        };
+        assert_eq!(diag.get(0usize.wrapping_sub(1)), NEG_INF);
+        assert_eq!(diag.get(usize::MAX), NEG_INF);
+        // Ordinary out-of-range probes on both sides, and in-range hits.
+        assert_eq!(diag.get(1), NEG_INF);
+        assert_eq!(diag.get(5), NEG_INF);
+        assert_eq!(diag.get(2), 3);
+        assert_eq!(diag.get(4), 1);
+        // The empty diagonal reads −∞ everywhere, including usize::MAX.
+        let empty = AntiDiag::default();
+        assert_eq!(empty.get(0), NEG_INF);
+        assert_eq!(empty.get(usize::MAX), NEG_INF);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark of the engine-dispatch seam: the scalar
+//! i32 reference vs the lane-parallel i16 kernel on identical extension
+//! problems. Throughput is DP cells (both engines compute exactly the
+//! same cells, asserted up front), so the reported rate is MCUPS and
+//! the scalar/simd ratio is the host-side speedup recorded in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logan_align::Engine;
+use logan_seq::readsim::PairSet;
+use logan_seq::Scoring;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xdrop_engine");
+    group.sample_size(20);
+    for &(len, x) in &[(1000usize, 20i32), (1000, 100), (5000, 100), (5000, 1000)] {
+        let set = PairSet::generate_with_lengths(1, 0.15, len, len, 11);
+        let p = &set.pairs[0];
+        let q = p.query.subseq(p.seed.qpos + p.seed.len, p.query.len());
+        let t = p.target.subseq(p.seed.tpos + p.seed.len, p.target.len());
+        let reference = Engine::Scalar.extend(&q, &t, Scoring::default(), x);
+        assert_eq!(
+            reference,
+            Engine::Simd.extend(&q, &t, Scoring::default(), x),
+            "engines must agree before being compared for speed"
+        );
+        group.throughput(Throughput::Elements(reference.cells));
+        for engine in [Engine::Scalar, Engine::Simd] {
+            group.bench_with_input(
+                BenchmarkId::new(engine.to_string(), format!("len{len}_x{x}")),
+                &(q.clone(), t.clone(), x),
+                |b, (q, t, x)| b.iter(|| engine.extend(q, t, Scoring::default(), *x)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -5,13 +5,17 @@
 //! 3. anti-diagonals in HBM vs shared memory (the §IV-B residency
 //!    argument; run on mid-length reads so shared still fits);
 //! 4. X-drop vs fixed-band SW search space on divergent pairs
-//!    (Fig. 2's contrast), measured in DP cells.
+//!    (Fig. 2's contrast), measured in DP cells;
+//! 5. host compute engine: scalar i32 reference vs the lane-parallel
+//!    i16 kernel on identical extensions, measured in wall-clock GCUPS
+//!    (engines are bit-identical, so this is pure host speed — the CPU
+//!    mirror of the paper's int16-lane argument, §III-C).
 //!
 //! Times are projected to the full 100 K-pair batch by re-scheduling —
 //! several of these design choices only bite when the device is
 //! saturated (e.g. residency effects need full SMs).
 
-use logan_align::{banded_sw, xdrop_extend};
+use logan_align::{banded_sw, xdrop_extend, Engine};
 use logan_bench::{fmt_s, heading, project_gpu_time, write_json, BenchScale, Table};
 use logan_core::{GpuBatchReport, LoganConfig, LoganExecutor, ThreadPolicy};
 use logan_gpusim::DeviceSpec;
@@ -120,6 +124,37 @@ fn main() {
         variant: band_cells as f64,
         ratio: band_cells as f64 / xdrop_cells as f64,
         unit: "DP cells",
+    });
+
+    // 5. Host engine: scalar vs 16-lane SIMD, wall-clock GCUPS on the
+    //    right-extension halves of the benchmark set.
+    let jobs: Vec<_> = set
+        .pairs
+        .iter()
+        .map(|p| {
+            (
+                p.query.subseq(p.seed.qpos + p.seed.len, p.query.len()),
+                p.target.subseq(p.seed.tpos + p.seed.len, p.target.len()),
+            )
+        })
+        .collect();
+    let wall_gcups = |engine: Engine| {
+        let start = std::time::Instant::now();
+        let mut cells = 0u64;
+        for (q, t) in &jobs {
+            cells += engine.extend(q, t, Scoring::default(), x).cells;
+        }
+        (cells as f64 / start.elapsed().as_secs_f64() / 1e9, cells)
+    };
+    let (scalar_gcups, scalar_cells) = wall_gcups(Engine::Scalar);
+    let (simd_gcups, simd_cells) = wall_gcups(Engine::Simd);
+    assert_eq!(scalar_cells, simd_cells, "engines must do identical work");
+    rows.push(Ablation {
+        name: "host engine: 16-lane i16 SIMD vs scalar i32 (wall GCUPS)".into(),
+        baseline: scalar_gcups,
+        variant: simd_gcups,
+        ratio: simd_gcups / scalar_gcups,
+        unit: "GCUPS",
     });
 
     heading(format!(

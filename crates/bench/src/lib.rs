@@ -16,7 +16,11 @@
 //! * `LOGAN_SCALE` — fraction of the paper's 100 K pairs (default 0.002);
 //! * `LOGAN_BELLA_SCALE` — fraction of the genome length for the BELLA
 //!   data sets (default 0.004);
-//! * `LOGAN_SEED` — RNG seed (default 42).
+//! * `LOGAN_SEED` — RNG seed (default 42);
+//! * `LOGAN_RESULTS_DIR` — where [`write_json`] puts artifacts
+//!   (default `results/` at the repository root);
+//! * `LOGAN_ENGINE` — host compute engine (`scalar` / `simd`); results
+//!   are engine-independent, only host wall-clock changes.
 //!
 //! # Position in the workspace
 //!
@@ -192,11 +196,17 @@ pub fn fmt_x(x: f64) -> String {
     }
 }
 
-/// Write a JSON artifact under `results/`.
+/// Write a JSON artifact under `results/` (or `LOGAN_RESULTS_DIR` when
+/// set — the golden-file regression test points it at a scratch
+/// directory so tiny-scale runs don't clobber real artifacts).
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("results");
+    let dir = std::env::var_os("LOGAN_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+        });
     if fs::create_dir_all(&dir).is_err() {
         return;
     }
@@ -247,6 +257,17 @@ mod tests {
         assert_eq!(fmt_s(0.0123), "0.012");
         assert_eq!(fmt_x(6.64), "6.6x");
         assert_eq!(fmt_x(558.5), "558x");
+    }
+
+    #[test]
+    fn logan_config_serializes_with_engine() {
+        // The harness dumps configs alongside results; the engine field
+        // must round out to a plain string through the vendored serde.
+        let mut cfg = logan_core::LoganConfig::with_x(100);
+        cfg.engine = logan_align::Engine::Simd;
+        let json = serde_json::to_string(&cfg).expect("config serializes");
+        assert!(json.contains("\"engine\""), "got {json}");
+        assert!(json.contains("Simd"), "got {json}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::calibration::*;
 use crate::kernel::{ExtensionJob, KernelPolicy, LoganKernel};
-use logan_align::{ExtensionResult, SeedExtendResult};
+use logan_align::{Engine, ExtensionResult, SeedExtendResult};
 use logan_gpusim::{Device, DeviceSpec, KernelReport, LaunchConfig, Timeline};
 use logan_seq::readsim::ReadPair;
 use logan_seq::{Scoring, Seq};
@@ -60,10 +60,17 @@ pub struct LoganConfig {
     /// Keep anti-diagonals in shared memory (§IV-B ablation; limits
     /// residency and read length).
     pub antidiag_in_shared: bool,
+    /// Host engine computing the kernel's results (scalar reference or
+    /// the lane-parallel i16 kernel). Bit-identical results and
+    /// identical accounted costs either way; `Simd` makes the
+    /// simulation run faster on the host.
+    pub engine: Engine,
 }
 
 impl LoganConfig {
-    /// Paper defaults with the given X.
+    /// Paper defaults with the given X. The engine defaults to the
+    /// `LOGAN_ENGINE` environment variable ([`Engine::from_env`]),
+    /// which is safe precisely because engines cannot change results.
     pub fn with_x(x: i32) -> LoganConfig {
         LoganConfig {
             scoring: Scoring::default(),
@@ -71,6 +78,7 @@ impl LoganConfig {
             thread_policy: ThreadPolicy::ProportionalToX,
             reversed_layout: true,
             antidiag_in_shared: false,
+            engine: Engine::from_env(),
         }
     }
 }
@@ -229,6 +237,7 @@ impl LoganExecutor {
                 reversed_layout: self.config.reversed_layout,
                 antidiag_in_shared: self.config.antidiag_in_shared,
                 hbm_charge_fraction: self.hbm_charge_fraction(chunk, threads, shared),
+                engine: self.config.engine,
             };
             let kernel = LoganKernel {
                 jobs: chunk,
@@ -435,6 +444,22 @@ mod tests {
             large.gcups(),
             small.gcups()
         );
+    }
+
+    #[test]
+    fn engines_produce_identical_batches_and_sim_time() {
+        let ps = pairs(12, 400, 900);
+        let mut cfg = LoganConfig::with_x(50);
+        cfg.engine = Engine::Scalar;
+        let (r_scalar, rep_scalar) = LoganExecutor::new(DeviceSpec::v100(), cfg).align_pairs(&ps);
+        cfg.engine = Engine::Simd;
+        let (r_simd, rep_simd) = LoganExecutor::new(DeviceSpec::v100(), cfg).align_pairs(&ps);
+        assert_eq!(r_scalar, r_simd, "engine must not change results");
+        assert_eq!(
+            rep_scalar.sim_time_s, rep_simd.sim_time_s,
+            "engine must not change simulated time"
+        );
+        assert_eq!(rep_scalar.total_cells, rep_simd.total_cells);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! [`BlockCtx`] and the constants in [`crate::calibration`].
 
 use crate::calibration::*;
-use logan_align::{ExtensionResult, NEG_INF};
+use logan_align::simd::{SimdState, SimdStep};
+use logan_align::{Engine, ExtensionResult, NEG_INF};
 use logan_gpusim::{AccessPattern, BlockCtx, BlockKernel};
 use logan_seq::{Scoring, Seq};
 
@@ -44,6 +45,11 @@ pub struct KernelPolicy {
     /// HBM (the remainder hits L2); the executor derives it from the
     /// estimated hot working set across resident blocks.
     pub hbm_charge_fraction: f64,
+    /// Which host engine computes the block's results. Results and
+    /// accounted costs are identical either way (asserted by the
+    /// engine-equivalence tests); [`Engine::Simd`] just makes the
+    /// simulation itself run faster on the host.
+    pub engine: Engine,
 }
 
 impl KernelPolicy {
@@ -54,6 +60,7 @@ impl KernelPolicy {
             reversed_layout: true,
             antidiag_in_shared: false,
             hbm_charge_fraction: 0.0,
+            engine: Engine::Scalar,
         }
     }
 }
@@ -75,39 +82,41 @@ impl BlockKernel for LoganKernel<'_> {
 
     fn run_block(&self, ctx: &mut BlockCtx, block_id: usize) -> ExtensionResult {
         let job = &self.jobs[block_id];
-        logan_block_extend(
-            ctx,
-            &job.query,
-            &job.target,
-            self.scoring,
-            self.x,
-            &self.policy,
-        )
+        match self.policy.engine {
+            Engine::Scalar => logan_block_extend(
+                ctx,
+                &job.query,
+                &job.target,
+                self.scoring,
+                self.x,
+                &self.policy,
+            ),
+            Engine::Simd => logan_block_extend_simd(
+                ctx,
+                &job.query,
+                &job.target,
+                self.scoring,
+                self.x,
+                &self.policy,
+            ),
+        }
     }
 }
 
-/// Execute one X-drop extension inside a block context, accounting SIMT
-/// costs as it goes. Mirrors `logan_align::xdrop_extend` statement for
-/// statement; any divergence is a bug caught by the equivalence tests.
-pub fn logan_block_extend(
-    ctx: &mut BlockCtx,
-    query: &Seq,
-    target: &Seq,
-    scoring: Scoring,
-    x: i32,
-    policy: &KernelPolicy,
-) -> ExtensionResult {
-    assert!(x >= 0, "X-drop parameter must be non-negative");
-    let m = query.len();
-    let n = target.len();
-    if m == 0 || n == 0 {
-        return ExtensionResult::zero();
-    }
-    let q = query.as_slice();
-    let t = target.as_slice();
-    let threads = ctx.threads();
-    let cap = m.min(n) + 1;
+/// Per-block cost constants and one-time charges resolved from the
+/// policy — shared by the scalar and SIMD block paths so the two
+/// engines account *identical* SIMT costs (asserted by the
+/// engine-equivalence tests).
+struct BlockCosts {
+    instr_per_cell: u32,
+    iter_stall: u64,
+    char_pattern: AccessPattern,
+}
 
+/// Book the kernel prologue: anti-diagonal buffer allocation (shared or
+/// HBM), reduction scratch, and the cold sequence load.
+fn block_prologue(ctx: &mut BlockCtx, m: usize, n: usize, policy: &KernelPolicy) -> BlockCosts {
+    let cap = m.min(n) + 1;
     // Anti-diagonal storage: three buffers of capacity `cap`.
     if policy.antidiag_in_shared {
         ctx.alloc_shared(3 * cap * 4)
@@ -131,16 +140,60 @@ pub fn logan_block_extend(
     // backwards along every anti-diagonal and pays per-element sectors.
     ctx.hbm_read(m as u64, AccessPattern::Coalesced, 1);
     ctx.hbm_read(n as u64, char_pattern, 1);
-    let instr_per_cell = if policy.reversed_layout {
-        LOGAN_INSTR_PER_CELL
-    } else {
-        LOGAN_INSTR_PER_CELL + STRIDED_REPLAY_INSTR
-    };
-    let iter_stall = if policy.antidiag_in_shared {
-        ITER_STALL_CYCLES_SHARED
-    } else {
-        ITER_STALL_CYCLES_HBM
-    };
+    BlockCosts {
+        instr_per_cell: if policy.reversed_layout {
+            LOGAN_INSTR_PER_CELL
+        } else {
+            LOGAN_INSTR_PER_CELL + STRIDED_REPLAY_INSTR
+        },
+        iter_stall: if policy.antidiag_in_shared {
+            ITER_STALL_CYCLES_SHARED
+        } else {
+            ITER_STALL_CYCLES_HBM
+        },
+        char_pattern,
+    }
+}
+
+/// Streaming traffic for one anti-diagonal: two reads + one write of
+/// score words, plus one character of each sequence per cell. Only the
+/// L2-spilled fraction reaches HBM.
+fn charge_streaming(ctx: &mut BlockCtx, policy: &KernelPolicy, width: usize, costs: &BlockCosts) {
+    let f = policy.hbm_charge_fraction;
+    if !policy.antidiag_in_shared && f > 0.0 {
+        let score_read = (2 * width * 4) as f64 * f;
+        let score_write = (width * 4) as f64 * f;
+        ctx.hbm_read(score_read as u64, AccessPattern::Coalesced, 4);
+        ctx.hbm_write(score_write as u64, AccessPattern::Coalesced, 4);
+    }
+    if f > 0.0 {
+        let q_bytes = (width as f64 * f) as u64;
+        ctx.hbm_read(q_bytes, AccessPattern::Coalesced, 1);
+        ctx.hbm_read(q_bytes, costs.char_pattern, 1);
+    }
+}
+
+/// Execute one X-drop extension inside a block context, accounting SIMT
+/// costs as it goes. Mirrors `logan_align::xdrop_extend` statement for
+/// statement; any divergence is a bug caught by the equivalence tests.
+pub fn logan_block_extend(
+    ctx: &mut BlockCtx,
+    query: &Seq,
+    target: &Seq,
+    scoring: Scoring,
+    x: i32,
+    policy: &KernelPolicy,
+) -> ExtensionResult {
+    assert!(x >= 0, "X-drop parameter must be non-negative");
+    let m = query.len();
+    let n = target.len();
+    if m == 0 || n == 0 {
+        return ExtensionResult::zero();
+    }
+    let q = query.as_slice();
+    let t = target.as_slice();
+    let threads = ctx.threads();
+    let costs = block_prologue(ctx, m, n, policy);
 
     let mut best: i32 = 0;
     let mut best_i: usize = 0;
@@ -213,23 +266,8 @@ pub fn logan_block_extend(
         cells += width as u64;
         iterations += 1;
         ctx.record_iteration(width.min(threads));
-        ctx.strided_loop(width, instr_per_cell);
-
-        // Streaming traffic for this anti-diagonal: two reads + one write
-        // of score words, plus one character of each sequence per cell.
-        // Only the L2-spilled fraction reaches HBM.
-        let f = policy.hbm_charge_fraction;
-        if !policy.antidiag_in_shared && f > 0.0 {
-            let score_read = (2 * width * 4) as f64 * f;
-            let score_write = (width * 4) as f64 * f;
-            ctx.hbm_read(score_read as u64, AccessPattern::Coalesced, 4);
-            ctx.hbm_write(score_write as u64, AccessPattern::Coalesced, 4);
-        }
-        if f > 0.0 {
-            let q_bytes = (width as f64 * f) as u64;
-            ctx.hbm_read(q_bytes, AccessPattern::Coalesced, 1);
-            ctx.hbm_read(q_bytes, char_pattern, 1);
-        }
+        ctx.strided_loop(width, costs.instr_per_cell);
+        charge_streaming(ctx, policy, width, &costs);
         ctx.sync_threads();
 
         // --- Phase 2: trim −∞ runs (thread 0, Algorithm 1 lines 10–15). ---
@@ -263,7 +301,7 @@ pub fn logan_block_extend(
         }
 
         // Serial dependency to the next anti-diagonal.
-        ctx.stall(iter_stall);
+        ctx.stall(costs.iter_stall);
 
         // Rotate buffers.
         std::mem::swap(&mut prev2, &mut prev);
@@ -281,6 +319,72 @@ pub fn logan_block_extend(
         max_width,
         dropped,
     }
+}
+
+/// The [`Engine::Simd`]-dispatched block path: the per-cell values come
+/// from the lane-parallel i16 stepper in `logan-align`, while every
+/// SIMT cost is booked through the same helpers and in the same order
+/// as [`logan_block_extend`]. Because the stepper reports the exact
+/// per-anti-diagonal widths and trim counts — and the engines are
+/// bit-identical — the accounted counters (and hence simulated time)
+/// are equal between engines; only host wall-clock differs.
+///
+/// Falls back to [`logan_block_extend`] when the job is outside the
+/// i16 kernel's exactness window (`logan_align::simd::simd_eligible`).
+pub fn logan_block_extend_simd(
+    ctx: &mut BlockCtx,
+    query: &Seq,
+    target: &Seq,
+    scoring: Scoring,
+    x: i32,
+    policy: &KernelPolicy,
+) -> ExtensionResult {
+    let Some(mut state) = SimdState::new(query, target, scoring, x) else {
+        // Empty or ineligible job: the scalar path handles both (and
+        // books nothing for empty jobs, same as this early return).
+        return logan_block_extend(ctx, query, target, scoring, x, policy);
+    };
+    let (m, n) = (query.len(), target.len());
+    let threads = ctx.threads();
+    let costs = block_prologue(ctx, m, n, policy);
+    // Scratch handed to the reduction cost model. Its *cost* depends
+    // only on the lane count; the stepper already performed the exact
+    // max/argmax, so lane 0 carries the row maximum and the rest are
+    // idle sentinels.
+    let mut lane_vals: Vec<(i32, usize)> = Vec::with_capacity(threads);
+
+    loop {
+        match state.step() {
+            SimdStep::Finished => break,
+            SimdStep::Dropped { width } => {
+                ctx.record_iteration(width.min(threads));
+                ctx.strided_loop(width, costs.instr_per_cell);
+                charge_streaming(ctx, policy, width, &costs);
+                ctx.sync_threads();
+                // Thread 0 scans the whole (dead) anti-diagonal before
+                // concluding the drop, as in the scalar path.
+                ctx.thread0(BOUNDS_UPDATE_BASE_INSTR + TRIM_INSTR_PER_CELL * width as u32);
+                break;
+            }
+            SimdStep::Advanced(stats) => {
+                ctx.record_iteration(stats.width.min(threads));
+                ctx.strided_loop(stats.width, costs.instr_per_cell);
+                charge_streaming(ctx, policy, stats.width, &costs);
+                ctx.sync_threads();
+                ctx.thread0(
+                    BOUNDS_UPDATE_BASE_INSTR
+                        + TRIM_INSTR_PER_CELL * (stats.trim_front + stats.trim_back) as u32,
+                );
+                let live_lanes = stats.width.min(threads);
+                lane_vals.clear();
+                lane_vals.resize(live_lanes, (NEG_INF, usize::MAX));
+                lane_vals[0] = (stats.row_max, 0);
+                ctx.block_reduce_max_idx(&lane_vals);
+                ctx.stall(costs.iter_stall);
+            }
+        }
+    }
+    state.into_result()
 }
 
 #[cfg(test)]
@@ -361,6 +465,80 @@ mod tests {
         assert!(c.counters.hbm_read_bytes > 0, "cold sequence load counted");
         assert!(c.counters.barriers > 0);
         assert!(c.counters.thread_ops >= r.cells * LOGAN_INSTR_PER_CELL as u64);
+    }
+
+    #[test]
+    fn simd_block_path_matches_scalar_results_and_counters() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = ErrorModel::new(ErrorProfile::pacbio(0.15));
+        for trial in 0..10 {
+            let len = 60 + trial * 47;
+            let template = random_seq(len, &mut rng);
+            let (a, _) = model.corrupt(&template, &mut rng);
+            let (b, _) = model.corrupt(&template, &mut rng);
+            for x in [0, 10, 100] {
+                for threads in [32, 256] {
+                    let mut pol = KernelPolicy::new(threads);
+                    pol.hbm_charge_fraction = 0.5;
+                    let mut c_scalar = ctx(threads);
+                    let r_scalar =
+                        logan_block_extend(&mut c_scalar, &a, &b, Scoring::default(), x, &pol);
+                    pol.engine = Engine::Simd;
+                    let mut c_simd = ctx(threads);
+                    let r_simd =
+                        logan_block_extend_simd(&mut c_simd, &a, &b, Scoring::default(), x, &pol);
+                    assert_eq!(r_simd, r_scalar, "results: trial {trial} x {x} t {threads}");
+                    assert_eq!(
+                        c_simd.counters, c_scalar.counters,
+                        "counters: trial {trial} x {x} t {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_block_path_falls_back_when_ineligible() {
+        // X beyond the i16 window: the SIMD path must defer to the
+        // scalar block kernel (identical results and counters).
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = random_seq(150, &mut rng);
+        let b = random_seq(150, &mut rng);
+        let x = i32::MAX / 4;
+        let pol = KernelPolicy::new(64);
+        let mut c1 = ctx(64);
+        let r1 = logan_block_extend(&mut c1, &a, &b, Scoring::default(), x, &pol);
+        let mut c2 = ctx(64);
+        let r2 = logan_block_extend_simd(&mut c2, &a, &b, Scoring::default(), x, &pol);
+        assert_eq!(r1, r2);
+        assert_eq!(c1.counters, c2.counters);
+    }
+
+    #[test]
+    fn kernel_dispatch_selects_engine() {
+        let set = PairSet::generate_with_lengths(4, 0.15, 200, 400, 8);
+        let jobs: Vec<ExtensionJob> = set
+            .pairs
+            .iter()
+            .map(|p| ExtensionJob {
+                query: p.query.clone(),
+                target: p.target.clone(),
+            })
+            .collect();
+        let mut pol = KernelPolicy::new(128);
+        pol.engine = Engine::Simd;
+        let kernel = LoganKernel {
+            jobs: &jobs,
+            scoring: Scoring::default(),
+            x: 50,
+            policy: pol,
+        };
+        for (i, job) in jobs.iter().enumerate() {
+            let mut c = ctx(128);
+            let got = kernel.run_block(&mut c, i);
+            let want = xdrop_extend(&job.query, &job.target, Scoring::default(), 50);
+            assert_eq!(got, want, "job {i}");
+        }
     }
 
     #[test]

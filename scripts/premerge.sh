@@ -2,11 +2,13 @@
 # Pre-merge gate for LOGAN-rs. Run from the repository root:
 #
 #     ./scripts/premerge.sh          # full gate (what CI runs)
-#     ./scripts/premerge.sh --quick  # skip the release build
+#     ./scripts/premerge.sh --quick  # skip the release build and benches
 #
 # Mirrors the tier-1 definition in ROADMAP.md plus the style gates:
-# rustfmt, clippy (warnings are errors), release build, full test suite,
-# and warning-free rustdoc.
+# no-#[ignore] guard, rustfmt, clippy (warnings are errors), release
+# build, the engine differential suite, the full test suite, and
+# warning-free rustdoc. `--quick` skips the release build and leaves
+# bench targets out of clippy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,16 +17,30 @@ quick=0
 
 step() { printf '\n==> %s\n' "$*"; }
 
+step "guard: no #[ignore]d tests"
+# An ignored test silently drops coverage — in particular the engine
+# differential suite must never be muted. Fail if any sneaks in.
+if grep -RIn --include='*.rs' -e '#\[ignore' crates src tests examples; then
+  echo "error: #[ignore]d tests are not allowed (listed above)" >&2
+  exit 1
+fi
+
 step "cargo fmt --check"
 cargo fmt --check
 
-step "cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
 if [[ $quick -eq 0 ]]; then
+  step "cargo clippy --workspace --all-targets -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+
   step "cargo build --release"
   cargo build --release
+else
+  step "cargo clippy (quick: benches skipped)"
+  cargo clippy --workspace --lib --bins --tests --examples -- -D warnings
 fi
+
+step "differential suite: Engine::Simd vs Engine::Scalar vs gpusim"
+cargo test -q --test simd_equivalence
 
 step "cargo test -q"
 cargo test -q

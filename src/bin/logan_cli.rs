@@ -1,8 +1,9 @@
 //! `logan_cli` — command-line front end for LOGAN-rs.
 //!
 //! ```text
-//! logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--gpus N]
+//! logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--gpus N] [--engine scalar|simd]
 //! logan_cli overlap <reads.fa>                [-x N] [--gpus N] [-k K] [--min-overlap L]
+//!                                             [--engine scalar|simd]
 //! ```
 //!
 //! `pairs` aligns record *i* of the first file against record *i* of the
@@ -20,8 +21,10 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--gpus N]\n  \
-         logan_cli overlap <reads.fa> [-x N] [--gpus N] [-k K] [--min-overlap L]"
+        "usage:\n  logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--gpus N] \
+         [--engine scalar|simd]\n  \
+         logan_cli overlap <reads.fa> [-x N] [--gpus N] [-k K] [--min-overlap L] \
+         [--engine scalar|simd]"
     );
     ExitCode::from(2)
 }
@@ -31,6 +34,7 @@ struct Opts {
     gpus: usize,
     k: usize,
     min_overlap: usize,
+    engine: Engine,
     positional: Vec<String>,
 }
 
@@ -40,6 +44,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         gpus: 1,
         k: 17,
         min_overlap: 2000,
+        // Results are engine-independent; the flag (or LOGAN_ENGINE)
+        // only picks how fast the host computes them.
+        engine: Engine::from_env(),
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -61,6 +68,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.min_overlap = grab("--min-overlap")?
                     .parse()
                     .map_err(|e| format!("--min-overlap: {e}"))?
+            }
+            "--engine" => {
+                opts.engine = grab("--engine")?
+                    .parse()
+                    .map_err(|e| format!("--engine: {e}"))?
             }
             _ => opts.positional.push(a.clone()),
         }
@@ -135,7 +147,9 @@ fn cmd_pairs(opts: &Opts) -> Result<(), String> {
         );
     }
 
-    let multi = MultiGpu::new(opts.gpus, DeviceSpec::v100(), LoganConfig::with_x(opts.x));
+    let mut cfg = LoganConfig::with_x(opts.x);
+    cfg.engine = opts.engine;
+    let multi = MultiGpu::new(opts.gpus, DeviceSpec::v100(), cfg);
     let (results, report) = multi.align_pairs(&pairs);
     println!("#query\ttarget\tscore\tq_start\tq_end\tt_start\tt_end\tcells");
     let mut pi = 0usize;
@@ -186,7 +200,9 @@ fn cmd_overlap(opts: &Opts) -> Result<(), String> {
         ..BellaConfig::with_x(opts.x)
     };
     let pipeline = BellaPipeline::new(config);
-    let multi = MultiGpu::new(opts.gpus, DeviceSpec::v100(), LoganConfig::with_x(opts.x));
+    let mut gpu_cfg = LoganConfig::with_x(opts.x);
+    gpu_cfg.engine = opts.engine;
+    let multi = MultiGpu::new(opts.gpus, DeviceSpec::v100(), gpu_cfg);
     let out = pipeline.run(&seqs, &AlignerBackend::Multi(&multi));
 
     println!("#read1\tread2\tscore\test_overlap\tq_span\tt_span\tkept");

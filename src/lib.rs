@@ -47,7 +47,8 @@ pub use logan_seq as seq;
 pub mod prelude {
     pub use logan_align::{
         banded_sw, ksw2_extend, needleman_wunsch, seed_extend, smith_waterman, xdrop_extend,
-        CpuBatchAligner, ExtensionResult, Ksw2Params, SeedExtendResult, XDropExtender,
+        xdrop_extend_simd, CpuBatchAligner, Engine, ExtensionResult, Ksw2Params, SeedExtendResult,
+        XDropExtender,
     };
     pub use logan_bella::{BellaConfig, BellaPipeline, OverlapMetrics};
     pub use logan_core::{
