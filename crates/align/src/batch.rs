@@ -9,7 +9,7 @@
 //! published tables.
 
 use crate::result::SeedExtendResult;
-use crate::seed_extend::{seed_extend, Extender};
+use crate::seed_extend::Extender;
 use logan_seq::readsim::ReadPair;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -76,14 +76,24 @@ impl CpuBatchAligner {
         )
     }
 
-    /// Align every pair with `ext`, in parallel.
+    /// Align every pair with `ext`, in parallel. Each worker thread
+    /// reuses one [`crate::workspace::AlignWorkspace`]
+    /// ([`crate::workspace::with_thread_workspace`]), so a batch of a
+    /// million pairs performs O(threads) scratch allocations, not
+    /// O(pairs × diagonals) — the host-side analogue of the kernel's
+    /// preallocated per-block buffers (DESIGN.md §7).
     pub fn run<E: Extender + Sync>(&self, pairs: &[ReadPair], ext: &E) -> BatchResult {
+        use crate::workspace::with_thread_workspace;
         use rayon::prelude::*;
         let start = Instant::now();
         let results: Vec<SeedExtendResult> = self.pool.install(|| {
             pairs
                 .par_iter()
-                .map(|p| seed_extend(&p.query, &p.target, p.seed, ext))
+                .map(|p| {
+                    with_thread_workspace(|ws| {
+                        crate::seed_extend::seed_extend_with(&p.query, &p.target, p.seed, ext, ws)
+                    })
+                })
                 .collect()
         });
         let wall = start.elapsed();
@@ -114,6 +124,7 @@ impl CpuBatchAligner {
 mod tests {
     use super::*;
     use crate::ksw2::{ksw2_extend, Ksw2Params};
+    use crate::seed_extend::seed_extend;
     use crate::xdrop::XDropExtender;
     use logan_seq::readsim::PairSet;
     use logan_seq::Scoring;

@@ -22,6 +22,9 @@
 //!   (the paper's Table III / Fig. 9 baseline).
 //! * [`batch`] — a multi-threaded batch runner over read pairs: the
 //!   "SeqAn + OpenMP" configuration BELLA uses on the CPU.
+//! * [`workspace`] — reusable per-thread scratch ([`AlignWorkspace`])
+//!   owning every buffer the extension stack needs, so warm extensions
+//!   are allocation-free (DESIGN.md §7).
 //!
 //! # Position in the workspace
 //!
@@ -47,6 +50,7 @@ pub mod result;
 pub mod seed_extend;
 pub mod simd;
 pub mod traceback;
+pub mod workspace;
 pub mod xdrop;
 
 pub use affine::{gotoh_extension_oracle, gotoh_global};
@@ -56,10 +60,11 @@ pub use full::{needleman_wunsch, smith_waterman};
 pub use ksw2::{ksw2_extend, Ksw2Params};
 pub use protein::{xdrop_extend_generic, SubstMatrix};
 pub use result::{AlignmentResult, ExtensionResult, SeedExtendResult};
-pub use seed_extend::{seed_extend, Extender};
-pub use simd::{simd_eligible, xdrop_extend_simd, Engine};
+pub use seed_extend::{seed_extend, seed_extend_with, Extender};
+pub use simd::{simd_eligible, xdrop_extend_simd, xdrop_extend_simd_with, Engine};
 pub use traceback::{nw_traceback, Cigar, CigarOp};
-pub use xdrop::{xdrop_extend, XDropExtender};
+pub use workspace::{with_thread_workspace, AlignWorkspace, AntiDiag, ScalarRings};
+pub use xdrop::{xdrop_extend, xdrop_extend_with, XDropExtender};
 
 /// Sentinel for "pruned / unreachable" DP cells. Chosen far from
 /// `i32::MIN` so that adding gap penalties can never wrap.

@@ -12,6 +12,7 @@
 //! The total score adds the seed itself (`k` matches).
 
 use crate::result::{ExtensionResult, SeedExtendResult};
+use crate::workspace::AlignWorkspace;
 use logan_seq::readsim::Seed;
 use logan_seq::Seq;
 
@@ -21,6 +22,17 @@ use logan_seq::Seq;
 pub trait Extender {
     /// Best semi-global extension of prefixes of `query` / `target`.
     fn extend(&self, query: &Seq, target: &Seq) -> ExtensionResult;
+
+    /// Workspace-aware entry point (DESIGN.md §7): compute into
+    /// caller-owned scratch so repeated extensions are allocation-free.
+    /// The default ignores the workspace and defers to
+    /// [`Extender::extend`] — correct for extenders with no reusable
+    /// scratch (e.g. the simulated GPU executor, whose buffers live
+    /// device-side).
+    fn extend_with(&self, query: &Seq, target: &Seq, ws: &mut AlignWorkspace) -> ExtensionResult {
+        let _ = ws;
+        self.extend(query, target)
+    }
 
     /// The match score, needed to credit the seed bases.
     fn match_score(&self) -> i32;
@@ -32,11 +44,30 @@ pub trait Extender {
 /// Panics if the seed does not fit inside the sequences — a seed is a
 /// promise made by the caller (BELLA's k-mer machinery), and a bad one is
 /// a logic error upstream.
+///
+/// Thin allocating wrapper over [`seed_extend_with`]; batch callers hold
+/// an [`AlignWorkspace`] (one per worker) and call that directly.
 pub fn seed_extend<E: Extender>(
     query: &Seq,
     target: &Seq,
     seed: Seed,
     ext: &E,
+) -> SeedExtendResult {
+    seed_extend_with(query, target, seed, ext, &mut AlignWorkspace::new())
+}
+
+/// [`seed_extend`] computing into caller-owned scratch: the reversed
+/// prefixes of the left extension and the suffix views of the right
+/// extension are materialised into the workspace's sequence buffers
+/// (no `.reversed()`/`.subseq()` allocations), and the extensions
+/// themselves run through [`Extender::extend_with`] on the same
+/// workspace. Warm, the whole call performs zero heap allocations.
+pub fn seed_extend_with<E: Extender>(
+    query: &Seq,
+    target: &Seq,
+    seed: Seed,
+    ext: &E,
+    ws: &mut AlignWorkspace,
 ) -> SeedExtendResult {
     assert!(
         seed.qpos + seed.len <= query.len(),
@@ -47,14 +78,19 @@ pub fn seed_extend<E: Extender>(
         "seed exceeds target bounds"
     );
 
+    // The sequence scratch is moved out while the extension borrows the
+    // whole workspace, then moved back (both moves are pointer swaps).
+    let mut qs = std::mem::take(&mut ws.seq_q);
+    let mut ts = std::mem::take(&mut ws.seq_t);
+
     // Left: reversed prefixes, so "end" positions count backwards from
     // the seed start.
     let left = if seed.qpos == 0 || seed.tpos == 0 {
         ExtensionResult::zero()
     } else {
-        let ql = query.subseq(0, seed.qpos).reversed();
-        let tl = target.subseq(0, seed.tpos).reversed();
-        ext.extend(&ql, &tl)
+        qs.assign_reversed_range(query, 0, seed.qpos);
+        ts.assign_reversed_range(target, 0, seed.tpos);
+        ext.extend_with(&qs, &ts, ws)
     };
 
     // Right: suffixes after the seed.
@@ -63,10 +99,13 @@ pub fn seed_extend<E: Extender>(
     let right = if qr_start == query.len() || tr_start == target.len() {
         ExtensionResult::zero()
     } else {
-        let qr = query.subseq(qr_start, query.len());
-        let tr = target.subseq(tr_start, target.len());
-        ext.extend(&qr, &tr)
+        qs.assign_range(query, qr_start, query.len());
+        ts.assign_range(target, tr_start, target.len());
+        ext.extend_with(&qs, &ts, ws)
     };
+
+    ws.seq_q = qs;
+    ws.seq_t = ts;
 
     let score = left.score + right.score + seed.len as i32 * ext.match_score();
     SeedExtendResult {

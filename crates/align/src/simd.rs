@@ -9,7 +9,7 @@
 //! arithmetic, which LLVM auto-vectorizes to whatever SIMD width the
 //! host offers — while keeping the exact bounds, pruning, trimming,
 //! tie-break and termination logic of the scalar ground truth
-//! [`xdrop_extend`].
+//! [`xdrop_extend`](crate::xdrop::xdrop_extend).
 //!
 //! # Bit-for-bit equality, by construction
 //!
@@ -43,7 +43,8 @@
 //! is the plain "run to completion" wrapper.
 
 use crate::result::ExtensionResult;
-use crate::xdrop::xdrop_extend;
+use crate::workspace::AlignWorkspace;
+use crate::xdrop::xdrop_extend_with;
 use logan_seq::{Scoring, Seq};
 use serde::{Deserialize, Serialize};
 
@@ -72,7 +73,7 @@ pub const SIMD_MAX_SCORE: i32 = (i16::MAX / 2) as i32;
 /// at runtime (CLI `--engine`, `LOGAN_ENGINE`, or per-config fields).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Engine {
-    /// The scalar i32 reference ([`xdrop_extend`]): the semantic ground
+    /// The scalar i32 reference ([`xdrop_extend`](crate::xdrop::xdrop_extend)): the semantic ground
     /// truth every other backend is tested against.
     #[default]
     Scalar,
@@ -82,11 +83,27 @@ pub enum Engine {
 }
 
 impl Engine {
-    /// Extend with this engine. Same contract as [`xdrop_extend`].
+    /// Extend with this engine. Same contract as [`xdrop_extend`](crate::xdrop::xdrop_extend).
+    ///
+    /// Thin allocating wrapper over [`Engine::extend_with`].
     pub fn extend(self, query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> ExtensionResult {
+        self.extend_with(query, target, scoring, x, &mut AlignWorkspace::new())
+    }
+
+    /// Extend with this engine into caller-owned scratch (DESIGN.md §7):
+    /// whichever kernel runs, all of its buffers come from `ws`, so a
+    /// warm workspace makes the call allocation-free.
+    pub fn extend_with(
+        self,
+        query: &Seq,
+        target: &Seq,
+        scoring: Scoring,
+        x: i32,
+        ws: &mut AlignWorkspace,
+    ) -> ExtensionResult {
         match self {
-            Engine::Scalar => xdrop_extend(query, target, scoring, x),
-            Engine::Simd => xdrop_extend_simd(query, target, scoring, x),
+            Engine::Scalar => xdrop_extend_with(query, target, scoring, x, ws),
+            Engine::Simd => xdrop_extend_simd_with(query, target, scoring, x, ws),
         }
     }
 
@@ -162,13 +179,25 @@ struct Diag {
 }
 
 impl Diag {
-    fn sentinel() -> Diag {
-        Diag {
-            vals: vec![NEG_INF16; 2 * PAD],
-            base: 0,
-            lo: 0,
-            len: 0,
-        }
+    /// Reset to an all-sentinel diagonal (reads −∞ everywhere), reusing
+    /// the allocation.
+    fn reset_sentinel(&mut self) {
+        self.vals.clear();
+        self.vals.resize(2 * PAD, NEG_INF16);
+        self.base = 0;
+        self.lo = 0;
+        self.len = 0;
+    }
+
+    /// Reset to the `d = 0` origin diagonal (single cell scoring 0),
+    /// reusing the allocation.
+    fn reset_origin(&mut self) {
+        self.vals.clear();
+        self.vals.resize(2 * PAD + 1, NEG_INF16);
+        self.vals[PAD] = 0;
+        self.base = 0;
+        self.lo = 0;
+        self.len = 1;
     }
 
     /// Range-checked read against the *computed* window; everything
@@ -182,6 +211,26 @@ impl Diag {
             self.vals[PAD + i - self.base]
         }
     }
+}
+
+/// The i16 kernel's scratch buffers, owned by an
+/// [`AlignWorkspace`] (DESIGN.md §7):
+/// the three padded anti-diagonal rings plus the lane-widened
+/// query/target buffers. Buffers grow to the largest extension seen and
+/// are then reused; every [`SimdState::new`] fully re-initialises what
+/// the kernel reads, so no state leaks between extensions.
+#[derive(Debug, Default)]
+pub struct SimdScratch {
+    /// Query codes widened to i16 (index `i − 1` for query position `i`).
+    q16: Vec<i16>,
+    /// Target codes, *reversed* and widened: cell `(i, j = d − i)` reads
+    /// `trev16[n + i − d]`, so every anti-diagonal walks both sequences
+    /// in increasing address order — the CPU mirror of LOGAN's Fig. 6
+    /// sequence reversal.
+    trev16: Vec<i16>,
+    prev2: Diag,
+    prev: Diag,
+    cur: Diag,
 }
 
 /// Per-anti-diagonal statistics reported by [`SimdState::step`], sized
@@ -218,16 +267,13 @@ pub enum SimdStep {
 }
 
 /// Rolling state of a lane-parallel X-drop extension, advanced one
-/// anti-diagonal per [`step`](SimdState::step) call.
-#[derive(Debug, Clone)]
-pub struct SimdState {
-    /// Query codes widened to i16 (index `i − 1` for query position `i`).
-    q16: Vec<i16>,
-    /// Target codes, *reversed* and widened: cell `(i, j = d − i)` reads
-    /// `trev16[n + i − d]`, so every anti-diagonal walks both sequences
-    /// in increasing address order — the CPU mirror of LOGAN's Fig. 6
-    /// sequence reversal.
-    trev16: Vec<i16>,
+/// anti-diagonal per [`step`](SimdState::step) call. All buffers are
+/// borrowed from a caller-owned [`SimdScratch`], so running extensions
+/// back to back through the same scratch performs no heap allocation
+/// once the buffers are warm.
+#[derive(Debug)]
+pub struct SimdState<'w> {
+    scratch: &'w mut SimdScratch,
     m: usize,
     n: usize,
     mat: i16,
@@ -235,9 +281,6 @@ pub struct SimdState {
     gap: i16,
     x: i32,
     d: usize,
-    prev2: Diag,
-    prev: Diag,
-    cur: Diag,
     best: i32,
     best_i: usize,
     best_d: usize,
@@ -248,25 +291,38 @@ pub struct SimdState {
     finished: bool,
 }
 
-impl SimdState {
-    /// Start an extension, or `None` when the inputs are empty or not
-    /// [`simd_eligible`] (callers then use the scalar routine).
+impl<'w> SimdState<'w> {
+    /// Start an extension in the given scratch, or `None` when the
+    /// inputs are empty or not [`simd_eligible`] (callers then use the
+    /// scalar routine). Whatever the scratch held before is fully
+    /// re-initialised.
     ///
-    /// Panics if `x` is negative, like [`xdrop_extend`].
-    pub fn new(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> Option<SimdState> {
+    /// Panics if `x` is negative, like [`xdrop_extend`](crate::xdrop::xdrop_extend).
+    pub fn new(
+        query: &Seq,
+        target: &Seq,
+        scoring: Scoring,
+        x: i32,
+        scratch: &'w mut SimdScratch,
+    ) -> Option<SimdState<'w>> {
         assert!(x >= 0, "X-drop parameter must be non-negative");
         if query.is_empty() || target.is_empty() || !simd_eligible(query, target, scoring, x) {
             return None;
         }
-        let q16: Vec<i16> = query.as_slice().iter().map(|&b| b as i16).collect();
-        let trev16: Vec<i16> = target.as_slice().iter().rev().map(|&b| b as i16).collect();
+        scratch.q16.clear();
+        scratch
+            .q16
+            .extend(query.as_slice().iter().map(|&b| b as i16));
+        scratch.trev16.clear();
+        scratch
+            .trev16
+            .extend(target.as_slice().iter().rev().map(|&b| b as i16));
+        scratch.prev2.reset_sentinel();
         // d = 0: the single origin cell with score 0.
-        let mut origin = Diag::sentinel();
-        origin.vals.insert(PAD, 0);
-        origin.len = 1;
+        scratch.prev.reset_origin();
+        scratch.cur.reset_sentinel();
         Some(SimdState {
-            q16,
-            trev16,
+            scratch,
             m: query.len(),
             n: target.len(),
             mat: scoring.match_score as i16,
@@ -274,9 +330,6 @@ impl SimdState {
             gap: scoring.gap as i16,
             x,
             d: 0,
-            prev2: Diag::sentinel(),
-            prev: origin,
-            cur: Diag::default(),
             best: 0,
             best_i: 0,
             best_d: 0,
@@ -302,8 +355,8 @@ impl SimdState {
         }
         // Candidate bounds from the previous live range, clamped to the
         // matrix — identical to the scalar routine.
-        let lo = self.prev.lo.max(d.saturating_sub(n));
-        let hi = (self.prev.lo + self.prev.len).min(d).min(m);
+        let lo = self.scratch.prev.lo.max(d.saturating_sub(n));
+        let hi = (self.scratch.prev.lo + self.scratch.prev.len).min(d).min(m);
         if lo > hi {
             self.finished = true;
             return SimdStep::Finished;
@@ -317,14 +370,13 @@ impl SimdState {
         let (mat, mis, gap) = (self.mat, self.mis, self.gap);
 
         let row_max = {
-            let SimdState {
+            let SimdScratch {
                 q16,
                 trev16,
                 prev2,
                 prev,
                 cur,
-                ..
-            } = self;
+            } = &mut *self.scratch;
             cur.vals.clear();
             cur.vals.resize(w + 2 * PAD, NEG_INF16);
             cur.base = lo;
@@ -401,12 +453,12 @@ impl SimdState {
 
         // Trim −∞ runs from both ends. The scans exit early, so their
         // cost is proportional to the trimmed cells, not the width.
-        let vals = &self.cur.vals[PAD..PAD + w];
+        let vals = &self.scratch.cur.vals[PAD..PAD + w];
         let kf = vals.iter().position(|&v| v > NEG_INF16).unwrap();
         let kl = vals.iter().rposition(|&v| v > NEG_INF16).unwrap();
-        self.cur.lo = lo + kf;
-        self.cur.len = kl - kf + 1;
-        self.max_width = self.max_width.max(self.cur.len);
+        self.scratch.cur.lo = lo + kf;
+        self.scratch.cur.len = kl - kf + 1;
+        self.max_width = self.max_width.max(self.scratch.cur.len);
 
         // Raise the global best; the argmax scan (earliest i wins, the
         // kernel reduction's tie-break) only runs on improvement, and
@@ -434,11 +486,12 @@ impl SimdState {
 
         // Rotate the three buffers, as the GPU rotates its HBM
         // anti-diagonals.
-        std::mem::swap(&mut self.prev2, &mut self.prev);
-        std::mem::swap(&mut self.prev, &mut self.cur);
+        let s = &mut *self.scratch;
+        std::mem::swap(&mut s.prev2, &mut s.prev);
+        std::mem::swap(&mut s.prev, &mut s.cur);
         SimdStep::Advanced(DiagStats {
             width: w,
-            live_width: self.prev.len,
+            live_width: s.prev.len,
             trim_front: kf,
             trim_back: w - 1 - kl,
             row_max: row_max as i32,
@@ -502,18 +555,38 @@ fn chunk_cells(
     out
 }
 
-/// Lane-parallel X-drop extension: bit-identical to [`xdrop_extend`]
+/// Lane-parallel X-drop extension: bit-identical to [`xdrop_extend`](crate::xdrop::xdrop_extend)
 /// (to which it silently falls back when the inputs are not
 /// [`simd_eligible`]), typically several times faster on long
 /// extensions.
+///
+/// Thin allocating wrapper over [`xdrop_extend_simd_with`]; hot callers
+/// hold an [`AlignWorkspace`] and call that directly.
 pub fn xdrop_extend_simd(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> ExtensionResult {
+    xdrop_extend_simd_with(query, target, scoring, x, &mut AlignWorkspace::new())
+}
+
+/// [`xdrop_extend_simd`] computing into caller-owned scratch
+/// (DESIGN.md §7): the i16 rings and lane-widened sequence buffers come
+/// from `ws`, as do the scalar rings when the input falls back. A warm
+/// workspace makes the call allocation-free; results are bit-identical
+/// to a fresh-workspace run regardless of the workspace's history.
+pub fn xdrop_extend_simd_with(
+    query: &Seq,
+    target: &Seq,
+    scoring: Scoring,
+    x: i32,
+    ws: &mut AlignWorkspace,
+) -> ExtensionResult {
     assert!(x >= 0, "X-drop parameter must be non-negative");
     if query.is_empty() || target.is_empty() {
         return ExtensionResult::zero();
     }
-    let Some(mut state) = SimdState::new(query, target, scoring, x) else {
-        return xdrop_extend(query, target, scoring, x);
-    };
+    if !simd_eligible(query, target, scoring, x) {
+        return xdrop_extend_with(query, target, scoring, x, ws);
+    }
+    let mut state =
+        SimdState::new(query, target, scoring, x, &mut ws.simd).expect("eligibility checked above");
     while let SimdStep::Advanced(_) = state.step() {}
     state.into_result()
 }
@@ -521,6 +594,7 @@ pub fn xdrop_extend_simd(query: &Seq, target: &Seq, scoring: Scoring, x: i32) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::xdrop::xdrop_extend;
     use logan_seq::readsim::random_seq;
     use logan_seq::{Base, ErrorModel, ErrorProfile};
     use rand::rngs::StdRng;
@@ -684,7 +758,8 @@ mod tests {
         let model = ErrorModel::new(ErrorProfile::pacbio(0.12));
         let (a, _) = model.corrupt(&template, &mut rng);
         let (b, _) = model.corrupt(&template, &mut rng);
-        let mut st = SimdState::new(&a, &b, Scoring::default(), 40).unwrap();
+        let mut scratch = SimdScratch::default();
+        let mut st = SimdState::new(&a, &b, Scoring::default(), 40, &mut scratch).unwrap();
         let mut widths = 0u64;
         let mut iters = 0u64;
         loop {

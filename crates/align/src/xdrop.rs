@@ -23,40 +23,9 @@
 
 use crate::result::ExtensionResult;
 use crate::simd::Engine;
+use crate::workspace::{AlignWorkspace, ScalarRings};
 use crate::NEG_INF;
 use logan_seq::{Scoring, Seq};
-
-/// One anti-diagonal: scores for `i ∈ [lo, lo + vals.len())`, where `i`
-/// is the query-prefix index and the target index is `j = d − i`.
-#[derive(Debug, Default, Clone)]
-struct AntiDiag {
-    vals: Vec<i32>,
-    lo: usize,
-}
-
-impl AntiDiag {
-    /// Score at query index `i`, or −∞ outside the live range.
-    ///
-    /// Contract: `i == usize::MAX` is a legal probe and reads as −∞.
-    /// Callers computing a neighbour index with `wrapping_sub(1)` at
-    /// `i = 0` rely on this; it is handled by an explicit check rather
-    /// than by the range comparison, which only rejects `usize::MAX`
-    /// incidentally (because `lo + vals.len()` never overflows for real
-    /// diagonals).
-    #[inline(always)]
-    fn get(&self, i: usize) -> i32 {
-        if i == usize::MAX || i < self.lo || i >= self.lo + self.vals.len() {
-            NEG_INF
-        } else {
-            self.vals[i - self.lo]
-        }
-    }
-
-    fn hi(&self) -> usize {
-        debug_assert!(!self.vals.is_empty());
-        self.lo + self.vals.len() - 1
-    }
-}
 
 /// Extend from the origin: best semi-global alignment of a prefix of
 /// `query` against a prefix of `target` under the X-drop condition.
@@ -64,7 +33,24 @@ impl AntiDiag {
 /// `x` must be non-negative; `x = i32::MAX / 4` effectively disables
 /// pruning and yields the exact semi-global optimum (used by the oracle
 /// tests).
+///
+/// Thin allocating wrapper over [`xdrop_extend_with`]; hot callers hold
+/// an [`AlignWorkspace`] and call that directly.
 pub fn xdrop_extend(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> ExtensionResult {
+    xdrop_extend_with(query, target, scoring, x, &mut AlignWorkspace::new())
+}
+
+/// [`xdrop_extend`] computing into caller-owned scratch: all three
+/// anti-diagonal rings live in `ws` (DESIGN.md §7), so a warm workspace
+/// makes the call allocation-free. Results are bit-identical to a
+/// fresh-workspace run regardless of what `ws` was previously used for.
+pub fn xdrop_extend_with(
+    query: &Seq,
+    target: &Seq,
+    scoring: Scoring,
+    x: i32,
+    ws: &mut AlignWorkspace,
+) -> ExtensionResult {
     assert!(x >= 0, "X-drop parameter must be non-negative");
     let m = query.len();
     let n = target.len();
@@ -82,82 +68,87 @@ pub fn xdrop_extend(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> Exte
     let mut max_width: usize = 1;
     let mut dropped = false;
 
-    // d = 0 holds the single origin cell with score 0.
-    let mut prev2 = AntiDiag::default(); // d - 2 (empty for now)
-    let mut prev = AntiDiag {
-        vals: vec![0],
-        lo: 0,
-    };
-    let mut cur = AntiDiag::default();
+    // d = 0 holds the single origin cell with score 0; the rings keep
+    // their allocations across calls (the reuse this module is for).
+    ws.rings.reset();
+    let ScalarRings { prev2, prev, cur } = &mut ws.rings;
 
     for d in 1..=(m + n) {
         // Candidate bounds derive from the previous live range (Algorithm
         // 1: the trimmed anti-diagonal defines the next one), clamped to
         // the matrix.
-        let lo = prev.lo.max(d.saturating_sub(n));
-        let hi = (prev.hi() + 1).min(d).min(m);
+        let lo = prev.lo().max(d.saturating_sub(n));
+        let hi = (prev.lo() + prev.live_len()).min(d).min(m);
         if lo > hi {
             // The band slid off the matrix edge; nothing left to compute.
             break;
         }
-
-        cur.lo = lo;
-        cur.vals.clear();
-        cur.vals.reserve(hi - lo + 1);
+        let width = hi - lo + 1;
         let threshold = best - x;
-        for i in lo..=hi {
-            let j = d - i;
+        let out = cur.begin(lo, width);
+
+        // Boundary cells, peeled so the interior loop is branch-free on
+        // move legality. At i = 0 (j = d) only the horizontal move — a
+        // gap consuming target bases — can reach the cell; at i = d
+        // (j = 0) only the vertical move.
+        if lo == 0 {
+            let mut v = prev.get(0) + scoring.gap;
+            if v < threshold {
+                v = NEG_INF;
+            }
+            out[0] = v;
+        }
+        if hi == d {
+            let mut v = prev.get(d - 1) + scoring.gap;
+            if v < threshold {
+                v = NEG_INF;
+            }
+            out[d - lo] = v;
+        }
+
+        // Interior cells have i ≥ 1 and j ≥ 1: all three moves are in
+        // play unconditionally.
+        let ilo = lo.max(1);
+        let ihi = hi.min(d - 1);
+        for i in ilo..=ihi {
             // Diagonal move: consume one base of each sequence.
-            let diag = if i >= 1 && j >= 1 {
-                prev2.get(i - 1) + scoring.substitution(q[i - 1] == t[j - 1])
-            } else {
-                NEG_INF
-            };
+            let diag = prev2.get(i - 1) + scoring.substitution(q[i - 1] == t[d - i - 1]);
             // Vertical move: gap in the target (consume query base).
-            let up = if i >= 1 {
-                prev.get(i - 1) + scoring.gap
-            } else {
-                NEG_INF
-            };
+            let up = prev.get(i - 1) + scoring.gap;
             // Horizontal move: gap in the query (consume target base).
-            let left = if j >= 1 {
-                prev.get(i) + scoring.gap
-            } else {
-                NEG_INF
-            };
+            let left = prev.get(i) + scoring.gap;
             let mut val = diag.max(up).max(left);
             if val < threshold {
                 val = NEG_INF;
             }
-            cur.vals.push(val);
+            out[i - lo] = val;
         }
-        cells += (hi - lo + 1) as u64;
+        cells += width as u64;
         iterations += 1;
 
-        // Trim -inf runs from both ends (ReduceAntiDiagFromStart/End).
-        let first_live = cur.vals.iter().position(|&v| v > NEG_INF);
-        match first_live {
+        // Trim -inf runs from both ends (ReduceAntiDiagFromStart/End) —
+        // offset moves only, no memmove.
+        let computed = cur.computed();
+        match computed.iter().position(|&v| v > NEG_INF) {
             None => {
                 dropped = true;
                 break;
             }
-            Some(k) => {
-                let last_live = cur.vals.iter().rposition(|&v| v > NEG_INF).unwrap();
-                cur.vals.drain(..k);
-                cur.vals.truncate(last_live - k + 1);
-                cur.lo += k;
+            Some(kf) => {
+                let kl = computed.iter().rposition(|&v| v > NEG_INF).unwrap();
+                cur.trim(kf, kl);
             }
         }
-        max_width = max_width.max(cur.vals.len());
+        max_width = max_width.max(cur.live_len());
 
         // Raise the global best to this anti-diagonal's maximum, taking
         // the smallest i on the earliest anti-diagonal as the tie-break —
         // the same rule the kernel's reduction follows.
         let (mut row_max, mut row_arg) = (NEG_INF, 0usize);
-        for (k, &v) in cur.vals.iter().enumerate() {
+        for (k, &v) in cur.live().iter().enumerate() {
             if v > row_max {
                 row_max = v;
-                row_arg = cur.lo + k;
+                row_arg = cur.lo() + k;
             }
         }
         if row_max > best {
@@ -168,8 +159,8 @@ pub fn xdrop_extend(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> Exte
 
         // Rotate buffers: reuse allocations, as the GPU reuses its three
         // HBM anti-diagonal buffers.
-        std::mem::swap(&mut prev2, &mut prev);
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev2, prev);
+        std::mem::swap(prev, cur);
     }
 
     ExtensionResult {
@@ -211,6 +202,11 @@ impl XDropExtender {
 impl crate::seed_extend::Extender for XDropExtender {
     fn extend(&self, query: &Seq, target: &Seq) -> ExtensionResult {
         self.engine.extend(query, target, self.scoring, self.x)
+    }
+
+    fn extend_with(&self, query: &Seq, target: &Seq, ws: &mut AlignWorkspace) -> ExtensionResult {
+        self.engine
+            .extend_with(query, target, self.scoring, self.x, ws)
     }
 
     fn match_score(&self) -> i32 {
@@ -427,26 +423,82 @@ mod tests {
         let _ = xdrop_extend(&seq("A"), &seq("A"), Scoring::default(), -1);
     }
 
+    /// Golden regression for the offset-based trimming rewrite: results
+    /// on trim-heavy inputs, captured from the `drain(..k)`
+    /// implementation this replaced (seed 77; see the construction in
+    /// each case). Any change to bounds, pruning or trimming
+    /// arithmetic — not just scores, but cells/iterations/widths — trips
+    /// this without needing an oracle.
     #[test]
-    fn antidiag_wrapping_sub_probe_reads_neg_inf() {
-        // The documented `AntiDiag::get` contract: a caller probing the
-        // `i - 1` neighbour at `i = 0` through `wrapping_sub` must read
-        // −∞, exactly like any other out-of-range index.
-        let diag = AntiDiag {
-            vals: vec![3, 7, 1],
-            lo: 2,
-        };
-        assert_eq!(diag.get(0usize.wrapping_sub(1)), NEG_INF);
-        assert_eq!(diag.get(usize::MAX), NEG_INF);
-        // Ordinary out-of-range probes on both sides, and in-range hits.
-        assert_eq!(diag.get(1), NEG_INF);
-        assert_eq!(diag.get(5), NEG_INF);
-        assert_eq!(diag.get(2), 3);
-        assert_eq!(diag.get(4), 1);
-        // The empty diagonal reads −∞ everywhere, including usize::MAX.
-        let empty = AntiDiag::default();
-        assert_eq!(empty.get(0), NEG_INF);
-        assert_eq!(empty.get(usize::MAX), NEG_INF);
+    fn offset_trim_matches_drain_golden_results() {
+        use logan_seq::Base;
+        let mut rng = StdRng::seed_from_u64(77);
+        let golden =
+            |score, query_end, target_end, cells, iterations, max_width, dropped| ExtensionResult {
+                score,
+                query_end,
+                target_end,
+                cells,
+                iterations,
+                max_width,
+                dropped,
+            };
+
+        // Case 1: a 120-base mismatch prefix before a shared template —
+        // the live band must slide along the query edge (heavy front
+        // trimming) before locking onto the match diagonal.
+        let template = random_seq(300, &mut rng);
+        let mut q1: Seq = std::iter::repeat_n(Base::A, 120).collect();
+        q1.extend_from(&template);
+        let t1 = template.clone();
+        let mut ws = AlignWorkspace::new();
+        for (x, want) in [
+            (50, golden(0, 0, 0, 6892, 193, 52, true)),
+            (150, golden(180, 420, 300, 96650, 720, 221, false)),
+            (400, golden(180, 420, 300, 126192, 720, 301, false)),
+        ] {
+            let scoring = Scoring::new(1, -1, -1);
+            assert_eq!(xdrop_extend(&q1, &t1, scoring, x), want, "case1 x={x}");
+            // The same through a reused workspace.
+            assert_eq!(
+                xdrop_extend_with(&q1, &t1, scoring, x, &mut ws),
+                want,
+                "case1 (reused ws) x={x}"
+            );
+        }
+
+        // Case 2: shared flanks around divergent middles — the band
+        // repeatedly widens and collapses (trims on both ends).
+        let a = random_seq(200, &mut rng);
+        let mut q2 = a.clone();
+        q2.extend_from(&random_seq(60, &mut rng));
+        q2.extend_from(&a);
+        let mut t2 = a.clone();
+        t2.extend_from(&random_seq(60, &mut rng));
+        t2.extend_from(&a);
+        for (x, want) in [
+            (20, golden(202, 202, 202, 4286, 458, 12, true)),
+            (120, golden(364, 460, 460, 47672, 920, 78, false)),
+        ] {
+            let scoring = Scoring::new(1, -2, -2);
+            assert_eq!(xdrop_extend(&q2, &t2, scoring, x), want, "case2 x={x}");
+            assert_eq!(
+                xdrop_extend_with(&q2, &t2, scoring, x, &mut ws),
+                want,
+                "case2 (reused ws) x={x}"
+            );
+        }
+
+        // Case 3: pure divergence under BLAST-like scoring — everything
+        // trims away and the extension drops.
+        let b = random_seq(250, &mut rng);
+        let c = random_seq(250, &mut rng);
+        let want = golden(1, 1, 1, 999, 93, 16, true);
+        assert_eq!(xdrop_extend(&b, &c, Scoring::new(1, -2, -2), 25), want);
+        assert_eq!(
+            xdrop_extend_with(&b, &c, Scoring::new(1, -2, -2), 25, &mut ws),
+            want
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@ use crate::metrics::OverlapMetrics;
 use crate::prune::{reliable_bounds, reliable_kmers, ReliableBounds};
 use crate::spgemm::spgemm_candidates;
 use crate::threshold::AdaptiveThreshold;
-use logan_align::{seed_extend, CpuBatchAligner, SeedExtendResult, XDropExtender};
+use logan_align::{
+    seed_extend_with, AlignWorkspace, CpuBatchAligner, SeedExtendResult, XDropExtender,
+};
 use logan_core::{LoganExecutor, MultiGpu};
 use logan_seq::readsim::{ReadPair, ReadSet};
 use logan_seq::{Scoring, Seed, Seq};
@@ -267,16 +269,18 @@ impl BellaPipeline {
 }
 
 /// Reference single-threaded alignment of a candidate list — used by
-/// tests to pin backend results.
+/// tests to pin backend results. One workspace serves the whole list
+/// (DESIGN.md §7); results are identical to per-call fresh scratch.
 pub fn align_candidates_reference(
     pairs: &[ReadPair],
     scoring: Scoring,
     x: i32,
 ) -> Vec<SeedExtendResult> {
     let ext = XDropExtender::new(scoring, x);
+    let mut ws = AlignWorkspace::new();
     pairs
         .iter()
-        .map(|p| seed_extend(&p.query, &p.target, p.seed, &ext))
+        .map(|p| seed_extend_with(&p.query, &p.target, p.seed, &ext, &mut ws))
         .collect()
 }
 

@@ -14,8 +14,9 @@
 //! [`BlockCtx`] and the constants in [`crate::calibration`].
 
 use crate::calibration::*;
-use logan_align::simd::{SimdState, SimdStep};
-use logan_align::{Engine, ExtensionResult, NEG_INF};
+use logan_align::simd::{simd_eligible, SimdState, SimdStep};
+use logan_align::workspace::{with_thread_workspace, ScalarRings};
+use logan_align::{AlignWorkspace, Engine, ExtensionResult, NEG_INF};
 use logan_gpusim::{AccessPattern, BlockCtx, BlockKernel};
 use logan_seq::{Scoring, Seq};
 
@@ -82,24 +83,31 @@ impl BlockKernel for LoganKernel<'_> {
 
     fn run_block(&self, ctx: &mut BlockCtx, block_id: usize) -> ExtensionResult {
         let job = &self.jobs[block_id];
-        match self.policy.engine {
-            Engine::Scalar => logan_block_extend(
+        // One reused workspace per host worker thread: the simulated
+        // device allocates its anti-diagonal buffers once (as the real
+        // kernel does in HBM), not once per block. Accounted SIMT costs
+        // are independent of the workspace, so this is purely a host
+        // wall-clock optimisation.
+        with_thread_workspace(|ws| match self.policy.engine {
+            Engine::Scalar => logan_block_extend_with(
                 ctx,
                 &job.query,
                 &job.target,
                 self.scoring,
                 self.x,
                 &self.policy,
+                ws,
             ),
-            Engine::Simd => logan_block_extend_simd(
+            Engine::Simd => logan_block_extend_simd_with(
                 ctx,
                 &job.query,
                 &job.target,
                 self.scoring,
                 self.x,
                 &self.policy,
+                ws,
             ),
-        }
+        })
     }
 }
 
@@ -176,6 +184,9 @@ fn charge_streaming(ctx: &mut BlockCtx, policy: &KernelPolicy, width: usize, cos
 /// Execute one X-drop extension inside a block context, accounting SIMT
 /// costs as it goes. Mirrors `logan_align::xdrop_extend` statement for
 /// statement; any divergence is a bug caught by the equivalence tests.
+///
+/// Thin allocating wrapper over [`logan_block_extend_with`]; the
+/// executor path reuses a per-thread workspace instead.
 pub fn logan_block_extend(
     ctx: &mut BlockCtx,
     query: &Seq,
@@ -183,6 +194,31 @@ pub fn logan_block_extend(
     scoring: Scoring,
     x: i32,
     policy: &KernelPolicy,
+) -> ExtensionResult {
+    logan_block_extend_with(
+        ctx,
+        query,
+        target,
+        scoring,
+        x,
+        policy,
+        &mut AlignWorkspace::new(),
+    )
+}
+
+/// [`logan_block_extend`] computing into caller-owned scratch: the
+/// three anti-diagonal rings and the per-lane reduction scratch come
+/// from `ws` — the host mirror of the kernel's preallocated HBM
+/// buffers. Accounted SIMT costs do not depend on the workspace.
+#[allow(clippy::too_many_arguments)]
+pub fn logan_block_extend_with(
+    ctx: &mut BlockCtx,
+    query: &Seq,
+    target: &Seq,
+    scoring: Scoring,
+    x: i32,
+    policy: &KernelPolicy,
+    ws: &mut AlignWorkspace,
 ) -> ExtensionResult {
     assert!(x >= 0, "X-drop parameter must be non-negative");
     let m = query.len();
@@ -203,51 +239,40 @@ pub fn logan_block_extend(
     let mut max_width: usize = 1;
     let mut dropped = false;
 
-    let mut prev2: Vec<i32> = Vec::new();
-    let mut prev2_lo = 0usize;
-    let mut prev: Vec<i32> = vec![0];
-    let mut prev_lo = 0usize;
-    let mut cur: Vec<i32> = Vec::new();
-    // Per-lane local maxima for the reduction, reused across iterations.
-    let mut lane_best: Vec<(i32, usize)> = Vec::with_capacity(threads);
-
-    let get = |buf: &[i32], lo: usize, i: usize| -> i32 {
-        if i < lo || i >= lo + buf.len() {
-            NEG_INF
-        } else {
-            buf[i - lo]
-        }
-    };
+    ws.rings.reset();
+    let ScalarRings { prev2, prev, cur } = &mut ws.rings;
+    // Per-lane local maxima for the reduction, reused across iterations
+    // (and across blocks, via the workspace).
+    let lane_best = &mut ws.lanes;
 
     for d in 1..=(m + n) {
-        let lo = prev_lo.max(d.saturating_sub(n));
-        let hi = (prev_lo + prev.len() - 1 + 1).min(d).min(m);
+        let lo = prev.lo().max(d.saturating_sub(n));
+        let hi = (prev.lo() + prev.live_len()).min(d).min(m);
         if lo > hi {
             break;
         }
         let width = hi - lo + 1;
 
         // --- Phase 1: grid-stride cell computation (Algorithm 2). ---
-        cur.clear();
-        cur.reserve(width);
+        let out = cur.begin(lo, width);
         lane_best.clear();
         lane_best.resize(width.min(threads), (NEG_INF, usize::MAX));
         let threshold = best - x;
-        for k in 0..width {
+        for (k, cell) in out.iter_mut().enumerate() {
             let i = lo + k;
             let j = d - i;
             let diag = if i >= 1 && j >= 1 {
-                get(&prev2, prev2_lo, i - 1) + scoring.substitution(q[i - 1] == t[j - 1])
+                prev2.get(i - 1) + scoring.substitution(q[i - 1] == t[j - 1])
             } else {
                 NEG_INF
             };
             let up = if i >= 1 {
-                get(&prev, prev_lo, i - 1) + scoring.gap
+                prev.get(i - 1) + scoring.gap
             } else {
                 NEG_INF
             };
             let left = if j >= 1 {
-                get(&prev, prev_lo, i) + scoring.gap
+                prev.get(i) + scoring.gap
             } else {
                 NEG_INF
             };
@@ -255,7 +280,7 @@ pub fn logan_block_extend(
             if val < threshold {
                 val = NEG_INF;
             }
-            cur.push(val);
+            *cell = val;
             // Thread k % threads keeps its running maximum in a register;
             // strictly-greater keeps the earliest (smallest i) per lane.
             let lane = k % threads;
@@ -270,26 +295,25 @@ pub fn logan_block_extend(
         charge_streaming(ctx, policy, width, &costs);
         ctx.sync_threads();
 
-        // --- Phase 2: trim −∞ runs (thread 0, Algorithm 1 lines 10–15). ---
-        let first_live = cur.iter().position(|&v| v > NEG_INF);
-        let (trim_front, trim_back) = match first_live {
+        // --- Phase 2: trim −∞ runs (thread 0, Algorithm 1 lines 10–15)
+        // --- — offset moves only, no memmove.
+        let computed = cur.computed();
+        let (trim_front, trim_back) = match computed.iter().position(|&v| v > NEG_INF) {
             None => {
                 ctx.thread0(BOUNDS_UPDATE_BASE_INSTR + TRIM_INSTR_PER_CELL * width as u32);
                 dropped = true;
                 break;
             }
             Some(kf) => {
-                let kl = cur.iter().rposition(|&v| v > NEG_INF).unwrap();
+                let kl = computed.iter().rposition(|&v| v > NEG_INF).unwrap();
+                cur.trim(kf, kl);
                 (kf, width - 1 - kl)
             }
         };
-        cur.drain(..trim_front);
-        cur.truncate(width - trim_front - trim_back);
-        let cur_lo = lo + trim_front;
         ctx.thread0(
             BOUNDS_UPDATE_BASE_INSTR + TRIM_INSTR_PER_CELL * (trim_front + trim_back) as u32,
         );
-        max_width = max_width.max(cur.len());
+        max_width = max_width.max(cur.live_len());
 
         // --- Phase 3: block-wide max reduction (in-warp shuffles). ---
         let live_lanes = width.min(threads);
@@ -304,10 +328,8 @@ pub fn logan_block_extend(
         ctx.stall(costs.iter_stall);
 
         // Rotate buffers.
-        std::mem::swap(&mut prev2, &mut prev);
-        std::mem::swap(&mut prev2_lo, &mut prev_lo);
-        std::mem::swap(&mut prev, &mut cur);
-        prev_lo = cur_lo;
+        std::mem::swap(prev2, prev);
+        std::mem::swap(prev, cur);
     }
 
     ExtensionResult {
@@ -331,6 +353,9 @@ pub fn logan_block_extend(
 ///
 /// Falls back to [`logan_block_extend`] when the job is outside the
 /// i16 kernel's exactness window (`logan_align::simd::simd_eligible`).
+///
+/// Thin allocating wrapper over [`logan_block_extend_simd_with`]; the
+/// executor path reuses a per-thread workspace instead.
 pub fn logan_block_extend_simd(
     ctx: &mut BlockCtx,
     query: &Seq,
@@ -339,11 +364,38 @@ pub fn logan_block_extend_simd(
     x: i32,
     policy: &KernelPolicy,
 ) -> ExtensionResult {
-    let Some(mut state) = SimdState::new(query, target, scoring, x) else {
+    logan_block_extend_simd_with(
+        ctx,
+        query,
+        target,
+        scoring,
+        x,
+        policy,
+        &mut AlignWorkspace::new(),
+    )
+}
+
+/// [`logan_block_extend_simd`] computing into caller-owned scratch: the
+/// i16 stepper borrows the workspace's SIMD buffers and the reduction
+/// cost model its lane scratch. Accounted SIMT costs do not depend on
+/// the workspace (asserted by the engine-equivalence tests).
+#[allow(clippy::too_many_arguments)]
+pub fn logan_block_extend_simd_with(
+    ctx: &mut BlockCtx,
+    query: &Seq,
+    target: &Seq,
+    scoring: Scoring,
+    x: i32,
+    policy: &KernelPolicy,
+    ws: &mut AlignWorkspace,
+) -> ExtensionResult {
+    if query.is_empty() || target.is_empty() || !simd_eligible(query, target, scoring, x) {
         // Empty or ineligible job: the scalar path handles both (and
         // books nothing for empty jobs, same as this early return).
-        return logan_block_extend(ctx, query, target, scoring, x, policy);
-    };
+        return logan_block_extend_with(ctx, query, target, scoring, x, policy, ws);
+    }
+    let mut state =
+        SimdState::new(query, target, scoring, x, &mut ws.simd).expect("eligibility checked above");
     let (m, n) = (query.len(), target.len());
     let threads = ctx.threads();
     let costs = block_prologue(ctx, m, n, policy);
@@ -351,7 +403,7 @@ pub fn logan_block_extend_simd(
     // only on the lane count; the stepper already performed the exact
     // max/argmax, so lane 0 carries the row maximum and the rest are
     // idle sentinels.
-    let mut lane_vals: Vec<(i32, usize)> = Vec::with_capacity(threads);
+    let lane_vals = &mut ws.lanes;
 
     loop {
         match state.step() {
@@ -379,7 +431,7 @@ pub fn logan_block_extend_simd(
                 lane_vals.clear();
                 lane_vals.resize(live_lanes, (NEG_INF, usize::MAX));
                 lane_vals[0] = (stats.row_max, 0);
-                ctx.block_reduce_max_idx(&lane_vals);
+                ctx.block_reduce_max_idx(lane_vals);
                 ctx.stall(costs.iter_stall);
             }
         }

@@ -89,6 +89,35 @@ impl Seq {
         }
     }
 
+    /// Drop all bases, keeping the allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.bases.clear();
+    }
+
+    /// Replace the contents with `src[start, end)`, reusing this
+    /// sequence's allocation — the in-place form of [`Seq::subseq`] used
+    /// by scratch buffers on the alignment hot path.
+    ///
+    /// Panics on an invalid range, like [`Seq::subseq`].
+    pub fn assign_range(&mut self, src: &Seq, start: usize, end: usize) {
+        self.bases.clear();
+        self.bases.extend_from_slice(&src.bases[start..end]);
+    }
+
+    /// Replace the contents with `src[start, end)` *reversed*, reusing
+    /// this sequence's allocation — the in-place form of
+    /// [`Seq::reversed`] applied to a prefix, which is what the host
+    /// does to every left extension (paper Fig. 6) without paying a
+    /// fresh allocation per seed.
+    ///
+    /// Panics on an invalid range, like [`Seq::subseq`].
+    pub fn assign_reversed_range(&mut self, src: &Seq, start: usize, end: usize) {
+        self.bases.clear();
+        self.bases
+            .extend(src.bases[start..end].iter().rev().copied());
+    }
+
     /// The sequence reversed (not complemented). This is the
     /// transformation LOGAN's host applies to left-extension queries to
     /// obtain coalesced GPU memory access.
@@ -261,6 +290,29 @@ mod tests {
         assert!(dbg.contains("len=100"));
         let short = seq("ACGT");
         assert_eq!(format!("{short:?}"), "Seq(ACGT)");
+    }
+
+    #[test]
+    fn assign_range_reuses_buffer() {
+        let src = seq("ACGTACGT");
+        let mut dst = seq("TTTTTTTTTTTT"); // larger, so capacity suffices
+        dst.assign_range(&src, 2, 6);
+        assert_eq!(dst.to_ascii(), b"GTAC");
+        dst.assign_range(&src, 0, 0);
+        assert!(dst.is_empty());
+        dst.assign_reversed_range(&src, 0, 4);
+        assert_eq!(dst.to_ascii(), b"TGCA");
+        assert_eq!(dst, src.subseq(0, 4).reversed());
+        dst.clear();
+        assert!(dst.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn assign_range_out_of_bounds_panics() {
+        let src = seq("ACGT");
+        let mut dst = Seq::new();
+        dst.assign_range(&src, 2, 9);
     }
 
     #[test]

@@ -42,6 +42,11 @@ fi
 step "differential suite: Engine::Simd vs Engine::Scalar vs gpusim"
 cargo test -q --test simd_equivalence
 
+step "allocation-count: warm AlignWorkspace is allocation-free"
+# The DESIGN.md §7 contract: zero heap allocations per extension once a
+# workspace is warm, run as its own step so a regression names itself.
+cargo test -q --test alloc_count
+
 step "cargo test -q"
 cargo test -q
 

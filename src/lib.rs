@@ -46,9 +46,10 @@ pub use logan_seq as seq;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use logan_align::{
-        banded_sw, ksw2_extend, needleman_wunsch, seed_extend, smith_waterman, xdrop_extend,
-        xdrop_extend_simd, CpuBatchAligner, Engine, ExtensionResult, Ksw2Params, SeedExtendResult,
-        XDropExtender,
+        banded_sw, ksw2_extend, needleman_wunsch, seed_extend, seed_extend_with, smith_waterman,
+        with_thread_workspace, xdrop_extend, xdrop_extend_simd, xdrop_extend_simd_with,
+        xdrop_extend_with, AlignWorkspace, CpuBatchAligner, Engine, ExtensionResult, Ksw2Params,
+        SeedExtendResult, XDropExtender,
     };
     pub use logan_bella::{BellaConfig, BellaPipeline, OverlapMetrics};
     pub use logan_core::{

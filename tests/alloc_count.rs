@@ -1,0 +1,118 @@
+//! The zero-allocation guarantee of DESIGN.md §7, asserted through the
+//! global allocator: once an [`AlignWorkspace`] is warm (its buffers
+//! have grown to the workload's largest extension), every further
+//! extension through it — scalar or SIMD, single extension or whole
+//! seed-extend — performs **zero** heap allocations.
+//!
+//! The whole check lives in one `#[test]` function: the counting
+//! allocator is process-global, so concurrently running test functions
+//! would pollute each other's deltas.
+
+use logan::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts allocation events (alloc/realloc); deallocation is free to
+/// ignore — a zero-alloc region cannot contain a dealloc of anything it
+/// allocated, and frees of pre-existing buffers don't matter.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Run `f` and return how many allocation events it performed.
+fn alloc_delta<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocs();
+    let out = f();
+    (allocs() - before, out)
+}
+
+#[test]
+fn warm_workspace_extensions_are_allocation_free() {
+    // A mixed workload: divergent pair (drops early), noisy related
+    // pairs of different lengths, and a seeded pair for seed_extend.
+    let pairs = PairSet::generate_with_lengths(6, 0.15, 300, 700, 17).pairs;
+    let divergent = PairSet::generate_with_lengths(1, 0.5, 200, 200, 18).pairs;
+    let scoring = Scoring::default();
+    let x = 100;
+
+    let mut ws = AlignWorkspace::new();
+    let ext_scalar = XDropExtender::with_engine(scoring, x, Engine::Scalar);
+    let ext_simd = XDropExtender::with_engine(scoring, x, Engine::Simd);
+
+    // Reference results through fresh workspaces, for the bit-equality
+    // side of the contract.
+    let reference: Vec<SeedExtendResult> = pairs
+        .iter()
+        .chain(&divergent)
+        .map(|p| seed_extend(&p.query, &p.target, p.seed, &ext_scalar))
+        .collect();
+
+    // Warm-up pass: buffers grow to the workload's high-water mark.
+    for p in pairs.iter().chain(&divergent) {
+        seed_extend_with(&p.query, &p.target, p.seed, &ext_scalar, &mut ws);
+        seed_extend_with(&p.query, &p.target, p.seed, &ext_simd, &mut ws);
+        xdrop_extend_with(&p.query, &p.target, scoring, x, &mut ws);
+        xdrop_extend_simd_with(&p.query, &p.target, scoring, x, &mut ws);
+    }
+
+    // Warm pass: the heart of the test. Zero allocations per call, on
+    // every entry point, for every pair shape, and results identical to
+    // the fresh-workspace reference.
+    for (p, want) in pairs.iter().chain(&divergent).zip(&reference) {
+        let (d, r) =
+            alloc_delta(|| seed_extend_with(&p.query, &p.target, p.seed, &ext_scalar, &mut ws));
+        assert_eq!(d, 0, "warm scalar seed_extend_with allocated");
+        assert_eq!(&r, want);
+
+        let (d, r) =
+            alloc_delta(|| seed_extend_with(&p.query, &p.target, p.seed, &ext_simd, &mut ws));
+        assert_eq!(d, 0, "warm SIMD seed_extend_with allocated");
+        assert_eq!(&r, want);
+
+        let (d, _) = alloc_delta(|| xdrop_extend_with(&p.query, &p.target, scoring, x, &mut ws));
+        assert_eq!(d, 0, "warm scalar xdrop_extend_with allocated");
+
+        let (d, _) =
+            alloc_delta(|| xdrop_extend_simd_with(&p.query, &p.target, scoring, x, &mut ws));
+        assert_eq!(d, 0, "warm SIMD xdrop_extend_with allocated");
+    }
+
+    // Sanity check on the counter itself: the allocating wrappers (and
+    // a cold workspace) must register, or the zeros above prove nothing.
+    let p = &pairs[0];
+    let (d, _) = alloc_delta(|| seed_extend(&p.query, &p.target, p.seed, &ext_scalar));
+    assert!(d > 0, "allocating wrapper registered no allocations");
+    let (d, _) = alloc_delta(|| {
+        let mut cold = AlignWorkspace::new();
+        xdrop_extend_with(&p.query, &p.target, scoring, x, &mut cold)
+    });
+    assert!(d > 0, "cold workspace registered no allocations");
+}

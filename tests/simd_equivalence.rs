@@ -23,6 +23,25 @@ fn arb_seq(max_len: usize) -> impl Strategy<Value = Seq> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
+    /// Workspace-reuse property (DESIGN.md §7): one `AlignWorkspace`
+    /// run over a whole sequence of differently-shaped pairs must be
+    /// bit-identical to fresh-workspace runs — no state may leak from
+    /// one extension into the next, under either engine, even when the
+    /// engines are interleaved on the same workspace.
+    #[test]
+    fn workspace_reuse_matches_fresh_runs(
+        pairs in proptest::collection::vec(
+            (arb_seq(180), arb_seq(180), 0i32..250), 1..8),
+    ) {
+        let scoring = Scoring::default();
+        let mut ws = AlignWorkspace::new();
+        for (q, t, x) in &pairs {
+            let fresh = Engine::Scalar.extend(q, t, scoring, *x);
+            prop_assert_eq!(xdrop_extend_with(q, t, scoring, *x, &mut ws), fresh);
+            prop_assert_eq!(xdrop_extend_simd_with(q, t, scoring, *x, &mut ws), fresh);
+        }
+    }
+
     /// The headline property: for any pair, scoring scheme and X, the
     /// SIMD engine's `ExtensionResult` is bit-equal to the scalar
     /// engine's — scores, end positions, cell counts, iteration counts,
@@ -125,6 +144,82 @@ fn cpu_batch_engines_agree() {
         let simd = aligner.run_xdrop(&pairs, Scoring::default(), x, Engine::Simd);
         assert_eq!(scalar.results, simd.results, "x {x}");
         assert_eq!(scalar.total_cells, simd.total_cells, "x {x}");
+    }
+}
+
+/// Directed workspace-reuse shapes: a deliberately adversarial sequence
+/// of calls through ONE workspace — large band, then tiny, then empty,
+/// then dropping, then the i16-eligibility boundary (engine fallback),
+/// then large again — each compared against a fresh-workspace run.
+/// Catches stale-buffer leaks that random shapes may miss (e.g. a small
+/// extension reading a big predecessor's cells).
+#[test]
+fn workspace_reuse_survives_adversarial_shape_sequence() {
+    use logan::seq::readsim::random_seq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(21);
+    let model = ErrorModel::new(ErrorProfile::pacbio(0.15));
+    let big_template = random_seq(900, &mut rng);
+    let (big_a, _) = model.corrupt(&big_template, &mut rng);
+    let (big_b, _) = model.corrupt(&big_template, &mut rng);
+    let tiny = random_seq(3, &mut rng);
+    let divergent_a = random_seq(300, &mut rng);
+    let divergent_b = random_seq(300, &mut rng);
+
+    let unit = Scoring::default();
+    let blast = Scoring::new(1, -2, -2);
+    let cases: Vec<(&Seq, &Seq, Scoring, i32)> = vec![
+        (&big_a, &big_b, unit, 400),                // wide band
+        (&tiny, &tiny, unit, 5),                    // tiny after wide
+        (&big_a, &tiny, unit, 10),                  // asymmetric
+        (&divergent_a, &divergent_b, blast, 15),    // drops early
+        (&big_a, &big_b, unit, SIMD_MAX_SCORE - 1), // largest i16 X
+        (&big_a, &big_b, unit, SIMD_MAX_SCORE),     // scalar fallback
+        (&big_a, &big_b, blast, 100),               // big again
+    ];
+
+    let mut ws = AlignWorkspace::new();
+    for (k, (q, t, scoring, x)) in cases.iter().enumerate() {
+        let fresh = Engine::Scalar.extend(q, t, *scoring, *x);
+        assert_eq!(
+            xdrop_extend_with(q, t, *scoring, *x, &mut ws),
+            fresh,
+            "scalar reuse, case {k}"
+        );
+        assert_eq!(
+            xdrop_extend_simd_with(q, t, *scoring, *x, &mut ws),
+            fresh,
+            "simd reuse, case {k}"
+        );
+    }
+    // Empty inputs mid-sequence must not disturb the workspace either.
+    let empty = Seq::new();
+    assert_eq!(
+        xdrop_extend_simd_with(&empty, &big_a, unit, 10, &mut ws),
+        ExtensionResult::zero()
+    );
+    let fresh = Engine::Scalar.extend(&big_a, &big_b, unit, 200);
+    assert_eq!(xdrop_extend_with(&big_a, &big_b, unit, 200, &mut ws), fresh);
+}
+
+/// Whole seed-extends through one reused workspace, against the
+/// allocating wrapper — covers the reversed-prefix / suffix sequence
+/// scratch on top of the DP rings.
+#[test]
+fn seed_extend_workspace_reuse_is_bit_identical() {
+    let pairs = PairSet::generate_with_lengths(12, 0.15, 200, 1100, 9).pairs;
+    for engine in [Engine::Scalar, Engine::Simd] {
+        let ext = XDropExtender::with_engine(Scoring::default(), 80, engine);
+        let mut ws = AlignWorkspace::new();
+        for p in &pairs {
+            let fresh = seed_extend(&p.query, &p.target, p.seed, &ext);
+            assert_eq!(
+                seed_extend_with(&p.query, &p.target, p.seed, &ext, &mut ws),
+                fresh,
+                "engine {engine}"
+            );
+        }
     }
 }
 

@@ -108,6 +108,24 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Tuples of strategies are strategies over tuples, as upstream: each
+/// component samples independently. (Used e.g. for vectors of shaped
+/// test cases via `collection::vec((a, b, c), ..)`.)
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),*) => {
+        impl<$($S: Strategy),*> Strategy for ($($S,)*) {
+            type Value = ($($S::Value,)*);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
 /// Strategies over collections, mirroring `proptest::collection`.
 pub mod collection {
     use super::{Strategy, TestRng};
