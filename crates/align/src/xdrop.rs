@@ -501,6 +501,55 @@ mod tests {
         );
     }
 
+    /// Single-cell-wide anti-diagonals: with a one-base sequence on
+    /// either side, every anti-diagonal past the first collapses to
+    /// `lo == hi`, hugging the `i == 0` / `i == d` matrix edges where
+    /// the boundary-peel writes and the interior loop vanishes. Both
+    /// engines must agree with each other and (at large X) with the full
+    /// semi-global oracle on these shapes.
+    #[test]
+    fn single_cell_antidiagonals_match_across_engines() {
+        let shapes: Vec<(Seq, Seq)> = vec![
+            // m = 1: the band rides the query edge; anti-diagonal d has
+            // candidate cells {d-1, d} clipped to i <= 1, and once the
+            // gap run prunes, lo == hi == 1 for every remaining d.
+            (seq("A"), seq("AAAAAAAA")),
+            (seq("C"), seq("AAAAAAAA")),
+            (seq("G"), seq("AATGATTA")),
+            // n = 1: mirrored along the target edge; the i == d
+            // (j == 0) vertical-peel corner is exercised on every
+            // anti-diagonal while the band survives.
+            (seq("AAAAAAAA"), seq("A")),
+            (seq("AAAAAAAA"), seq("C")),
+            (seq("TTACGTTA"), seq("T")),
+            // m = n = 1: d = 1 fires both peels (lo == 0 and hi == d)
+            // with an empty interior; d = 2 is a lone interior cell.
+            (seq("A"), seq("A")),
+            (seq("A"), seq("C")),
+        ];
+        for (q, t) in &shapes {
+            for x in [0, 1, 2, 5, BIG_X] {
+                let scalar = Engine::Scalar.extend(q, t, Scoring::default(), x);
+                let simd = Engine::Simd.extend(q, t, Scoring::default(), x);
+                assert_eq!(scalar, simd, "engines diverge on {q:?}/{t:?} x={x}");
+                if x == BIG_X {
+                    let oracle = extension_oracle(q, t, Scoring::default());
+                    assert_eq!(scalar.score, oracle.score, "oracle {q:?}/{t:?}");
+                }
+            }
+        }
+        // Spot-check the degenerate-band semantics directly: "A" against
+        // poly-A earns the single match and then pays gaps; X = 1 lets
+        // exactly the match survive.
+        let r = xdrop_extend(&seq("A"), &seq("AAAAAAAA"), Scoring::default(), 1);
+        assert_eq!(r.score, 1);
+        assert_eq!((r.query_end, r.target_end), (1, 1));
+        // Width never exceeds 2 on a 1 x n matrix.
+        let r = xdrop_extend(&seq("A"), &seq("AAAAAAAA"), Scoring::default(), BIG_X);
+        assert!(r.max_width <= 2, "max_width {}", r.max_width);
+        assert_eq!(r.iterations, 9, "all m + n anti-diagonals visited");
+    }
+
     #[test]
     fn max_width_tracks_band() {
         let mut rng = StdRng::seed_from_u64(7);

@@ -1,7 +1,24 @@
 //! Canonical k-mer counting across a read set.
+//!
+//! Two shapes, same semantics:
+//!
+//! * [`count_kmers`] — one hash map over everything (the BELLA
+//!   original); peak memory is the whole distinct-k-mer table.
+//! * [`count_reliable_sharded`] — the streaming pipeline's counter. The
+//!   code space is hash-partitioned into `shards` disjoint slices
+//!   (KMC/Jellyfish-style); shards are counted one *wave* at a time and
+//!   each wave's table is reduced to its reliable survivors and dropped
+//!   before the next begins, so at most `1/shards` of the table is ever
+//!   resident. Within a wave, k-mer extraction fans out over Rayon
+//!   workers; the merge is a sequential drain of per-chunk code lists.
+//!   The extra price is `shards` scans of the (already resident) reads —
+//!   k-mer iteration is a tiny fraction of pipeline time next to
+//!   alignment, and DESIGN.md §8 records the trade.
 
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::prune::ReliableBounds;
 use logan_seq::{KmerIter, Seq};
+use rayon::prelude::*;
 
 /// Count canonical k-mers over all reads. Multiple occurrences within
 /// one read all count (as in BELLA's counter; the *reliable* window
@@ -18,6 +35,80 @@ pub fn count_kmers(reads: &[Seq], k: usize) -> FxHashMap<u64, u32> {
         }
     }
     counts
+}
+
+/// Which of `shards` hash partitions a canonical k-mer code belongs to.
+///
+/// A multiply-shift mix spreads the partition decision across all code
+/// bits (canonical 2-bit codes are low-entropy in the low bits), so
+/// shard sizes stay balanced even on repeat-heavy genomes.
+pub fn shard_of(code: u64, shards: usize) -> usize {
+    debug_assert!(shards >= 1);
+    ((code.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize % shards
+}
+
+/// Count the k-mers of one shard: extraction is parallel over read
+/// chunks (each worker emits the chunk's codes belonging to `shard`),
+/// the count merge is a sequential drain.
+fn count_shard(reads: &[Seq], k: usize, shard: usize, shards: usize) -> FxHashMap<u64, u32> {
+    const CHUNK_READS: usize = 64;
+    let n_chunks = reads.len().div_ceil(CHUNK_READS).max(1);
+    let code_lists: Vec<Vec<u64>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * CHUNK_READS;
+            let hi = (lo + CHUNK_READS).min(reads.len());
+            let mut codes = Vec::new();
+            for read in &reads[lo..hi] {
+                for (_, km) in KmerIter::new(read, k) {
+                    let code = km.canonical().code;
+                    if shard_of(code, shards) == shard {
+                        codes.push(code);
+                    }
+                }
+            }
+            codes
+        })
+        .collect();
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+    for codes in code_lists {
+        for code in codes {
+            *counts.entry(code).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Sharded, bounded-memory equivalent of `count_kmers` +
+/// [`crate::prune::reliable_kmers`]: returns the number of distinct
+/// canonical k-mers and the set of reliable ones under `bounds`.
+///
+/// Exactly equal to the monolithic computation for every `shards >= 1`
+/// (counting is commutative and the partitions are disjoint); only the
+/// peak table memory changes, from the full distinct table to roughly
+/// `1/shards` of it plus the (much smaller) reliable survivor set.
+pub fn count_reliable_sharded(
+    reads: &[Seq],
+    k: usize,
+    shards: usize,
+    bounds: ReliableBounds,
+) -> (usize, FxHashSet<u64>) {
+    let shards = shards.max(1);
+    let mut distinct = 0usize;
+    let mut reliable = FxHashSet::default();
+    for shard in 0..shards {
+        // One wave: count this shard, keep its reliable survivors, drop
+        // the table before the next wave allocates.
+        let counts = count_shard(reads, k, shard, shards);
+        distinct += counts.len();
+        reliable.extend(
+            counts
+                .into_iter()
+                .filter(|&(_, c)| c >= bounds.lo && c <= bounds.hi)
+                .map(|(code, _)| code),
+        );
+    }
+    (distinct, reliable)
 }
 
 /// Histogram of multiplicities (index = multiplicity, capped), useful
@@ -82,6 +173,54 @@ mod tests {
         let counts = count_kmers(&[r], 4); // poly-A k-mer, multiplicity 7
         let hist = multiplicity_histogram(&counts, 5);
         assert_eq!(hist[5], 1, "capped into the top bucket");
+    }
+
+    #[test]
+    fn sharded_counting_equals_monolithic() {
+        use crate::prune::reliable_kmers;
+        let sim = ReadSimulator {
+            read_len: (300, 700),
+            errors: logan_seq::ErrorProfile::pacbio(0.08),
+            ..ReadSimulator::uniform(12_000, 6.0)
+        };
+        let rs = sim.generate(31);
+        let seqs: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
+        let counts = count_kmers(&seqs, 17);
+        for bounds in [
+            ReliableBounds { lo: 2, hi: 8 },
+            ReliableBounds { lo: 1, hi: 1000 },
+        ] {
+            let want = reliable_kmers(&counts, bounds);
+            for shards in [1, 2, 7, 16] {
+                let (distinct, got) = count_reliable_sharded(&seqs, 17, shards, bounds);
+                assert_eq!(distinct, counts.len(), "shards={shards}");
+                assert_eq!(got, want, "shards={shards} bounds={bounds:?}");
+            }
+        }
+        // shards = 0 clamps instead of dividing by zero.
+        let (distinct, _) = count_reliable_sharded(&seqs, 17, 0, ReliableBounds { lo: 2, hi: 8 });
+        assert_eq!(distinct, counts.len());
+    }
+
+    #[test]
+    fn shard_partition_is_total_and_balanced() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let shards = 8;
+        let mut sizes = vec![0usize; shards];
+        for _ in 0..8_000 {
+            // 34-bit codes mimic k=17 canonical space occupancy.
+            let code: u64 = rng.gen_range(0..(1u64 << 34));
+            let s = shard_of(code, shards);
+            assert!(s < shards);
+            sizes[s] += 1;
+        }
+        let (min, max) = (
+            *sizes.iter().min().unwrap() as f64,
+            *sizes.iter().max().unwrap() as f64,
+        );
+        assert!(max / min < 1.25, "shard skew too high: {sizes:?}");
     }
 
     #[test]

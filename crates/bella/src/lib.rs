@@ -48,4 +48,6 @@ pub mod spgemm;
 pub mod threshold;
 
 pub use metrics::OverlapMetrics;
-pub use pipeline::{AlignerBackend, BellaConfig, BellaOutput, BellaPipeline, Overlap};
+pub use pipeline::{
+    AlignerBackend, BellaConfig, BellaOutput, BellaPipeline, Overlap, PipelineBudget,
+};

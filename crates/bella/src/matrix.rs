@@ -28,44 +28,11 @@ pub struct KmerMatrix {
 impl KmerMatrix {
     /// Build from reads and the reliable k-mer set. Column ids are
     /// assigned in first-encounter order (deterministic given the read
-    /// order).
+    /// order). One-shot form of [`KmerMatrixBuilder`].
     pub fn build(reads: &[Seq], k: usize, reliable: &FxHashSet<u64>) -> KmerMatrix {
-        let mut col_of_code: FxHashMap<u64, u32> = FxHashMap::default();
-        col_of_code.reserve(reliable.len());
-        let mut row_ptr = Vec::with_capacity(reads.len() + 1);
-        let mut col_idx = Vec::new();
-        let mut pos = Vec::new();
-        let mut seen_in_read: FxHashSet<u32> = FxHashSet::default();
-
-        row_ptr.push(0);
-        for read in reads {
-            seen_in_read.clear();
-            for (p, km) in KmerIter::new(read, k) {
-                let code = km.canonical().code;
-                if !reliable.contains(&code) {
-                    continue;
-                }
-                let next_col = col_of_code.len() as u32;
-                let col = *col_of_code.entry(code).or_insert(next_col);
-                // First occurrence per (read, k-mer) — later copies of a
-                // reliable k-mer inside the same read carry no extra
-                // pairing information and would bloat the SpGEMM.
-                if seen_in_read.insert(col) {
-                    col_idx.push(col);
-                    pos.push(p as u32);
-                }
-            }
-            row_ptr.push(col_idx.len());
-        }
-
-        KmerMatrix {
-            n_reads: reads.len(),
-            n_cols: col_of_code.len(),
-            row_ptr,
-            col_idx,
-            pos,
-            col_of_code,
-        }
+        let mut builder = KmerMatrixBuilder::new(k, reliable);
+        builder.push_batch(reads);
+        builder.finish()
     }
 
     /// Nonzeros in the matrix.
@@ -94,6 +61,80 @@ impl KmerMatrix {
             }
         }
         cols
+    }
+}
+
+/// Incremental [`KmerMatrix`] construction from a stream of read
+/// batches. The streaming pipeline appends rows batch by batch as reads
+/// arrive; `build` is `new` + one `push_batch` + `finish`, so both
+/// paths produce identical matrices by construction.
+pub struct KmerMatrixBuilder<'a> {
+    k: usize,
+    reliable: &'a FxHashSet<u64>,
+    col_of_code: FxHashMap<u64, u32>,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    pos: Vec<u32>,
+    seen_in_read: FxHashSet<u32>,
+}
+
+impl<'a> KmerMatrixBuilder<'a> {
+    /// Start an empty matrix over the reliable k-mer set.
+    pub fn new(k: usize, reliable: &'a FxHashSet<u64>) -> KmerMatrixBuilder<'a> {
+        let mut col_of_code: FxHashMap<u64, u32> = FxHashMap::default();
+        col_of_code.reserve(reliable.len());
+        KmerMatrixBuilder {
+            k,
+            reliable,
+            col_of_code,
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            pos: Vec::new(),
+            seen_in_read: FxHashSet::default(),
+        }
+    }
+
+    /// Rows appended so far.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Append `reads` as new rows. Row ids continue from the rows
+    /// already pushed; column ids keep their global first-encounter
+    /// assignment, so pushing a read set in any batching produces the
+    /// same matrix as one [`KmerMatrix::build`] over the whole set.
+    pub fn push_batch(&mut self, reads: &[Seq]) {
+        for read in reads {
+            self.seen_in_read.clear();
+            for (p, km) in KmerIter::new(read, self.k) {
+                let code = km.canonical().code;
+                if !self.reliable.contains(&code) {
+                    continue;
+                }
+                let next_col = self.col_of_code.len() as u32;
+                let col = *self.col_of_code.entry(code).or_insert(next_col);
+                // First occurrence per (read, k-mer) — later copies of a
+                // reliable k-mer inside the same read carry no extra
+                // pairing information and would bloat the SpGEMM.
+                if self.seen_in_read.insert(col) {
+                    self.col_idx.push(col);
+                    self.pos.push(p as u32);
+                }
+            }
+            self.row_ptr.push(self.col_idx.len());
+        }
+    }
+
+    /// Finish into the CSR matrix.
+    pub fn finish(self) -> KmerMatrix {
+        KmerMatrix {
+            n_reads: self.row_ptr.len() - 1,
+            n_cols: self.col_of_code.len(),
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            pos: self.pos,
+            col_of_code: self.col_of_code,
+        }
     }
 }
 
@@ -180,6 +221,38 @@ mod tests {
             for w in entries.windows(2) {
                 assert!(w[0].0 <= w[1].0);
             }
+        }
+    }
+
+    #[test]
+    fn incremental_builder_matches_one_shot_build() {
+        use logan_seq::readsim::ReadSimulator;
+        let sim = ReadSimulator {
+            read_len: (200, 500),
+            errors: logan_seq::ErrorProfile::pacbio(0.08),
+            ..ReadSimulator::uniform(8_000, 5.0)
+        };
+        let rs = sim.generate(44);
+        let seqs: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
+        let counts = count_kmers(&seqs, 13);
+        let rel = reliable_kmers(&counts, ReliableBounds { lo: 2, hi: 20 });
+        let whole = KmerMatrix::build(&seqs, 13, &rel);
+        for batch in [1, 3, 17, 1000] {
+            let mut builder = KmerMatrixBuilder::new(13, &rel);
+            for chunk in seqs.chunks(batch) {
+                builder.push_batch(chunk);
+            }
+            assert_eq!(builder.rows(), seqs.len());
+            let m = builder.finish();
+            assert_eq!(m.n_reads, whole.n_reads, "batch={batch}");
+            assert_eq!(m.n_cols, whole.n_cols);
+            assert_eq!(m.row_ptr, whole.row_ptr);
+            assert_eq!(
+                m.col_idx, whole.col_idx,
+                "column ids must not depend on batching"
+            );
+            assert_eq!(m.pos, whole.pos);
+            assert_eq!(m.col_of_code, whole.col_of_code);
         }
     }
 

@@ -67,6 +67,101 @@ pub fn spgemm_candidates(matrix: &KmerMatrix) -> Vec<CandidatePair> {
     out
 }
 
+/// Tiled SpGEMM: the same product as [`spgemm_candidates`], emitted as
+/// an iterator of row-tile blocks instead of one materialized list.
+///
+/// Tile `t` holds every candidate pair whose *lower* read id falls in
+/// `[t·tile_rows, (t+1)·tile_rows)`, sorted by `(r1, r2)` — so the
+/// concatenation of all tiles is *bit-identical* (pairs, witnesses,
+/// shared counts, order) to the monolithic output, while the live state
+/// is one tile's accumulator instead of a hash map over every candidate
+/// in the genome. This is the candidate-generation half of the
+/// streaming pipeline's producer/consumer stage.
+///
+/// Per-pair equivalence argument: the monolithic kernel walks postings
+/// column-by-column in column-id order, so a pair's witnesses are its
+/// first [`MAX_WITNESSES`] common columns by column id and `shared`
+/// counts all of them. The tiled kernel walks each row's columns in
+/// ascending column-id order and scans each column's postings past the
+/// anchor read, visiting exactly the same (pair, column) incidences in
+/// the same per-pair column order.
+pub fn spgemm_tiles(matrix: &KmerMatrix, tile_rows: usize) -> SpgemmTiles<'_> {
+    SpgemmTiles {
+        postings: matrix.postings(),
+        matrix,
+        next_row: 0,
+        tile_rows: tile_rows.max(1),
+    }
+}
+
+/// Iterator of candidate blocks; see [`spgemm_tiles`].
+pub struct SpgemmTiles<'a> {
+    /// Column-major postings, shared by all tiles.
+    postings: Vec<Vec<(u32, u32)>>,
+    matrix: &'a KmerMatrix,
+    next_row: usize,
+    tile_rows: usize,
+}
+
+impl SpgemmTiles<'_> {
+    /// Candidates of one anchor row `i`: every read `j > i` sharing a
+    /// reliable column, witnesses in column-id order.
+    fn row_candidates(
+        &self,
+        i: usize,
+        row_cols: &mut Vec<(u32, u32)>,
+        out: &mut Vec<CandidatePair>,
+    ) {
+        row_cols.clear();
+        row_cols.extend(self.matrix.row(i));
+        // Row entries are in first-encounter order within the read;
+        // witness order must follow global column ids.
+        row_cols.sort_unstable();
+        let mut acc: FxHashMap<u32, CandidatePair> = FxHashMap::default();
+        for &(col, p1) in row_cols.iter() {
+            for &(j, p2) in &self.postings[col as usize] {
+                if (j as usize) <= i {
+                    continue;
+                }
+                let entry = acc.entry(j).or_insert_with(|| CandidatePair {
+                    r1: i as u32,
+                    r2: j,
+                    witnesses: Vec::with_capacity(MAX_WITNESSES),
+                    shared: 0,
+                });
+                entry.shared += 1;
+                if entry.witnesses.len() < MAX_WITNESSES {
+                    entry.witnesses.push((p1, p2));
+                }
+            }
+        }
+        let at = out.len();
+        out.extend(acc.into_values());
+        out[at..].sort_unstable_by_key(|c| c.r2);
+    }
+}
+
+impl Iterator for SpgemmTiles<'_> {
+    /// One tile's candidates, sorted by `(r1, r2)`; may be empty for
+    /// tiles whose rows share nothing.
+    type Item = Vec<CandidatePair>;
+
+    fn next(&mut self) -> Option<Vec<CandidatePair>> {
+        if self.next_row >= self.matrix.n_reads {
+            return None;
+        }
+        let lo = self.next_row;
+        let hi = (lo + self.tile_rows).min(self.matrix.n_reads);
+        self.next_row = hi;
+        let mut out = Vec::new();
+        let mut row_cols: Vec<(u32, u32)> = Vec::new();
+        for i in lo..hi {
+            self.row_candidates(i, &mut row_cols, &mut out);
+        }
+        Some(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +235,49 @@ mod tests {
         for w in a.windows(2) {
             assert!((w[0].r1, w[0].r2) < (w[1].r1, w[1].r2));
         }
+    }
+
+    #[test]
+    fn tiles_concatenate_to_the_monolithic_product() {
+        use logan_seq::readsim::ReadSimulator;
+        // A realistic overlap graph: ~60 reads at depth 6 with errors,
+        // plus the small handcrafted sets below for edge shapes.
+        let sim = ReadSimulator {
+            read_len: (300, 600),
+            errors: logan_seq::ErrorProfile::pacbio(0.08),
+            ..ReadSimulator::uniform(5_000, 6.0)
+        };
+        let rs = sim.generate(8);
+        let seqs: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
+        let m = matrix_of(&seqs, 13);
+        let whole = spgemm_candidates(&m);
+        assert!(!whole.is_empty(), "depth-6 set must produce candidates");
+        for tile_rows in [1, 2, 7, 64, 10_000] {
+            let tiled: Vec<CandidatePair> = spgemm_tiles(&m, tile_rows).flatten().collect();
+            assert_eq!(
+                tiled, whole,
+                "tile_rows={tile_rows}: pairs, witnesses, shared counts \
+                 and order must all match"
+            );
+        }
+        // Tile count covers every row exactly once, empty tiles allowed.
+        let n_tiles = spgemm_tiles(&m, 7).count();
+        assert_eq!(n_tiles, m.n_reads.div_ceil(7));
+        // tile_rows = 0 clamps to 1 instead of never advancing.
+        assert_eq!(spgemm_tiles(&m, 0).count(), m.n_reads);
+    }
+
+    #[test]
+    fn tiles_handle_degenerate_matrices() {
+        // Empty matrix: no tiles at all.
+        let m = matrix_of(&[], 8);
+        assert_eq!(spgemm_tiles(&m, 4).count(), 0);
+        // Unrelated reads: tiles exist but are empty.
+        let reads = vec![seq("ACGTACGTACGTACG"), seq("TTTTTTTTTTTTTTT")];
+        let m = matrix_of(&reads, 8);
+        let tiles: Vec<Vec<CandidatePair>> = spgemm_tiles(&m, 1).collect();
+        assert_eq!(tiles.len(), 2);
+        assert!(tiles.iter().all(|t| t.is_empty()));
     }
 
     #[test]

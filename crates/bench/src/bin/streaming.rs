@@ -1,0 +1,174 @@
+//! `streaming` — peak-memory and wall-clock of the streaming BELLA
+//! pipeline against the monolithic one (ISSUE 4's tentpole numbers; not
+//! a paper artifact).
+//!
+//! Two sweeps on E. coli-like read sets:
+//!
+//! 1. **input sweep** at a fixed batch budget — the monolithic peak
+//!    grows with the input (full k-mer table + every candidate pair
+//!    materialized with cloned sequences), while the streaming peak
+//!    grows only by the resident read store + index;
+//! 2. **batch sweep** at a fixed input — the streaming peak moves with
+//!    `batch_reads`, demonstrating that the candidate/alignment stages
+//!    are O(batch).
+//!
+//! Peak memory is measured by a global counting allocator (live bytes,
+//! resettable high-water mark), so the numbers are exact allocation
+//! peaks rather than RSS snapshots. Both measured regions include the
+//! pipeline's own copy of the reads (the monolithic region clones the
+//! sequence list; the streaming region ingests batches into its store),
+//! so the comparison is apples to apples.
+//!
+//! Scale via `LOGAN_BELLA_SCALE` / `LOGAN_SEED` as for table4/table5;
+//! results land in `results/streaming.json`.
+
+use logan_bella::{AlignerBackend, BellaConfig, BellaPipeline, PipelineBudget};
+use logan_bench::memprobe::{measure, mib, PeakAlloc};
+use logan_bench::{heading, write_json, BenchScale, Table};
+use logan_seq::readsim::ReadSimulator;
+use logan_seq::{ErrorProfile, Seq};
+use serde::Serialize;
+
+#[global_allocator]
+static PEAK_ALLOC: PeakAlloc = PeakAlloc;
+
+#[derive(Serialize)]
+struct Row {
+    mode: String,
+    reads: usize,
+    candidates: usize,
+    batch_reads: usize,
+    shards: usize,
+    peak_mib: f64,
+    wall_s: f64,
+}
+
+fn read_seqs(genome_len: usize, seed: u64) -> Vec<Seq> {
+    let sim = ReadSimulator {
+        read_len: (800, 1600),
+        depth: 12.0,
+        errors: ErrorProfile::pacbio(0.10),
+        ..ReadSimulator::uniform(genome_len, 12.0)
+    };
+    let rs = sim.generate(seed);
+    rs.reads.iter().map(|r| r.seq.clone()).collect()
+}
+
+fn config(budget: PipelineBudget) -> BellaConfig {
+    BellaConfig {
+        error_rate: 0.10,
+        depth: 12.0,
+        min_overlap: 1000,
+        budget,
+        ..BellaConfig::with_x(50)
+    }
+}
+
+fn run_modes(
+    seqs: &[Seq],
+    budgets: &[PipelineBudget],
+    aligner: &logan_align::CpuBatchAligner,
+    rows: &mut Vec<Row>,
+) {
+    let backend = AlignerBackend::Cpu(aligner);
+    let (mono, mono_peak, mono_wall) = measure(|| {
+        let owned: Vec<Seq> = seqs.to_vec();
+        BellaPipeline::new(config(PipelineBudget::default())).run(&owned, &backend)
+    });
+    rows.push(Row {
+        mode: "monolithic".into(),
+        reads: seqs.len(),
+        candidates: mono.stats.candidates,
+        batch_reads: 0,
+        shards: 0,
+        peak_mib: mib(mono_peak),
+        wall_s: mono_wall,
+    });
+    for &budget in budgets {
+        let pipeline = BellaPipeline::new(config(budget));
+        let (out, peak, wall) = measure(|| {
+            pipeline.run_streaming(
+                logan_seq::readsim::seq_batches(seqs, budget.batch_reads),
+                &backend,
+            )
+        });
+        assert_eq!(
+            out.overlaps, mono.overlaps,
+            "streaming must be bit-identical to monolithic"
+        );
+        rows.push(Row {
+            mode: "streaming".into(),
+            reads: seqs.len(),
+            candidates: out.stats.candidates,
+            batch_reads: budget.batch_reads,
+            shards: budget.shards,
+            peak_mib: mib(peak),
+            wall_s: wall,
+        });
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    // Base genome ≈ 18.6 kb at the default 0.004 scale; the input sweep
+    // doubles it twice.
+    let base_len = ((4_641_652f64 * scale.bella_scale) as usize).max(12_000);
+    let aligner = logan_align::CpuBatchAligner::new(4);
+    let mut rows = Vec::new();
+
+    let fixed = PipelineBudget {
+        batch_reads: 128,
+        shards: 8,
+        inflight_blocks: 2,
+    };
+    for mult in [1usize, 2, 4] {
+        let seqs = read_seqs(base_len * mult, scale.seed);
+        eprintln!("[streaming] input sweep x{mult}: {} reads", seqs.len());
+        run_modes(&seqs, &[fixed], &aligner, &mut rows);
+    }
+    let seqs = read_seqs(base_len * 4, scale.seed);
+    for batch_reads in [32, 512] {
+        eprintln!("[streaming] batch sweep: batch_reads={batch_reads}");
+        let budget = PipelineBudget {
+            batch_reads,
+            ..fixed
+        };
+        run_modes(&seqs[..], &[budget], &aligner, &mut rows);
+    }
+    // The batch-sweep rows re-measure the monolithic baseline; keep the
+    // duplicates out of the artifact (wall jitter aside they repeat).
+    let mut seen_mono = std::collections::HashSet::new();
+    rows.retain(|r| r.mode != "monolithic" || seen_mono.insert(r.reads));
+
+    heading("Streaming vs monolithic BELLA pipeline (CPU backend, exact allocation peaks)");
+    let mut t = Table::new(&[
+        "mode",
+        "reads",
+        "candidates",
+        "batch",
+        "shards",
+        "peak (MiB)",
+        "wall (s)",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.mode.clone(),
+            r.reads.to_string(),
+            r.candidates.to_string(),
+            if r.batch_reads == 0 {
+                "-".into()
+            } else {
+                r.batch_reads.to_string()
+            },
+            if r.shards == 0 {
+                "-".into()
+            } else {
+                r.shards.to_string()
+            },
+            format!("{:.1}", r.peak_mib),
+            format!("{:.2}", r.wall_s),
+        ]);
+    }
+    println!("{}", t.render());
+    write_json("streaming", &rows);
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod bella_bench;
+pub mod memprobe;
 
 use logan_core::{GpuBatchReport, MultiGpuReport};
 use serde::Serialize;

@@ -38,12 +38,43 @@ pub struct MultiGpuReport {
 }
 
 impl MultiGpuReport {
+    /// A report of an empty deployment-run (no pairs aligned yet).
+    pub fn empty(gpus: usize) -> MultiGpuReport {
+        MultiGpuReport {
+            per_gpu: Vec::new(),
+            sim_time_s: 0.0,
+            total_cells: 0,
+            assignment_sizes: vec![0; gpus],
+        }
+    }
+
     /// Aggregate GCUPS across the deployment.
     pub fn gcups(&self) -> f64 {
         if self.sim_time_s == 0.0 {
             return 0.0;
         }
         self.total_cells as f64 / self.sim_time_s / 1e9
+    }
+
+    /// Fold another batch's report into this one, as when a streaming
+    /// pipeline feeds the deployment block after block: batch times add
+    /// (blocks run back to back), per-device reports merge positionally,
+    /// and assignment sizes accumulate.
+    pub fn merge(&mut self, other: MultiGpuReport) {
+        self.sim_time_s += other.sim_time_s;
+        self.total_cells += other.total_cells;
+        for (i, rep) in other.per_gpu.into_iter().enumerate() {
+            match self.per_gpu.get_mut(i) {
+                Some(mine) => mine.merge(rep),
+                None => self.per_gpu.push(rep),
+            }
+        }
+        for (i, n) in other.assignment_sizes.into_iter().enumerate() {
+            match self.assignment_sizes.get_mut(i) {
+                Some(mine) => *mine += n,
+                None => self.assignment_sizes.push(n),
+            }
+        }
     }
 }
 
@@ -67,22 +98,32 @@ impl MultiGpu {
 
     /// Partition pair indices across devices, balancing total bases
     /// (longest-processing-time greedy; deterministic).
+    ///
+    /// Guarantee: whenever `pairs.len() >= gpus()`, every bin is
+    /// non-empty. Each pair is weighted `max(bases, 1)`, so even
+    /// zero-length pairs carry positive weight and the LPT greedy fills
+    /// all bins before doubling up anywhere (without the floor, a run of
+    /// zero-weight pairs would all land in bin 0 and leave later bins
+    /// empty — and per-bin `max/min` load ratios would divide by zero).
+    /// When `pairs.len() < gpus()`, exactly `pairs.len()` bins are
+    /// non-empty and the rest are empty by construction.
     pub fn partition(&self, pairs: &[ReadPair]) -> Vec<Vec<usize>> {
+        let weight = |p: &ReadPair| (p.query.len() + p.target.len()).max(1);
         let n = self.executors.len();
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         // Sort by weight descending, index ascending for determinism.
-        order.sort_by_key(|&i| {
-            let w = pairs[i].query.len() + pairs[i].target.len();
-            (std::cmp::Reverse(w), i)
-        });
+        order.sort_by_key(|&i| (std::cmp::Reverse(weight(&pairs[i])), i));
         let mut bins: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut loads = vec![0usize; n];
         for i in order {
-            let w = pairs[i].query.len() + pairs[i].target.len();
             let dst = (0..n).min_by_key(|&g| (loads[g], g)).expect("n >= 1");
-            loads[dst] += w;
+            loads[dst] += weight(&pairs[i]);
             bins[dst].push(i);
         }
+        debug_assert!(
+            pairs.len() < n || bins.iter().all(|b| !b.is_empty()),
+            "positive weights must fill every bin"
+        );
         bins
     }
 
@@ -182,6 +223,76 @@ mod tests {
         // ...but total time carries 6 setup charges.
         assert!(r6.sim_time_s > 6.0 * BALANCER_SETUP_S_PER_GPU);
         assert!((r1.sim_time_s - (k1 + BALANCER_SETUP_S_PER_GPU)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_pairs_than_gpus_leaves_trailing_bins_empty_but_works() {
+        let ps = pairs(3);
+        let multi = MultiGpu::new(6, DeviceSpec::v100(), LoganConfig::with_x(50));
+        let bins = multi.partition(&ps);
+        assert_eq!(bins.iter().filter(|b| !b.is_empty()).count(), 3);
+        assert_eq!(bins.iter().map(|b| b.len()).sum::<usize>(), 3);
+        // Alignment across empty bins must still reproduce single-GPU
+        // results — an empty bin is an empty batch, not an error.
+        let single = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50));
+        let (want, _) = single.align_pairs(&ps);
+        let (got, report) = multi.align_pairs(&ps);
+        assert_eq!(got, want);
+        assert_eq!(report.assignment_sizes, vec![1, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn zero_weight_pairs_still_fill_every_bin() {
+        // Pairs of empty sequences weigh zero bases; the max(w, 1) floor
+        // must keep LPT spreading them round-robin instead of stacking
+        // them all in bin 0 (the empty-bin / divide-by-zero bug).
+        use logan_seq::{Seed, Seq};
+        let empty_pair = || ReadPair {
+            query: Seq::new(),
+            target: Seq::new(),
+            seed: Seed {
+                qpos: 0,
+                tpos: 0,
+                len: 0,
+            },
+            template_len: 0,
+        };
+        let ps: Vec<ReadPair> = (0..8).map(|_| empty_pair()).collect();
+        let multi = MultiGpu::new(4, DeviceSpec::v100(), LoganConfig::with_x(10));
+        let bins = multi.partition(&ps);
+        assert!(
+            bins.iter().all(|b| b.len() == 2),
+            "uniform zero-weight pairs must spread evenly: {bins:?}"
+        );
+        // And a mixed batch (real + empty pairs) keeps the guarantee.
+        let mut mixed = pairs(5);
+        mixed.push(empty_pair());
+        mixed.push(empty_pair());
+        let bins = multi.partition(&mixed);
+        assert!(bins.iter().all(|b| !b.is_empty()), "{bins:?}");
+    }
+
+    #[test]
+    fn report_merge_accumulates_blocks() {
+        let ps = pairs(20);
+        let multi = MultiGpu::new(3, DeviceSpec::v100(), LoganConfig::with_x(50));
+        let (_, whole) = multi.align_pairs(&ps);
+        let mut merged = MultiGpuReport::empty(3);
+        for chunk in ps.chunks(5) {
+            let (_, rep) = multi.align_pairs(chunk);
+            merged.merge(rep);
+        }
+        assert_eq!(merged.total_cells, whole.total_cells);
+        assert_eq!(merged.per_gpu.len(), 3);
+        assert_eq!(
+            merged.assignment_sizes.iter().sum::<usize>(),
+            ps.len(),
+            "every pair assigned exactly once across blocks"
+        );
+        // Four blocks ran back to back: each pays its own setup charge,
+        // so the merged time exceeds the single-batch time.
+        assert!(merged.sim_time_s > whole.sim_time_s);
+        assert!(merged.gcups() > 0.0);
     }
 
     #[test]

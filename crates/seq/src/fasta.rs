@@ -61,47 +61,113 @@ fn parse_id(header: &str) -> String {
 /// Read all records from FASTA text. Sequences may span multiple lines;
 /// blank lines are ignored. Characters outside `ACGTacgt` are rejected
 /// (the aligners have no ambiguity handling).
+///
+/// This materializes the whole file; a bounded-memory consumer (the
+/// streaming BELLA pipeline, arbitrarily large inputs) should iterate
+/// [`FastaBatches`] instead.
 pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
-    let mut br = BufReader::new(reader);
     let mut records = Vec::new();
-    let mut line = String::new();
-    let mut lineno = 0usize;
-    let mut current: Option<(String, Vec<u8>)> = None;
+    for batch in FastaBatches::new(reader, 4096) {
+        records.extend(batch?);
+    }
+    Ok(records)
+}
 
-    loop {
-        line.clear();
-        let n = br.read_line(&mut line)?;
-        lineno += 1;
-        let at_eof = n == 0;
-        let trimmed = line.trim_end();
-        if !at_eof && trimmed.is_empty() {
-            continue;
+/// Incremental FASTA reader yielding bounded batches of at most
+/// `batch_reads` records, so a pipeline can start working while the
+/// file is still being read and never holds more than one batch of
+/// parsed records (plus the record currently being assembled).
+///
+/// Identical grammar and error reporting to [`read_fasta`] — which is
+/// implemented on top of this iterator. After the first `Err` (or the
+/// end of input) the iterator is fused: further calls yield `None`.
+pub struct FastaBatches<R: Read> {
+    br: BufReader<R>,
+    batch_reads: usize,
+    line: String,
+    lineno: usize,
+    /// Header + accumulated sequence bytes of the record being read.
+    current: Option<(String, Vec<u8>)>,
+    done: bool,
+}
+
+impl<R: Read> FastaBatches<R> {
+    /// Start streaming `reader` in batches of at most `batch_reads`
+    /// records (clamped to at least 1).
+    pub fn new(reader: R, batch_reads: usize) -> FastaBatches<R> {
+        FastaBatches {
+            br: BufReader::new(reader),
+            batch_reads: batch_reads.max(1),
+            line: String::new(),
+            lineno: 0,
+            current: None,
+            done: false,
         }
-        if at_eof || trimmed.starts_with('>') {
-            if let Some((id, bytes)) = current.take() {
-                let seq = Seq::from_ascii(&bytes).map_err(|e| FastaError::Parse {
-                    line: lineno,
-                    message: format!("record {id}: {e}"),
-                })?;
-                records.push(Record { id, seq });
+    }
+
+    fn fail(&mut self, e: FastaError) -> Option<Result<Vec<Record>, FastaError>> {
+        self.done = true;
+        Some(Err(e))
+    }
+}
+
+impl<R: Read> Iterator for FastaBatches<R> {
+    type Item = Result<Vec<Record>, FastaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut out: Vec<Record> = Vec::new();
+        loop {
+            self.line.clear();
+            let n = match self.br.read_line(&mut self.line) {
+                Ok(n) => n,
+                Err(e) => return self.fail(e.into()),
+            };
+            self.lineno += 1;
+            let at_eof = n == 0;
+            let trimmed = self.line.trim_end();
+            if !at_eof && trimmed.is_empty() {
+                continue;
             }
-            if at_eof {
-                break;
-            }
-            current = Some((parse_id(&trimmed[1..]), Vec::new()));
-        } else {
-            match current.as_mut() {
-                Some((_, bytes)) => bytes.extend_from_slice(trimmed.as_bytes()),
-                None => {
-                    return Err(FastaError::Parse {
-                        line: lineno,
-                        message: "sequence data before first header".into(),
-                    })
+            if at_eof || trimmed.starts_with('>') {
+                if let Some((id, bytes)) = self.current.take() {
+                    match Seq::from_ascii(&bytes) {
+                        Ok(seq) => out.push(Record { id, seq }),
+                        Err(e) => {
+                            let line = self.lineno;
+                            return self.fail(FastaError::Parse {
+                                line,
+                                message: format!("record {id}: {e}"),
+                            });
+                        }
+                    }
+                }
+                if at_eof {
+                    self.done = true;
+                    return if out.is_empty() { None } else { Some(Ok(out)) };
+                }
+                self.current = Some((parse_id(&trimmed[1..]), Vec::new()));
+                if out.len() >= self.batch_reads {
+                    // The next record's header is already stashed in
+                    // `current`; resume from it on the next call.
+                    return Some(Ok(out));
+                }
+            } else {
+                match self.current.as_mut() {
+                    Some((_, bytes)) => bytes.extend_from_slice(trimmed.as_bytes()),
+                    None => {
+                        let line = self.lineno;
+                        return self.fail(FastaError::Parse {
+                            line,
+                            message: "sequence data before first header".into(),
+                        });
+                    }
                 }
             }
         }
     }
-    Ok(records)
 }
 
 /// Write records as FASTA, wrapping sequence lines at `width` characters.
@@ -250,5 +316,47 @@ mod tests {
     fn empty_inputs() {
         assert!(read_fasta(&b""[..]).unwrap().is_empty());
         assert!(read_fastq(&b""[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batches_stream_the_same_records() {
+        // 10 records, multi-line bodies, blank lines interleaved.
+        let mut text = String::new();
+        for i in 0..10 {
+            text.push_str(&format!(">r{i} extra\nACGT\n\nACG{}\n", "T".repeat(i)));
+        }
+        let whole = read_fasta(text.as_bytes()).unwrap();
+        assert_eq!(whole.len(), 10);
+        for batch_reads in [1, 3, 4, 10, 99] {
+            let mut streamed = Vec::new();
+            let mut sizes = Vec::new();
+            for batch in FastaBatches::new(text.as_bytes(), batch_reads) {
+                let batch = batch.unwrap();
+                sizes.push(batch.len());
+                streamed.extend(batch);
+            }
+            assert_eq!(streamed, whole, "batch_reads={batch_reads}");
+            assert!(sizes.iter().all(|&s| s <= batch_reads.max(1)));
+            // All but the final batch are full.
+            for &s in &sizes[..sizes.len() - 1] {
+                assert_eq!(s, batch_reads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn batches_report_errors_then_fuse() {
+        // Third record carries an invalid base; the first batch (size 2)
+        // streams clean, then the error surfaces and the iterator ends.
+        let text = b">a\nACGT\n>b\nGG\n>c\nACNT\n>d\nTT\n";
+        let mut it = FastaBatches::new(&text[..], 2);
+        let first = it.next().unwrap().unwrap();
+        assert_eq!(first.len(), 2);
+        let err = it.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("invalid DNA"), "{err}");
+        assert!(it.next().is_none(), "iterator must fuse after an error");
+        // Same error (message and line) as the monolithic reader.
+        let whole_err = read_fasta(&text[..]).unwrap_err();
+        assert_eq!(err.to_string(), whole_err.to_string());
     }
 }

@@ -45,6 +45,9 @@ pub mod stats;
 pub use alphabet::{Base, PackedSeq};
 pub use error::{ErrorModel, ErrorProfile};
 pub use kmer::{canonical_kmer, Kmer, KmerIter};
-pub use readsim::{DatasetPreset, PairSet, ReadPair, ReadSet, ReadSimulator, Seed, SimulatedRead};
+pub use readsim::{
+    seq_batches, DatasetPreset, PairSet, ReadBatch, ReadPair, ReadSet, ReadSimulator, Seed,
+    SimulatedRead,
+};
 pub use scoring::{AffineScoring, Scoring};
 pub use seq::Seq;

@@ -51,6 +51,35 @@ pub struct ReadPair {
     pub template_len: usize,
 }
 
+/// A bounded chunk of reads flowing through a streaming pipeline.
+///
+/// Read ids are implicit in stream order: the batch covers ids
+/// `start_id .. start_id + seqs.len()`, and a well-formed stream's
+/// batches are contiguous (`next.start_id == prev.start_id +
+/// prev.seqs.len()`). Sources that own richer records (FASTA names,
+/// ground truth) keep them on the side, keyed by the same ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadBatch {
+    /// Id of the first read in the batch.
+    pub start_id: usize,
+    /// The reads, in stream order.
+    pub seqs: Vec<Seq>,
+}
+
+/// Chunk a resident slice of reads into bounded [`ReadBatch`]es — the
+/// adapter that lets in-memory read sets drive the streaming pipeline
+/// (and lets tests diff streaming against monolithic runs on identical
+/// input).
+pub fn seq_batches(seqs: &[Seq], batch_reads: usize) -> impl Iterator<Item = ReadBatch> + '_ {
+    let batch_reads = batch_reads.max(1);
+    seqs.chunks(batch_reads)
+        .enumerate()
+        .map(move |(i, chunk)| ReadBatch {
+            start_id: i * batch_reads,
+            seqs: chunk.to_vec(),
+        })
+}
+
 /// A benchmark set of read pairs (the 100 K-alignment workload).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PairSet {
@@ -239,6 +268,20 @@ impl ReadSet {
     pub fn depth(&self) -> f64 {
         let total: usize = self.reads.iter().map(|r| r.seq.len()).sum();
         total as f64 / self.genome.len() as f64
+    }
+
+    /// Stream the read sequences as bounded [`ReadBatch`]es of at most
+    /// `batch_reads` reads, in id order — the simulated-data entry point
+    /// of the streaming BELLA pipeline.
+    pub fn seq_batches(&self, batch_reads: usize) -> impl Iterator<Item = ReadBatch> + '_ {
+        let batch_reads = batch_reads.max(1);
+        self.reads
+            .chunks(batch_reads)
+            .enumerate()
+            .map(move |(i, chunk)| ReadBatch {
+                start_id: i * batch_reads,
+                seqs: chunk.iter().map(|r| r.seq.clone()).collect(),
+            })
     }
 }
 
@@ -505,6 +548,40 @@ mod tests {
         }
         brute.sort_unstable();
         assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn seq_batches_cover_the_set_in_order() {
+        let sim = ReadSimulator {
+            read_len: (300, 600),
+            ..ReadSimulator::uniform(10_000, 5.0)
+        };
+        let rs = sim.generate(9);
+        for batch_reads in [1, 3, 7, 1000] {
+            let batches: Vec<ReadBatch> = rs.seq_batches(batch_reads).collect();
+            let mut id = 0usize;
+            for b in &batches {
+                assert_eq!(b.start_id, id, "batches must be contiguous");
+                assert!(b.seqs.len() <= batch_reads.max(1));
+                assert!(!b.seqs.is_empty());
+                for (off, s) in b.seqs.iter().enumerate() {
+                    assert_eq!(*s, rs.reads[id + off].seq);
+                }
+                id += b.seqs.len();
+            }
+            assert_eq!(id, rs.reads.len(), "every read streamed exactly once");
+            // All but the last batch are full.
+            for b in &batches[..batches.len() - 1] {
+                assert_eq!(b.seqs.len(), batch_reads.max(1));
+            }
+        }
+        // The free-function adapter agrees with the method.
+        let seqs: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
+        let a: Vec<ReadBatch> = rs.seq_batches(4).collect();
+        let b: Vec<ReadBatch> = seq_batches(&seqs, 4).collect();
+        assert_eq!(a, b);
+        // batch_reads = 0 is clamped rather than looping forever.
+        assert_eq!(seq_batches(&seqs, 0).next().unwrap().seqs.len(), 1);
     }
 
     #[test]

@@ -47,6 +47,15 @@ step "allocation-count: warm AlignWorkspace is allocation-free"
 # workspace is warm, run as its own step so a regression names itself.
 cargo test -q --test alloc_count
 
+step "streaming-equivalence: streaming pipeline diffs clean vs monolithic"
+# The DESIGN.md §8 contract: on a seeded read set, the streaming,
+# sharded dataflow reproduces the monolithic BELLA pipeline bit for bit
+# (overlaps, stats, order) — from both the in-memory and FASTA sources.
+cargo test -q --test bella_pipeline streaming_
+
+step "peak-memory smoke: streaming peak bounded by batch, below monolithic"
+cargo test -q --test stream_mem
+
 step "cargo test -q"
 cargo test -q
 

@@ -3,18 +3,26 @@
 //! ```text
 //! logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--gpus N] [--engine scalar|simd]
 //! logan_cli overlap <reads.fa>                [-x N] [--gpus N] [-k K] [--min-overlap L]
-//!                                             [--engine scalar|simd]
+//!                                             [--engine scalar|simd] [--stream]
+//!                                             [--batch-reads N] [--shards N] [--inflight N]
 //! ```
 //!
 //! `pairs` aligns record *i* of the first file against record *i* of the
 //! second (seed = first shared canonical 17-mer), printing one TSV row
 //! per pair. `overlap` runs the BELLA pipeline on a read set and prints
 //! kept overlaps in a PAF-like TSV. Both run on simulated V100s.
+//!
+//! `--stream` runs `overlap` through the bounded-memory streaming
+//! dataflow (bit-identical output): the FASTA is parsed in batches of
+//! `--batch-reads`, the k-mer table is counted in `--shards` waves, and
+//! at most `--inflight` candidate blocks sit between the SpGEMM
+//! producer and the alignment backend.
 
-use logan::bella::{AlignerBackend, BellaConfig, BellaPipeline};
+use logan::bella::{AlignerBackend, BellaConfig, BellaPipeline, PipelineBudget};
 use logan::prelude::*;
-use logan::seq::fasta::read_fasta;
+use logan::seq::fasta::{read_fasta, FastaBatches};
 use logan::seq::kmer::KmerIter;
+use logan::seq::readsim::ReadBatch;
 use std::collections::HashMap;
 use std::fs::File;
 use std::process::ExitCode;
@@ -24,7 +32,7 @@ fn usage() -> ExitCode {
         "usage:\n  logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--gpus N] \
          [--engine scalar|simd]\n  \
          logan_cli overlap <reads.fa> [-x N] [--gpus N] [-k K] [--min-overlap L] \
-         [--engine scalar|simd]"
+         [--engine scalar|simd] [--stream] [--batch-reads N] [--shards N] [--inflight N]"
     );
     ExitCode::from(2)
 }
@@ -35,6 +43,8 @@ struct Opts {
     k: usize,
     min_overlap: usize,
     engine: Engine,
+    stream: bool,
+    budget: PipelineBudget,
     positional: Vec<String>,
 }
 
@@ -47,6 +57,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         // Results are engine-independent; the flag (or LOGAN_ENGINE)
         // only picks how fast the host computes them.
         engine: Engine::from_env(),
+        stream: false,
+        budget: PipelineBudget::default(),
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -74,6 +86,22 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--engine: {e}"))?
             }
+            "--stream" => opts.stream = true,
+            "--batch-reads" => {
+                opts.budget.batch_reads = grab("--batch-reads")?
+                    .parse()
+                    .map_err(|e| format!("--batch-reads: {e}"))?
+            }
+            "--shards" => {
+                opts.budget.shards = grab("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--inflight" => {
+                opts.budget.inflight_blocks = grab("--inflight")?
+                    .parse()
+                    .map_err(|e| format!("--inflight: {e}"))?
+            }
             _ => opts.positional.push(a.clone()),
         }
     }
@@ -82,6 +110,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     }
     if opts.gpus == 0 {
         return Err("--gpus must be at least 1".into());
+    }
+    if opts.budget.batch_reads == 0 || opts.budget.shards == 0 || opts.budget.inflight_blocks == 0 {
+        return Err("--batch-reads/--shards/--inflight must be at least 1".into());
     }
     Ok(opts)
 }
@@ -185,15 +216,10 @@ fn cmd_overlap(opts: &Opts) -> Result<(), String> {
     let [rf] = &opts.positional[..] else {
         return Err("overlap needs exactly one FASTA file".into());
     };
-    let records = read_fasta(File::open(rf).map_err(|e| format!("{rf}: {e}"))?)
-        .map_err(|e| format!("{rf}: {e}"))?;
-    let seqs: Vec<Seq> = records.iter().map(|r| r.seq.clone()).collect();
-    let total: usize = seqs.iter().map(|s| s.len()).sum();
-    let mean_len = total / seqs.len().max(1);
-
     let config = BellaConfig {
         k: opts.k,
         min_overlap: opts.min_overlap,
+        budget: opts.budget,
         // Depth is unknown for arbitrary input; a neutral default keeps
         // the reliable window sane and can be refined by the caller.
         depth: 20.0,
@@ -203,14 +229,48 @@ fn cmd_overlap(opts: &Opts) -> Result<(), String> {
     let mut gpu_cfg = LoganConfig::with_x(opts.x);
     gpu_cfg.engine = opts.engine;
     let multi = MultiGpu::new(opts.gpus, DeviceSpec::v100(), gpu_cfg);
-    let out = pipeline.run(&seqs, &AlignerBackend::Multi(&multi));
+    let backend = AlignerBackend::Multi(&multi);
+    let file = File::open(rf).map_err(|e| format!("{rf}: {e}"))?;
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut total = 0usize;
+    let out = if opts.stream {
+        // Streaming: drain the FASTA in bounded batches *before* any
+        // counting or alignment spends time — a parse error fails fast
+        // with nothing computed. The drained batches are moved (not
+        // copied) into the pipeline, whose ingest stage would have built
+        // the same resident store anyway, so peak memory is unchanged.
+        let mut batches: Vec<ReadBatch> = Vec::new();
+        for records in FastaBatches::new(file, opts.budget.batch_reads) {
+            let records = records.map_err(|e| format!("{rf}: {e}"))?;
+            let start_id = ids.len();
+            let mut seqs = Vec::with_capacity(records.len());
+            for r in records {
+                ids.push(r.id);
+                total += r.seq.len();
+                seqs.push(r.seq);
+            }
+            batches.push(ReadBatch { start_id, seqs });
+        }
+        pipeline.run_streaming(batches, &backend)
+    } else {
+        let records = read_fasta(file).map_err(|e| format!("{rf}: {e}"))?;
+        let mut seqs = Vec::with_capacity(records.len());
+        for r in records {
+            ids.push(r.id);
+            total += r.seq.len();
+            seqs.push(r.seq);
+        }
+        pipeline.run(&seqs, &backend)
+    };
+    let mean_len = total / ids.len().max(1);
 
     println!("#read1\tread2\tscore\test_overlap\tq_span\tt_span\tkept");
     for o in &out.overlaps {
         println!(
             "{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            records[o.r1].id,
-            records[o.r2].id,
+            ids[o.r1],
+            ids[o.r2],
             o.result.score,
             o.est_overlap,
             o.result.query_span(),
@@ -219,12 +279,20 @@ fn cmd_overlap(opts: &Opts) -> Result<(), String> {
         );
     }
     eprintln!(
-        "{} reads (mean {} bp) -> {} candidates, {} kept; {} DP cells",
-        seqs.len(),
+        "{} reads (mean {} bp) -> {} candidates, {} kept; {} DP cells{}",
+        ids.len(),
         mean_len,
         out.stats.candidates,
         out.stats.kept,
-        out.stats.total_cells
+        out.stats.total_cells,
+        if opts.stream {
+            format!(
+                " [streaming: batch-reads {}, shards {}, inflight {}]",
+                opts.budget.batch_reads, opts.budget.shards, opts.budget.inflight_blocks
+            )
+        } else {
+            String::new()
+        }
     );
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Integration test: the full BELLA pipeline over simulated reads, CPU
 //! vs GPU vs multi-GPU backends, with ground-truth scoring.
 
-use logan::bella::{AlignerBackend, BellaConfig, BellaPipeline};
+use logan::bella::{AlignerBackend, BellaConfig, BellaPipeline, PipelineBudget};
 use logan::prelude::*;
 use logan::seq::readsim::ReadSimulator;
 
@@ -56,6 +56,92 @@ fn pipeline_is_deterministic() {
     let (b, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
     assert_eq!(a.kept_pairs(), b.kept_pairs());
     assert_eq!(a.stats.total_cells, b.stats.total_cells);
+}
+
+/// The streaming-equivalence gate (scripts/premerge.sh runs the
+/// `streaming_` tests as their own step): on a seeded read set, the
+/// streaming, sharded, bounded-memory dataflow must reproduce the
+/// monolithic pipeline bit for bit — same overlaps (scores, seeds, end
+/// positions, kept flags, order) and same stage statistics.
+#[test]
+fn streaming_pipeline_diffs_clean_against_monolithic() {
+    let rs = readset();
+    let aligner = CpuBatchAligner::new(4);
+    let backend = AlignerBackend::Cpu(&aligner);
+
+    let mono = BellaPipeline::new(config());
+    let (mono_out, mono_metrics) = mono.run_on_readset(&rs, &backend, 600);
+
+    for budget in [
+        PipelineBudget::default(),
+        PipelineBudget {
+            batch_reads: 5,
+            shards: 3,
+            inflight_blocks: 1,
+        },
+    ] {
+        let cfg = BellaConfig { budget, ..config() };
+        let streaming = BellaPipeline::new(cfg);
+        let (out, metrics) = streaming.run_streaming_on_readset(&rs, &backend, 600);
+        assert_eq!(out.overlaps, mono_out.overlaps, "budget {budget:?}");
+        assert_eq!(out.stats, mono_out.stats, "budget {budget:?}");
+        assert_eq!(metrics.precision, mono_metrics.precision);
+        assert_eq!(metrics.recall, mono_metrics.recall);
+    }
+}
+
+/// Streaming from the FASTA batch reader matches streaming from the
+/// in-memory read set: the pipeline cannot tell sources apart.
+#[test]
+fn streaming_from_fasta_batches_matches_in_memory_source() {
+    use logan::seq::fasta::{write_fasta, FastaBatches, Record};
+    use logan::seq::readsim::ReadBatch;
+
+    let rs = readset();
+    let records: Vec<Record> = rs
+        .reads
+        .iter()
+        .map(|r| Record {
+            id: format!("read{}", r.id),
+            seq: r.seq.clone(),
+        })
+        .collect();
+    let mut fasta = Vec::new();
+    write_fasta(&mut fasta, &records, 70).unwrap();
+
+    let cfg = BellaConfig {
+        budget: PipelineBudget {
+            batch_reads: 8,
+            shards: 4,
+            inflight_blocks: 2,
+        },
+        // run_streaming (not *_on_readset) takes depth/error from the
+        // config, so pin them to the set's true values on both paths.
+        depth: rs.depth(),
+        error_rate: rs.error_rate,
+        ..config()
+    };
+    let pipeline = BellaPipeline::new(cfg);
+    let aligner = CpuBatchAligner::new(2);
+    let backend = AlignerBackend::Cpu(&aligner);
+
+    let mut start_id = 0usize;
+    let from_fasta = pipeline.run_streaming(
+        FastaBatches::new(&fasta[..], 8).map(|batch| {
+            let seqs: Vec<Seq> = batch
+                .expect("generated FASTA parses")
+                .into_iter()
+                .map(|r| r.seq)
+                .collect();
+            let b = ReadBatch { start_id, seqs };
+            start_id += b.seqs.len();
+            b
+        }),
+        &backend,
+    );
+    let from_memory = pipeline.run_streaming(rs.seq_batches(8), &backend);
+    assert_eq!(from_fasta.overlaps, from_memory.overlaps);
+    assert_eq!(from_fasta.stats, from_memory.stats);
 }
 
 #[test]

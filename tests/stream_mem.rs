@@ -1,0 +1,102 @@
+//! Peak-memory smoke check for the streaming pipeline (run as its own
+//! premerge step): the streaming dataflow must allocate a strictly
+//! lower peak than the monolithic pipeline on the same input, and its
+//! peak must move with the batch budget — the two measurable halves of
+//! the "peak memory is O(batch), not O(genome)" contract (DESIGN.md §8;
+//! the resident read store and k-mer index are O(input) by design).
+//!
+//! Lives in its own integration-test binary because the measuring
+//! global allocator ([`logan_bench::memprobe`]) is process-wide (as
+//! `alloc_count.rs` does for the zero-allocation contract). One test
+//! function, so nothing runs concurrently with the measurement.
+
+use logan::bella::{AlignerBackend, BellaConfig, BellaPipeline, PipelineBudget};
+use logan::prelude::*;
+use logan::seq::readsim::ReadSimulator;
+use logan_bench::memprobe::{mib, peak_during, PeakAlloc};
+
+#[global_allocator]
+static PEAK_ALLOC: PeakAlloc = PeakAlloc;
+
+#[test]
+fn streaming_peak_is_bounded_by_batch_not_input() {
+    // Depth-12 reads: every read overlaps ~20 others, so the monolithic
+    // candidate list (each pair cloning both full sequences) dwarfs the
+    // read set itself — the allocation pattern the streaming path bounds.
+    let sim = ReadSimulator {
+        read_len: (800, 1400),
+        depth: 12.0,
+        errors: ErrorProfile::pacbio(0.10),
+        ..ReadSimulator::uniform(16_000, 12.0)
+    };
+    let rs = sim.generate(99);
+    let seqs: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
+    let aligner = CpuBatchAligner::new(2);
+    let backend = AlignerBackend::Cpu(&aligner);
+
+    let config = |budget: PipelineBudget| BellaConfig {
+        error_rate: 0.10,
+        depth: rs.depth(),
+        min_overlap: 1000,
+        budget,
+        ..BellaConfig::with_x(30)
+    };
+
+    // Both measured regions own their copy of the reads (the clone /
+    // the ingested store), so the peaks compare like for like.
+    let (mono, mono_peak) = peak_during(|| {
+        let owned = seqs.clone();
+        BellaPipeline::new(config(PipelineBudget::default())).run(&owned, &backend)
+    });
+    assert!(
+        mono.stats.candidates > seqs.len(),
+        "workload too sparse to exercise the candidate stage"
+    );
+
+    let streaming_peak = |batch_reads: usize| {
+        let budget = PipelineBudget {
+            batch_reads,
+            shards: 8,
+            inflight_blocks: 1,
+        };
+        let pipeline = BellaPipeline::new(config(budget));
+        let (out, peak) = peak_during(|| {
+            pipeline.run_streaming(
+                logan::seq::readsim::seq_batches(&seqs, batch_reads),
+                &backend,
+            )
+        });
+        assert_eq!(out.overlaps, mono.overlaps, "batch_reads={batch_reads}");
+        peak
+    };
+
+    let small_batch = streaming_peak(16);
+    let whole_input_batch = streaming_peak(seqs.len().max(1));
+
+    eprintln!(
+        "peaks: monolithic {:.1} MiB, streaming(batch=16) {:.1} MiB, \
+         streaming(batch=all {} reads) {:.1} MiB",
+        mib(mono_peak),
+        mib(small_batch),
+        seqs.len(),
+        mib(whole_input_batch),
+    );
+
+    // (1) Streaming must beat the monolithic peak with real margin.
+    assert!(
+        (small_batch as f64) < 0.85 * mono_peak as f64,
+        "streaming peak {:.1} MiB not clearly below monolithic {:.1} MiB",
+        mib(small_batch),
+        mib(mono_peak)
+    );
+    // (2) The peak must move with the batch budget: batching the whole
+    // input into one tile re-creates a monolithic-sized candidate
+    // block, so the small-batch peak sits measurably below it.
+    assert!(
+        (small_batch as f64) < 0.9 * whole_input_batch as f64,
+        "peak did not shrink with the batch budget: batch=16 {:.1} MiB \
+         vs batch=all {:.1} MiB",
+        mib(small_batch),
+        mib(whole_input_batch)
+    );
+}

@@ -2,14 +2,21 @@
 //! [`serde`](https://crates.io/crates/serde), vendored so the workspace
 //! builds without a crates.io mirror.
 //!
-//! Instead of upstream's visitor-based `Serializer` machinery, this subset
-//! serializes through one concrete tree: [`Serialize::to_value`] produces a
-//! [`Value`], and `serde_json` (the sibling stub) renders that tree. The
+//! Instead of upstream's visitor-based `Serializer`/`Deserializer`
+//! machinery, this subset works through one concrete tree:
+//! [`Serialize::to_value`] produces a [`Value`], `serde_json` (the
+//! sibling stub) renders and parses that tree as JSON text, and
+//! [`Deserialize::from_value`] rebuilds typed data from it. The
 //! `#[derive(Serialize, Deserialize)]` macros re-exported from
 //! `serde_derive` understand the `#[serde(skip)]` field attribute used in
-//! this workspace. [`Deserialize`] is a marker trait only — nothing in
-//! LOGAN-rs reads serialized artifacts back yet; the JSON files under
-//! `results/` are consumed by humans and plotting scripts.
+//! this workspace; skipped fields deserialize to `Default::default()`.
+//!
+//! Deserialization is deliberately lenient where the tree is
+//! unambiguous: integer [`Value`]s coerce into float fields (the JSON
+//! writer prints `3.0` for whole floats, but hand-written inputs may
+//! not), and a missing struct field reads as [`Value::Null`] so that
+//! `Option` fields added after an artifact was written deserialize to
+//! `None` instead of failing.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -41,9 +48,214 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait emitted by `#[derive(Deserialize)]`; deserialization is
-/// not implemented in this offline subset.
-pub trait Deserialize {}
+/// Error produced when a [`Value`] tree does not match the shape the
+/// target type expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeserializeError {
+    msg: String,
+}
+
+impl DeserializeError {
+    /// Build an error with a human-readable message.
+    pub fn new(msg: impl Into<String>) -> DeserializeError {
+        DeserializeError { msg: msg.into() }
+    }
+
+    /// Convenience for "expected X, found Y" mismatches.
+    pub fn expected(what: &str, found: &Value) -> DeserializeError {
+        let kind = match found {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        };
+        DeserializeError::new(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl std::fmt::Display for DeserializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeserializeError {}
+
+/// Types that can be rebuilt from a [`Value`] tree (the inverse of
+/// [`Serialize::to_value`], used by `serde_json::from_str`).
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from the intermediate tree.
+    fn from_value(v: &Value) -> Result<Self, DeserializeError>;
+}
+
+/// The shared `Null` used for absent struct fields.
+static NULL: Value = Value::Null;
+
+/// Look up a struct field in a serialized map; absent fields read as
+/// [`Value::Null`] (so `Option` fields tolerate older artifacts).
+pub fn field<'a>(entries: &'a [(String, Value)], name: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+/// Annotate a field/variant deserialization error with its location —
+/// used by the derive macro so mismatch reports name the path.
+pub fn context<T>(
+    r: Result<T, DeserializeError>,
+    what: &'static str,
+) -> Result<T, DeserializeError> {
+    r.map_err(|e| DeserializeError::new(format!("{what}: {e}")))
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+                match *v {
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeserializeError::new(format!(
+                            "integer {n} out of range for {}", stringify!($t)))),
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeserializeError::new(format!(
+                            "integer {n} out of range for {}", stringify!($t)))),
+                    _ => Err(DeserializeError::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            // Integer trees coerce: the JSON grammar does not distinguish
+            // `3` from `3.0` semantically.
+            Value::I64(n) => Ok(n as f64),
+            Value::U64(n) => Ok(n as f64),
+            _ => Err(DeserializeError::expected("f64", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeserializeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeserializeError::expected("string", v)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(DeserializeError::new(format!(
+                        "expected single-character string, found {s:?}"
+                    ))),
+                }
+            }
+            _ => Err(DeserializeError::expected("char", v)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeserializeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            DeserializeError::new(format!("expected array of length {N}, found {len}"))
+        })
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+        let secs =
+            f64::from_value(v).map_err(|_| DeserializeError::expected("duration in seconds", v))?;
+        // try_from_secs_f64 rejects negative, non-finite *and*
+        // overflowing values — from_secs_f64 would panic on e.g. 1e20,
+        // turning a corrupt artifact into a process abort.
+        std::time::Duration::try_from_secs_f64(secs)
+            .map_err(|e| DeserializeError::new(format!("invalid duration seconds {secs}: {e}")))
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr)),+ $(,)?) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeserializeError> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Seq(items) => Err(DeserializeError::new(format!(
+                        "expected tuple of length {}, found {}", $len, items.len()))),
+                    _ => Err(DeserializeError::expected("tuple (array)", v)),
+                }
+            }
+        }
+    )+};
+}
+
+impl_deserialize_tuple!(
+    (A: 0; 1),
+    (A: 0, B: 1; 2),
+    (A: 0, B: 1, C: 2; 3),
+    (A: 0, B: 1, C: 2, D: 3; 4),
+);
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
@@ -194,6 +406,71 @@ mod tests {
         assert_eq!(true.to_value(), Value::Bool(true));
         assert_eq!("hi".to_value(), Value::Str("hi".into()));
         assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn deserialize_primitives_and_containers() {
+        use super::Deserialize;
+        assert_eq!(u32::from_value(&Value::U64(7)).unwrap(), 7);
+        assert_eq!(i32::from_value(&Value::I64(-7)).unwrap(), -7);
+        assert_eq!(i64::from_value(&Value::U64(7)).unwrap(), 7);
+        assert!(u8::from_value(&Value::U64(300)).is_err(), "range checked");
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(f64::from_value(&Value::F64(2.5)).unwrap(), 2.5);
+        assert!(bool::from_value(&Value::Bool(true)).unwrap());
+        assert_eq!(
+            String::from_value(&Value::Str("x".into())).unwrap(),
+            "x".to_string()
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&Value::Null).unwrap(),
+            None,
+            "null is None"
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::U64(3)).unwrap(), Some(3));
+        assert_eq!(
+            Vec::<u8>::from_value(&Value::Seq(vec![Value::U64(1), Value::U64(2)])).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            <[u8; 2]>::from_value(&Value::Seq(vec![Value::U64(1), Value::U64(2)])).unwrap(),
+            [1, 2]
+        );
+        assert_eq!(
+            <(u8, bool)>::from_value(&Value::Seq(vec![Value::U64(1), Value::Bool(false)])).unwrap(),
+            (1, false)
+        );
+    }
+
+    #[test]
+    fn duration_round_trips_as_float_seconds() {
+        use super::{Deserialize, Serialize};
+        let d = std::time::Duration::from_micros(1_234_567);
+        let v = d.to_value();
+        match v {
+            Value::F64(secs) => assert!((secs - 1.234567).abs() < 1e-12),
+            other => panic!("expected float seconds, got {other:?}"),
+        }
+        let back = std::time::Duration::from_value(&v).unwrap();
+        assert_eq!(back, d, "nanosecond-rounding round trip");
+        assert!(std::time::Duration::from_value(&Value::F64(-1.0)).is_err());
+        assert!(
+            std::time::Duration::from_value(&Value::F64(1e20)).is_err(),
+            "overflow must be an Err, not a panic"
+        );
+        // Integer seconds coerce (hand-written JSON without a dot).
+        assert_eq!(
+            std::time::Duration::from_value(&Value::U64(3)).unwrap(),
+            std::time::Duration::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn missing_struct_fields_read_as_null() {
+        let entries = vec![("a".to_string(), Value::U64(1))];
+        assert_eq!(super::field(&entries, "a"), &Value::U64(1));
+        assert_eq!(super::field(&entries, "missing"), &Value::Null);
     }
 
     #[test]

@@ -328,16 +328,173 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .unwrap()
 }
 
-/// Derive the `serde::Deserialize` marker impl.
+/// The expression rebuilding one named-field struct body (shared by
+/// structs and struct enum variants). `map` is the in-scope binding of
+/// the `&[(String, Value)]` entries.
+fn named_ctor(type_path: &str, fields: &[Field], map: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::core::default::Default::default()", f.name)
+            } else {
+                format!(
+                    "{n}: ::serde::context(::serde::Deserialize::from_value(::serde::field({map}, {n:?})), concat!(stringify!({ty}), \".\", {n:?}))?",
+                    n = f.name,
+                    ty = type_path,
+                )
+            }
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn deserialize_body(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let ctor = named_ctor(name, fields, "__map");
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Map(__map) => ::core::result::Result::Ok({ctor}),\n\
+                     _ => ::core::result::Result::Err(::serde::DeserializeError::expected(concat!(\"map for struct \", stringify!({name})), __v)),\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct(fields) => {
+            let live: Vec<usize> = (0..fields.len()).filter(|&i| !fields[i].skip).collect();
+            // Mirror the serializer: one live field is stored bare, more
+            // than one as a sequence; skipped positions default.
+            let arg = |i: usize, src: String| {
+                if fields[i].skip {
+                    "::core::default::Default::default()".to_string()
+                } else {
+                    format!("::serde::Deserialize::from_value({src})?")
+                }
+            };
+            match live.len() {
+                0 => {
+                    let args: Vec<String> = (0..fields.len())
+                        .map(|_| "::core::default::Default::default()".to_string())
+                        .collect();
+                    format!("::core::result::Result::Ok({name}({}))", args.join(", "))
+                }
+                1 => {
+                    let args: Vec<String> = (0..fields.len())
+                        .map(|i| arg(i, "__v".to_string()))
+                        .collect();
+                    format!("::core::result::Result::Ok({name}({}))", args.join(", "))
+                }
+                n => {
+                    let mut next = 0usize;
+                    let args: Vec<String> = (0..fields.len())
+                        .map(|i| {
+                            if fields[i].skip {
+                                arg(i, String::new())
+                            } else {
+                                let src = format!("&__items[{next}]");
+                                next += 1;
+                                arg(i, src)
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "match __v {{\n\
+                             ::serde::Value::Seq(__items) if __items.len() == {n} => ::core::result::Result::Ok({name}({args})),\n\
+                             _ => ::core::result::Result::Err(::serde::DeserializeError::expected(concat!(\"array of {n} for tuple struct \", stringify!({name})), __v)),\n\
+                         }}",
+                        args = args.join(", ")
+                    )
+                }
+            }
+        }
+        Shape::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(n) => {
+                            let body = if *n == 1 {
+                                format!(
+                                    "::core::result::Result::Ok({name}::{vn}(::serde::context(::serde::Deserialize::from_value(__payload), stringify!({name}::{vn}))?))"
+                                )
+                            } else {
+                                let args: Vec<String> = (0..*n)
+                                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                                    .collect();
+                                format!(
+                                    "match __payload {{\n\
+                                         ::serde::Value::Seq(__items) if __items.len() == {n} => ::core::result::Result::Ok({name}::{vn}({args})),\n\
+                                         _ => ::core::result::Result::Err(::serde::DeserializeError::expected(concat!(\"array of {n} for variant \", stringify!({name}::{vn})), __payload)),\n\
+                                     }}",
+                                    args = args.join(", ")
+                                )
+                            };
+                            Some(format!("{vn:?} => {body},"))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let ctor = named_ctor(&format!("{name}::{vn}"), fields, "__fields");
+                            Some(format!(
+                                "{vn:?} => match __payload {{\n\
+                                     ::serde::Value::Map(__fields) => ::core::result::Result::Ok({ctor}),\n\
+                                     _ => ::core::result::Result::Err(::serde::DeserializeError::expected(concat!(\"map for variant \", stringify!({name}::{vn})), __payload)),\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::core::result::Result::Err(::serde::DeserializeError::new(::std::format!(\"unknown unit variant {{__other:?}} for enum {{}}\", stringify!({name})))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {payload_arms}\n\
+                             __other => ::core::result::Result::Err(::serde::DeserializeError::new(::std::format!(\"unknown variant {{__other:?}} for enum {{}}\", stringify!({name})))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::core::result::Result::Err(::serde::DeserializeError::expected(concat!(\"variant of enum \", stringify!({name})), __v)),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                payload_arms = payload_arms.join("\n"),
+            )
+        }
+    }
+}
+
+/// Derive `serde::Deserialize` by rebuilding fields from a
+/// `serde::Value` tree (the inverse of the derived `Serialize`).
+/// `#[serde(skip)]` fields deserialize to `Default::default()`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = match parse_item(input) {
         Ok(p) => p,
         Err(e) => return err(&e),
     };
+    let body = deserialize_body(&parsed);
     format!(
-        "#[automatically_derived]\nimpl ::serde::Deserialize for {} {{}}",
-        parsed.name
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeserializeError> {{ {body} }}\n\
+         }}",
+        name = parsed.name
     )
     .parse()
     .unwrap()

@@ -3,15 +3,16 @@
 //! workspace builds without a crates.io mirror.
 //!
 //! Renders the [`serde::Value`] tree produced by the sibling `serde` stub
-//! as JSON text. Only the writer half exists ([`to_string`] /
-//! [`to_string_pretty`]); nothing in LOGAN-rs parses JSON back.
+//! as JSON text ([`to_string`] / [`to_string_pretty`]) and parses JSON
+//! text back into a tree ([`parse_value`]) or a typed value
+//! ([`from_str`] / [`from_value`] via `serde::Deserialize`).
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
-/// Serialization error. The tree writer is total (non-finite floats
-/// degrade to `null` like upstream), so this is never constructed today;
-/// it exists because the public API returns `Result` like upstream.
+/// Serialization or parse error. The tree writer is total (non-finite
+/// floats degrade to `null` like upstream), so writing never constructs
+/// one; parsing reports malformed JSON and shape mismatches through it.
 #[derive(Debug)]
 pub struct Error {
     msg: String,
@@ -37,6 +38,271 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0)?;
     Ok(out)
+}
+
+/// Parse JSON text into a typed value through its
+/// [`Deserialize`] impl — the upstream `serde_json::from_str` shape.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    from_value(&v)
+}
+
+/// Rebuild a typed value from an already-parsed tree.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v).map_err(|e| Error { msg: e.to_string() })
+}
+
+/// Parse JSON text into a [`Value`] tree. Accepts exactly what the
+/// writer half emits (and standard JSON generally); trailing
+/// non-whitespace is an error.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Maximum container nesting accepted by the parser (upstream
+/// serde_json uses the same limit); deeper input returns `Err` instead
+/// of recursing to a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: format!("{msg} at byte {}", self.pos),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        Ok(())
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte slice is valid UTF-8; find the scalar's width
+                    // from the leading byte).
+                    let start = self.pos;
+                    let first = self.bytes[start];
+                    let width = match first {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = std::str::from_utf8(&self.bytes[start..start + width])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += width;
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        let hex4 = |p: &mut Self| -> Result<u32, Error> {
+            let end = p.pos + 4;
+            if end > p.bytes.len() {
+                return Err(p.err("truncated \\u escape"));
+            }
+            let s = std::str::from_utf8(&p.bytes[p.pos..end])
+                .map_err(|_| p.err("invalid \\u escape"))?;
+            let n = u32::from_str_radix(s, 16).map_err(|_| p.err("invalid \\u escape"))?;
+            p.pos = end;
+            Ok(n)
+        };
+        let hi = hex4(self)?;
+        // Surrogate pair: a second \uXXXX must follow.
+        if (0xd800..0xdc00).contains(&hi) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = hex4(self)?;
+                if (0xdc00..0xe000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                    return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+                }
+            }
+            return Err(self.err("lone high surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
 }
 
 fn write_indent(out: &mut String, indent: Option<usize>, depth: usize) {
@@ -165,5 +431,89 @@ mod tests {
     #[test]
     fn strings_escape() {
         assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Value::Map(vec![
+            ("int".into(), Value::U64(7)),
+            ("neg".into(), Value::I64(-3)),
+            ("float".into(), Value::F64(2.5)),
+            ("whole_float".into(), Value::F64(30.0)),
+            ("text".into(), Value::Str("a\"b\\c\nd\u{1f}é".into())),
+            (
+                "arr".into(),
+                Value::Seq(vec![Value::Bool(false), Value::Null]),
+            ),
+            ("empty_arr".into(), Value::Seq(vec![])),
+            ("empty_map".into(), Value::Map(vec![])),
+        ]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        for text in [
+            to_string(&Raw(v.clone())).unwrap(),
+            to_string_pretty(&Raw(v.clone())).unwrap(),
+        ] {
+            let back = parse_value(&text).unwrap();
+            // Whole floats re-parse as floats thanks to the forced ".0".
+            assert_eq!(back, v, "round trip through {text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{'a':1}",
+            "[1]]",
+        ] {
+            assert!(parse_value(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(parse_value(r#""A🦀""#).unwrap(), Value::Str("A🦀".into()));
+        assert_eq!(
+            parse_value("\"\\ud83e\\udd80 \\u00e9\"").unwrap(),
+            Value::Str("🦀 é".into()),
+            "surrogate pair and BMP escapes decode"
+        );
+        assert!(parse_value(r#""\ud800""#).is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Within the limit: parses fine.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse_value(&ok).is_ok());
+        // Past the limit (and far past, where recursion would blow the
+        // stack): a graceful Err.
+        for depth in [200usize, 200_000] {
+            let bad = "[".repeat(depth);
+            let err = parse_value(&bad).unwrap_err();
+            assert!(err.to_string().contains("recursion limit"), "{err}");
+        }
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let xs: Vec<f64> = from_str("[1, 2.5, -3]").unwrap();
+        assert_eq!(xs, vec![1.0, 2.5, -3.0]);
+        let pair: (u32, String) = from_str(r#"[4, "x"]"#).unwrap();
+        assert_eq!(pair, (4, "x".to_string()));
+        assert!(from_str::<Vec<u32>>("[1, -2]").is_err(), "range check");
+        let opt: Option<bool> = from_str("null").unwrap();
+        assert_eq!(opt, None);
     }
 }
