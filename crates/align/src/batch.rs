@@ -111,6 +111,24 @@ impl CpuBatchAligner {
         }
     }
 
+    /// Bind this aligner to an X-drop configuration, yielding a
+    /// self-contained batch aligner whose `run` needs only the pairs —
+    /// the shape backend traits (e.g. `logan_core`'s `AlignBackend`)
+    /// dispatch over.
+    pub fn into_xdrop(
+        self,
+        scoring: logan_seq::Scoring,
+        x: i32,
+        engine: crate::simd::Engine,
+    ) -> XDropCpuAligner {
+        XDropCpuAligner {
+            aligner: self,
+            scoring,
+            x,
+            engine,
+        }
+    }
+
     /// Map an arbitrary per-pair function over the batch in the pool —
     /// used by the harness to run ksw2 (which has no seed/extend split in
     /// the original benchmark: the paper aligns whole pairs).
@@ -123,6 +141,57 @@ impl CpuBatchAligner {
         let start = Instant::now();
         let out = self.pool.install(|| pairs.par_iter().map(&f).collect());
         (out, start.elapsed())
+    }
+}
+
+/// A [`CpuBatchAligner`] bound to one X-drop configuration (scoring, X,
+/// compute engine) — BELLA's CPU backend as a single value. Where
+/// [`CpuBatchAligner::run`] needs the caller to supply an extender per
+/// call, this type closes over it, so schedulers that only hold a list
+/// of read pairs (the `AlignBackend` trait objects in `logan-core`) can
+/// drive the CPU loop without knowing alignment parameters.
+pub struct XDropCpuAligner {
+    aligner: CpuBatchAligner,
+    scoring: logan_seq::Scoring,
+    x: i32,
+    engine: crate::simd::Engine,
+}
+
+impl XDropCpuAligner {
+    /// Build a pool of `threads` workers bound to the given parameters.
+    pub fn new(
+        threads: usize,
+        scoring: logan_seq::Scoring,
+        x: i32,
+        engine: crate::simd::Engine,
+    ) -> XDropCpuAligner {
+        CpuBatchAligner::new(threads).into_xdrop(scoring, x, engine)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.aligner.threads()
+    }
+
+    /// The bound X-drop threshold.
+    pub fn x(&self) -> i32 {
+        self.x
+    }
+
+    /// The bound scoring scheme.
+    pub fn scoring(&self) -> logan_seq::Scoring {
+        self.scoring
+    }
+
+    /// The bound compute engine.
+    pub fn engine(&self) -> crate::simd::Engine {
+        self.engine
+    }
+
+    /// Align every pair under the bound configuration.
+    pub fn run(&self, pairs: &[ReadPair]) -> BatchResult {
+        self.aligner
+            .run_xdrop(pairs, self.scoring, self.x, self.engine)
     }
 }
 
@@ -190,6 +259,21 @@ mod tests {
     fn zero_threads_clamped() {
         let a = CpuBatchAligner::new(0);
         assert_eq!(a.threads(), 1);
+    }
+
+    #[test]
+    fn bound_aligner_matches_run_xdrop() {
+        use crate::simd::Engine;
+        let ps = pairs(5);
+        let bound = XDropCpuAligner::new(2, Scoring::default(), 40, Engine::Simd);
+        let loose = CpuBatchAligner::new(2).run_xdrop(&ps, Scoring::default(), 40, Engine::Simd);
+        let got = bound.run(&ps);
+        assert_eq!(got.results, loose.results);
+        assert_eq!(got.total_cells, loose.total_cells);
+        assert_eq!(bound.threads(), 2);
+        assert_eq!(bound.x(), 40);
+        assert_eq!(bound.engine(), Engine::Simd);
+        assert_eq!(bound.scoring(), Scoring::default());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod xdrop;
 
 pub use affine::{gotoh_extension_oracle, gotoh_global};
 pub use banded::banded_sw;
-pub use batch::{BatchResult, CpuBatchAligner};
+pub use batch::{BatchResult, CpuBatchAligner, XDropCpuAligner};
 pub use full::{needleman_wunsch, smith_waterman};
 pub use ksw2::{ksw2_extend, Ksw2Params};
 pub use protein::{xdrop_extend_generic, SubstMatrix};

@@ -18,8 +18,9 @@
 //!    nonzero of `A·Aᵀ` is a candidate pair with shared-k-mer witnesses;
 //! 4. **binning** ([`binning`]) — witness positions estimate the overlap
 //!    and pick the seed to extend from;
-//! 5. **X-drop alignment** — through any [`pipeline::AlignerBackend`]:
-//!    the CPU batch aligner (SeqAn-style) or LOGAN on simulated GPUs;
+//! 5. **X-drop alignment** — through any [`logan_core::AlignBackend`]
+//!    trait object: the CPU batch aligner (SeqAn-style), LOGAN on one
+//!    or many simulated GPUs, or a work-stealing heterogeneous fleet;
 //! 6. **adaptive threshold** ([`threshold`]) — keep pairs whose score
 //!    clears the expected-score line for a true overlap of the estimated
 //!    length.
@@ -47,7 +48,6 @@ pub mod prune;
 pub mod spgemm;
 pub mod threshold;
 
+pub use logan_core::{AlignBackend, BackendReport};
 pub use metrics::OverlapMetrics;
-pub use pipeline::{
-    AlignerBackend, BellaConfig, BellaOutput, BellaPipeline, Overlap, PipelineBudget,
-};
+pub use pipeline::{BellaConfig, BellaOutput, BellaPipeline, Overlap, PipelineBudget};

@@ -1,5 +1,13 @@
 //! The end-to-end BELLA pipeline with pluggable alignment backends.
 //!
+//! Alignment is delegated to any [`AlignBackend`] — the CPU pool, one
+//! simulated GPU, the statically partitioned multi-GPU deployment, or a
+//! work-stealing heterogeneous [`logan_core::fleet::Fleet`] — through
+//! the object-safe trait, so the pipeline never matches on backend
+//! kinds. The backend's scoring/X configuration must agree with the
+//! [`BellaConfig`] it runs under (the adaptive threshold interprets
+//! scores in the config's scoring system).
+//!
 //! Two execution shapes over the same stages (DESIGN.md §8):
 //!
 //! * [`BellaPipeline::run`] — the monolithic original: every stage
@@ -8,8 +16,12 @@
 //!   reads arrive in [`ReadBatch`]es, the k-mer table is counted in
 //!   hash shards that never coexist, the SpGEMM emits candidate tiles
 //!   incrementally, and a producer thread feeds candidate blocks
-//!   through a bounded channel to the alignment backend so extension
-//!   overlaps candidate generation. Outputs are bit-identical.
+//!   through a bounded channel to one consumer per backend *lane*
+//!   ([`AlignBackend::lanes`]) so extension overlaps candidate
+//!   generation — and a multi-lane backend (a fleet) drains the queue
+//!   from every device at once instead of through a single consumer.
+//!   Outputs are bit-identical: blocks are sequence-numbered and
+//!   reassembled in order, so lane interleaving is unobservable.
 
 use crate::binning::choose_seed;
 use crate::kmer_count::{count_kmers, count_reliable_sharded};
@@ -18,15 +30,12 @@ use crate::metrics::OverlapMetrics;
 use crate::prune::{reliable_bounds, reliable_kmers, ReliableBounds};
 use crate::spgemm::{spgemm_candidates, spgemm_tiles, CandidatePair};
 use crate::threshold::AdaptiveThreshold;
-use logan_align::{
-    seed_extend_with, AlignWorkspace, CpuBatchAligner, SeedExtendResult, XDropExtender,
-};
-use logan_core::{GpuBatchReport, LoganExecutor, MultiGpu, MultiGpuReport};
+use logan_align::{seed_extend_with, AlignWorkspace, SeedExtendResult, XDropExtender};
+use logan_core::{AlignBackend, BackendReport};
 use logan_seq::readsim::{ReadBatch, ReadPair, ReadSet};
 use logan_seq::{Scoring, Seed, Seq};
 use serde::{Deserialize, Serialize};
-use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Memory/concurrency budget of the streaming pipeline: every knob
 /// bounds how much of some stage is live at once, so peak memory of the
@@ -116,27 +125,6 @@ impl BellaConfig {
     }
 }
 
-/// Alignment backend: the CPU loop BELLA ships with, or LOGAN.
-pub enum AlignerBackend<'a> {
-    /// Multi-threaded CPU X-drop (SeqAn + OpenMP equivalent).
-    Cpu(&'a CpuBatchAligner),
-    /// LOGAN on one simulated GPU.
-    Gpu(&'a LoganExecutor),
-    /// LOGAN across several simulated GPUs.
-    Multi(&'a MultiGpu),
-}
-
-/// What the chosen backend reported.
-#[derive(Debug, Clone)]
-pub enum BackendReport {
-    /// Host wall-clock of the CPU loop.
-    Cpu(Duration),
-    /// Simulated single-GPU report.
-    Gpu(logan_core::GpuBatchReport),
-    /// Simulated multi-GPU report.
-    Multi(logan_core::MultiGpuReport),
-}
-
 /// One aligned candidate pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Overlap {
@@ -182,7 +170,9 @@ pub struct BellaOutput {
     pub overlaps: Vec<Overlap>,
     /// Stage statistics.
     pub stats: StageStats,
-    /// Backend-specific performance report.
+    /// The backend's merged performance report (see
+    /// [`logan_core::backend::BackendReport`]): host wall and simulated
+    /// time never mix, so it is meaningful for every backend kind.
     pub backend: BackendReport,
 }
 
@@ -256,25 +246,36 @@ impl BellaPipeline {
         (pairs, meta, stats)
     }
 
+    /// Panic unless the backend's declared X-drop parameters (when it
+    /// declares any) agree with this pipeline's config: the adaptive
+    /// threshold interprets scores in the config's scoring system at
+    /// the config's X, so a mismatched backend would silently
+    /// misclassify every overlap — the failure mode the old closed
+    /// backend enum made impossible by construction.
+    fn check_backend(&self, backend: &dyn AlignBackend) {
+        if let Some((scoring, x)) = backend.xdrop_params() {
+            assert!(
+                scoring == self.config.scoring && x == self.config.x,
+                "backend {} aligns under {:?}/X={} but the pipeline is configured {:?}/X={}",
+                backend.name(),
+                scoring,
+                x,
+                self.config.scoring,
+                self.config.x
+            );
+        }
+    }
+
     /// Run the full pipeline on `reads` with the given backend.
-    pub fn run(&self, reads: &[Seq], backend: &AlignerBackend<'_>) -> BellaOutput {
+    ///
+    /// # Panics
+    ///
+    /// Panics when the backend declares X-drop parameters that disagree
+    /// with [`BellaConfig::scoring`]/[`BellaConfig::x`].
+    pub fn run(&self, reads: &[Seq], backend: &dyn AlignBackend) -> BellaOutput {
+        self.check_backend(backend);
         let (pairs, meta, mut stats) = self.candidates(reads);
-        let (results, backend_report) = match backend {
-            AlignerBackend::Cpu(aligner) => {
-                let ext = XDropExtender::new(self.config.scoring, self.config.x);
-                let batch = aligner.run(&pairs, &ext);
-                let wall = batch.wall.unwrap_or_default();
-                (batch.results, BackendReport::Cpu(wall))
-            }
-            AlignerBackend::Gpu(exec) => {
-                let (res, rep) = exec.align_pairs(&pairs);
-                (res, BackendReport::Gpu(rep))
-            }
-            AlignerBackend::Multi(multi) => {
-                let (res, rep) = multi.align_pairs(&pairs);
-                (res, BackendReport::Multi(rep))
-            }
-        };
+        let (results, backend_report) = backend.align_block(&pairs);
 
         let threshold = AdaptiveThreshold::new(
             self.config.scoring,
@@ -322,18 +323,24 @@ impl BellaPipeline {
     ///    batch by batch ([`KmerMatrixBuilder`]) and stays resident (it
     ///    is the index alignment reads from, O(nnz)).
     /// 4. **Candidates ∥ alignment** — a producer thread walks
-    ///    [`spgemm_tiles`], turns each tile into a candidate block
-    ///    (seeds chosen, read pairs materialized) and sends it down a
-    ///    channel bounded at `inflight_blocks`; the calling thread
-    ///    aligns blocks as they arrive, so extension overlaps candidate
-    ///    generation and at most `inflight_blocks + 2` blocks exist at
-    ///    once (queued, being produced, being aligned). A full channel
-    ///    blocks the producer — that is the backpressure rule keeping
-    ///    the candidate stage O(batch) instead of O(genome).
-    pub fn run_streaming<I>(&self, batches: I, backend: &AlignerBackend<'_>) -> BellaOutput
+    ///    [`spgemm_tiles`], turns each tile into a sequence-numbered
+    ///    candidate block (seeds chosen, read pairs materialized) and
+    ///    sends it down a channel bounded at `inflight_blocks`; one
+    ///    consumer thread per backend *lane* pulls blocks and aligns
+    ///    them ([`AlignBackend::align_block_on`]), so extension overlaps
+    ///    candidate generation, a multi-lane backend (fleet, multi-GPU)
+    ///    keeps every device busy, and at most
+    ///    `inflight_blocks + lanes + 1` blocks exist at once (queued,
+    ///    being aligned, being produced). A full channel blocks the
+    ///    producer — that is the backpressure rule keeping the candidate
+    ///    stage O(batch) instead of O(genome). Aligned blocks shed their
+    ///    sequences immediately and are reassembled in sequence-number
+    ///    order, so outputs do not depend on lane interleaving.
+    pub fn run_streaming<I>(&self, batches: I, backend: &dyn AlignBackend) -> BellaOutput
     where
         I: IntoIterator<Item = ReadBatch>,
     {
+        self.check_backend(backend);
         let cfg = &self.config;
         let budget = cfg.budget.clamped();
 
@@ -368,57 +375,96 @@ impl BellaPipeline {
             total_cells: 0,
         };
 
-        // Stage 4: producer/consumer. The producer owns candidate
-        // generation; the consumer (this thread) owns the backend.
-        let threshold = AdaptiveThreshold::new(cfg.scoring, cfg.error_rate, cfg.delta);
-        let mut overlaps: Vec<Overlap> = Vec::new();
-        let mut acc = ReportAccumulator::new(backend);
-        let (tx, rx) = mpsc::sync_channel::<CandidateBlock>(budget.inflight_blocks);
+        // Stage 4: one producer, `lanes` consumers. The producer owns
+        // candidate generation; each consumer owns one backend lane.
+        let lanes = backend.lanes().max(1);
+        let (tx, rx) = mpsc::sync_channel::<(usize, CandidateBlock)>(budget.inflight_blocks);
+        // The receiver is shared by all consumers behind a mutex; each
+        // holds one Arc clone and the spawning frame drops its own, so
+        // when every consumer has exited (or panicked) the receiver is
+        // gone and a producer blocked in `send` gets an Err instead of
+        // deadlocking the scope join.
+        let rx = Arc::new(Mutex::new(rx));
         let (reads_ref, matrix_ref) = (&reads, &matrix);
         let k = cfg.k;
+        let mut done: Vec<(usize, AlignedBlock)> = Vec::new();
+        let mut lane_reports: Vec<BackendReport> = Vec::new();
         std::thread::scope(|scope| {
-            // Owned by the scope closure, not the enclosing frame: if the
-            // consumer loop below panics, unwinding drops `rx` *before*
-            // scope joins the producer, so a producer blocked in `send`
-            // gets an Err and exits instead of deadlocking the join.
-            let rx = rx;
             scope.spawn(move || {
-                for tile in spgemm_tiles(matrix_ref, budget.batch_reads) {
-                    if tile.is_empty() {
-                        continue;
-                    }
+                for (seq_no, tile) in spgemm_tiles(matrix_ref, budget.batch_reads)
+                    .filter(|t| !t.is_empty())
+                    .enumerate()
+                {
                     let block = CandidateBlock::build(&tile, reads_ref, k);
-                    if tx.send(block).is_err() {
-                        return; // consumer gone; stop producing
+                    if tx.send((seq_no, block)).is_err() {
+                        return; // all consumers gone; stop producing
                     }
                 }
                 // tx drops here, closing the channel.
             });
-            while let Ok(block) = rx.recv() {
-                let results = acc.align(backend, &block.pairs, cfg.scoring, cfg.x);
-                stats.candidates += block.pairs.len();
-                for (((r1, r2, est), pair), result) in
-                    block.meta.into_iter().zip(&block.pairs).zip(results)
-                {
-                    let keep = est >= cfg.min_overlap && threshold.keep(result.score, est);
-                    stats.kept += keep as usize;
-                    stats.total_cells += result.cells();
-                    overlaps.push(Overlap {
-                        r1,
-                        r2,
-                        seed: pair.seed,
-                        est_overlap: est,
-                        result,
-                        kept: keep,
-                    });
-                }
+            let consumers: Vec<_> = (0..lanes)
+                .map(|lane| {
+                    let rx = Arc::clone(&rx);
+                    scope.spawn(move || {
+                        let mut report = BackendReport::empty();
+                        let mut blocks: Vec<(usize, AlignedBlock)> = Vec::new();
+                        loop {
+                            // Hold the receiver lock only for the recv —
+                            // other lanes pull the next block while this
+                            // one aligns.
+                            let msg = rx.lock().expect("receiver lock poisoned").recv();
+                            let Ok((seq_no, block)) = msg else { break };
+                            let (results, rep) = backend.align_block_on(lane, &block.pairs);
+                            report.merge(rep);
+                            blocks.push((seq_no, AlignedBlock::strip(block, results)));
+                            // block.pairs (the cloned sequences) die here.
+                        }
+                        (report, blocks)
+                    })
+                })
+                .collect();
+            drop(rx); // consumers hold the only remaining receiver refs
+            for handle in consumers {
+                let (report, blocks) = handle.join().expect("consumer lane panicked");
+                lane_reports.push(report);
+                done.extend(blocks);
             }
         });
+
+        // Reassemble in production order: lane interleaving must be
+        // unobservable in the output.
+        done.sort_by_key(|&(seq_no, _)| seq_no);
+        let threshold = AdaptiveThreshold::new(cfg.scoring, cfg.error_rate, cfg.delta);
+        let mut overlaps: Vec<Overlap> = Vec::new();
+        for (_, block) in done {
+            stats.candidates += block.meta.len();
+            for (((r1, r2, est), seed), result) in
+                block.meta.into_iter().zip(block.seeds).zip(block.results)
+            {
+                let keep = est >= cfg.min_overlap && threshold.keep(result.score, est);
+                stats.kept += keep as usize;
+                stats.total_cells += result.cells();
+                overlaps.push(Overlap {
+                    r1,
+                    r2,
+                    seed,
+                    est_overlap: est,
+                    result,
+                    kept: keep,
+                });
+            }
+        }
+        // Lanes ran concurrently: fold their reports with the
+        // concurrent merge (work adds, time domains take the max).
+        let mut backend_report = BackendReport::empty();
+        for rep in lane_reports {
+            backend_report.merge_concurrent(rep);
+        }
 
         BellaOutput {
             overlaps,
             stats,
-            backend: acc.finish(),
+            backend: backend_report,
         }
     }
 
@@ -429,7 +475,7 @@ impl BellaPipeline {
     pub fn run_streaming_on_readset(
         &self,
         rs: &ReadSet,
-        backend: &AlignerBackend<'_>,
+        backend: &dyn AlignBackend,
         min_overlap: usize,
     ) -> (BellaOutput, OverlapMetrics) {
         let mut cfg = self.config;
@@ -448,7 +494,7 @@ impl BellaPipeline {
     pub fn run_on_readset(
         &self,
         rs: &ReadSet,
-        backend: &AlignerBackend<'_>,
+        backend: &dyn AlignBackend,
         min_overlap: usize,
     ) -> (BellaOutput, OverlapMetrics) {
         let mut cfg = self.config;
@@ -494,65 +540,22 @@ impl CandidateBlock {
     }
 }
 
-/// Accumulates per-block backend reports into one end-of-run
-/// [`BackendReport`], mirroring what a single monolithic batch reports
-/// (times sum — blocks run back to back on the same backend).
-enum ReportAccumulator {
-    Cpu(Duration),
-    Gpu(GpuBatchReport),
-    Multi(MultiGpuReport),
+/// A candidate block after alignment, stripped of its sequences: only
+/// the metadata, seeds and results survive until the in-order
+/// reassembly, so a lane holding many finished blocks costs O(pairs)
+/// small records, not O(pairs × read length) bases.
+struct AlignedBlock {
+    meta: Vec<(usize, usize, usize)>,
+    seeds: Vec<Seed>,
+    results: Vec<SeedExtendResult>,
 }
 
-impl ReportAccumulator {
-    fn new(backend: &AlignerBackend<'_>) -> ReportAccumulator {
-        match backend {
-            AlignerBackend::Cpu(_) => ReportAccumulator::Cpu(Duration::ZERO),
-            AlignerBackend::Gpu(_) => ReportAccumulator::Gpu(GpuBatchReport {
-                sim_time_s: 0.0,
-                total_cells: 0,
-                kernel_reports: Vec::new(),
-                hbm_peak_bytes: 0,
-                launches: 0,
-            }),
-            AlignerBackend::Multi(m) => ReportAccumulator::Multi(MultiGpuReport::empty(m.gpus())),
-        }
-    }
-
-    /// Align one block on `backend` (under `scoring`/`x` for the CPU
-    /// extender), folding the block's report in.
-    fn align(
-        &mut self,
-        backend: &AlignerBackend<'_>,
-        pairs: &[ReadPair],
-        scoring: Scoring,
-        x: i32,
-    ) -> Vec<SeedExtendResult> {
-        match (backend, self) {
-            (AlignerBackend::Cpu(aligner), ReportAccumulator::Cpu(wall)) => {
-                let ext = XDropExtender::new(scoring, x);
-                let batch = aligner.run(pairs, &ext);
-                *wall += batch.wall.unwrap_or_default();
-                batch.results
-            }
-            (AlignerBackend::Gpu(exec), ReportAccumulator::Gpu(acc)) => {
-                let (res, rep) = exec.align_pairs(pairs);
-                acc.merge(rep);
-                res
-            }
-            (AlignerBackend::Multi(multi), ReportAccumulator::Multi(acc)) => {
-                let (res, rep) = multi.align_pairs(pairs);
-                acc.merge(rep);
-                res
-            }
-            _ => unreachable!("backend kind fixed at construction"),
-        }
-    }
-
-    fn finish(self) -> BackendReport {
-        match self {
-            ReportAccumulator::Cpu(wall) => BackendReport::Cpu(wall),
-            ReportAccumulator::Gpu(rep) => BackendReport::Gpu(rep),
-            ReportAccumulator::Multi(rep) => BackendReport::Multi(rep),
+impl AlignedBlock {
+    fn strip(block: CandidateBlock, results: Vec<SeedExtendResult>) -> AlignedBlock {
+        AlignedBlock {
+            meta: block.meta,
+            seeds: block.pairs.iter().map(|p| p.seed).collect(),
+            results,
         }
     }
 }
@@ -576,7 +579,8 @@ pub fn align_candidates_reference(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use logan_core::LoganConfig;
+    use logan_align::{Engine, XDropCpuAligner};
+    use logan_core::{Fleet, GpuBackend, LoganConfig, LoganExecutor, MultiGpu};
     use logan_gpusim::DeviceSpec;
     use logan_seq::readsim::ReadSimulator;
     use logan_seq::ErrorProfile;
@@ -600,12 +604,16 @@ mod tests {
         }
     }
 
+    fn cpu_backend(threads: usize, x: i32) -> XDropCpuAligner {
+        XDropCpuAligner::new(threads, Scoring::default(), x, Engine::Scalar)
+    }
+
     #[test]
     fn pipeline_finds_true_overlaps_cpu() {
         let rs = small_readset();
         let pipeline = BellaPipeline::new(test_config(50));
-        let aligner = CpuBatchAligner::new(4);
-        let (out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 500);
+        let aligner = cpu_backend(4, 50);
+        let (out, _) = pipeline.run_on_readset(&rs, &aligner, 500);
         assert!(out.stats.candidates > 0, "SpGEMM must find candidates");
         assert!(out.stats.kept > 0, "some overlaps must clear the line");
         // Precision against a loose truth (≥500 bp): anything we keep at
@@ -623,38 +631,59 @@ mod tests {
     fn gpu_backend_reproduces_cpu_backend() {
         let rs = small_readset();
         let pipeline = BellaPipeline::new(test_config(50));
-        let aligner = CpuBatchAligner::new(2);
+        let aligner = cpu_backend(2, 50);
         let exec = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50));
-        let (cpu_out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
-        let (gpu_out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Gpu(&exec), 600);
+        let (cpu_out, _) = pipeline.run_on_readset(&rs, &aligner, 600);
+        let (gpu_out, _) = pipeline.run_on_readset(&rs, &exec, 600);
         assert_eq!(cpu_out.kept_pairs(), gpu_out.kept_pairs());
         assert_eq!(cpu_out.stats.total_cells, gpu_out.stats.total_cells);
         for (a, b) in cpu_out.overlaps.iter().zip(&gpu_out.overlaps) {
             assert_eq!(a.result, b.result);
         }
-        match gpu_out.backend {
-            BackendReport::Gpu(rep) => assert!(rep.sim_time_s > 0.0),
-            _ => panic!("expected GPU report"),
-        }
+        assert!(gpu_out.backend.sim_time_s > 0.0, "GPU run simulates time");
+        assert_eq!(cpu_out.backend.sim_time_s, 0.0, "CPU run is host-only");
+        assert!(cpu_out.backend.wall_s > 0.0);
+        assert_eq!(gpu_out.backend.total_cells, gpu_out.stats.total_cells);
     }
 
     #[test]
     fn multi_gpu_backend_matches_too() {
         let rs = small_readset();
         let pipeline = BellaPipeline::new(test_config(30));
-        let aligner = CpuBatchAligner::new(2);
+        let aligner = cpu_backend(2, 30);
         let multi = MultiGpu::new(3, DeviceSpec::v100(), LoganConfig::with_x(30));
-        let (cpu_out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
-        let (mg_out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Multi(&multi), 600);
+        let (cpu_out, _) = pipeline.run_on_readset(&rs, &aligner, 600);
+        let (mg_out, _) = pipeline.run_on_readset(&rs, &multi, 600);
         assert_eq!(cpu_out.kept_pairs(), mg_out.kept_pairs());
+    }
+
+    #[test]
+    fn fleet_backend_matches_too() {
+        // The tentpole seam: a heterogeneous work-stealing fleet behind
+        // the same trait object produces bit-identical pipeline output.
+        let rs = small_readset();
+        let pipeline = BellaPipeline::new(test_config(30));
+        let aligner = cpu_backend(2, 30);
+        let cfg = LoganConfig::with_x(30);
+        let fleet = Fleet::new(vec![
+            Box::new(GpuBackend::new(
+                LoganExecutor::new(DeviceSpec::v100(), cfg),
+                1,
+            )),
+            Box::new(cpu_backend(2, 30)),
+        ]);
+        let (cpu_out, _) = pipeline.run_on_readset(&rs, &aligner, 600);
+        let (fleet_out, _) = pipeline.run_on_readset(&rs, &fleet, 600);
+        assert_eq!(cpu_out.overlaps, fleet_out.overlaps);
+        assert_eq!(cpu_out.stats, fleet_out.stats);
     }
 
     #[test]
     fn stats_are_internally_consistent() {
         let rs = small_readset();
         let pipeline = BellaPipeline::new(test_config(50));
-        let aligner = CpuBatchAligner::new(2);
-        let (out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
+        let aligner = cpu_backend(2, 50);
+        let (out, _) = pipeline.run_on_readset(&rs, &aligner, 600);
         assert_eq!(out.overlaps.len(), out.stats.candidates);
         assert_eq!(
             out.stats.kept,
@@ -675,10 +704,10 @@ mod tests {
         // §VI-B: larger X raises scores of true overlaps toward the
         // expectation line, improving separation.
         let rs = small_readset();
-        let aligner = CpuBatchAligner::new(4);
         let kept = |x: i32| {
             let pipeline = BellaPipeline::new(test_config(x));
-            let (out, m) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
+            let aligner = cpu_backend(4, x);
+            let (out, m) = pipeline.run_on_readset(&rs, &aligner, 600);
             (out.stats.kept, m.recall)
         };
         let (kept_small, recall_small) = kept(5);
@@ -693,14 +722,10 @@ mod tests {
     #[test]
     fn streaming_is_bit_identical_to_monolithic() {
         let rs = small_readset();
-        let aligner = CpuBatchAligner::new(4);
+        let aligner = cpu_backend(4, 50);
         let exec = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50));
         let multi = MultiGpu::new(3, DeviceSpec::v100(), LoganConfig::with_x(50));
-        let backends = [
-            AlignerBackend::Cpu(&aligner),
-            AlignerBackend::Gpu(&exec),
-            AlignerBackend::Multi(&multi),
-        ];
+        let backends: [&dyn AlignBackend; 3] = [&aligner, &exec, &multi];
         let budgets = [
             PipelineBudget::default(),
             PipelineBudget {
@@ -721,7 +746,7 @@ mod tests {
         ];
         for (bi, backend) in backends.iter().enumerate() {
             let base = BellaPipeline::new(test_config(50));
-            let (mono, mono_metrics) = base.run_on_readset(&rs, backend, 600);
+            let (mono, mono_metrics) = base.run_on_readset(&rs, *backend, 600);
             // Full budget sweep on the CPU backend; one adversarial
             // budget for the simulated-GPU backends (their agreement
             // with the CPU backend is pinned by the backend tests, so
@@ -731,7 +756,7 @@ mod tests {
                 let mut cfg = test_config(50);
                 cfg.budget = budget;
                 let pipeline = BellaPipeline::new(cfg);
-                let (stream, metrics) = pipeline.run_streaming_on_readset(&rs, backend, 600);
+                let (stream, metrics) = pipeline.run_streaming_on_readset(&rs, *backend, 600);
                 assert_eq!(
                     stream.overlaps, mono.overlaps,
                     "overlaps must be bit-identical ({budget:?})"
@@ -752,35 +777,42 @@ mod tests {
             inflight_blocks: 2,
         };
         let pipeline = BellaPipeline::new(cfg);
-        let aligner = CpuBatchAligner::new(2);
-        let (out, _) = pipeline.run_streaming_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
-        match out.backend {
-            BackendReport::Cpu(wall) => assert!(wall > Duration::ZERO),
-            _ => panic!("expected CPU report"),
-        }
+        let aligner = cpu_backend(2, 50);
+        let (out, _) = pipeline.run_streaming_on_readset(&rs, &aligner, 600);
+        assert!(out.backend.wall_s > 0.0, "CPU wall accumulates over blocks");
+        assert_eq!(out.backend.sim_time_s, 0.0);
+        assert!(out.backend.blocks > 1, "16-read tiles make several blocks");
         let multi = MultiGpu::new(2, DeviceSpec::v100(), LoganConfig::with_x(50));
-        let (out, _) = pipeline.run_streaming_on_readset(&rs, &AlignerBackend::Multi(&multi), 600);
-        match out.backend {
-            BackendReport::Multi(rep) => {
-                assert!(rep.sim_time_s > 0.0);
-                assert_eq!(rep.total_cells, out.stats.total_cells);
-                assert_eq!(
-                    rep.assignment_sizes.iter().sum::<usize>(),
-                    out.stats.candidates
-                );
-            }
-            _ => panic!("expected multi-GPU report"),
-        }
+        let (out, _) = pipeline.run_streaming_on_readset(&rs, &multi, 600);
+        assert!(out.backend.sim_time_s > 0.0);
+        assert_eq!(out.backend.total_cells, out.stats.total_cells);
+        assert_eq!(
+            out.backend.pairs, out.stats.candidates,
+            "every candidate aligned on exactly one lane"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "aligns under")]
+    fn mismatched_backend_rejected() {
+        // A backend bound to X=99 must not run under a pipeline
+        // configured at X=50: the adaptive threshold would misread its
+        // scores. The old closed enum made this impossible; the trait
+        // seam enforces it through `AlignBackend::xdrop_params`.
+        let pipeline = BellaPipeline::new(test_config(50));
+        let aligner = cpu_backend(1, 99);
+        let _ = pipeline.run(&[], &aligner);
     }
 
     #[test]
     fn streaming_empty_input() {
         let pipeline = BellaPipeline::new(test_config(50));
-        let aligner = CpuBatchAligner::new(1);
-        let out = pipeline.run_streaming(std::iter::empty(), &AlignerBackend::Cpu(&aligner));
+        let aligner = cpu_backend(1, 50);
+        let out = pipeline.run_streaming(std::iter::empty(), &aligner);
         assert!(out.overlaps.is_empty());
         assert_eq!(out.stats.reads, 0);
         assert_eq!(out.stats.candidates, 0);
+        assert_eq!(out.backend.gcups(), 0.0, "empty run reports 0.0 GCUPS");
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! Scale via `LOGAN_BELLA_SCALE` / `LOGAN_SEED` as for table4/table5;
 //! results land in `results/streaming.json`.
 
-use logan_bella::{AlignerBackend, BellaConfig, BellaPipeline, PipelineBudget};
+use logan_bella::{BellaConfig, BellaPipeline, PipelineBudget};
 use logan_bench::memprobe::{measure, mib, PeakAlloc};
 use logan_bench::{heading, write_json, BenchScale, Table};
 use logan_seq::readsim::ReadSimulator;
@@ -67,13 +67,12 @@ fn config(budget: PipelineBudget) -> BellaConfig {
 fn run_modes(
     seqs: &[Seq],
     budgets: &[PipelineBudget],
-    aligner: &logan_align::CpuBatchAligner,
+    backend: &logan_align::XDropCpuAligner,
     rows: &mut Vec<Row>,
 ) {
-    let backend = AlignerBackend::Cpu(aligner);
     let (mono, mono_peak, mono_wall) = measure(|| {
         let owned: Vec<Seq> = seqs.to_vec();
-        BellaPipeline::new(config(PipelineBudget::default())).run(&owned, &backend)
+        BellaPipeline::new(config(PipelineBudget::default())).run(&owned, backend)
     });
     rows.push(Row {
         mode: "monolithic".into(),
@@ -89,7 +88,7 @@ fn run_modes(
         let (out, peak, wall) = measure(|| {
             pipeline.run_streaming(
                 logan_seq::readsim::seq_batches(seqs, budget.batch_reads),
-                &backend,
+                backend,
             )
         });
         assert_eq!(
@@ -113,7 +112,12 @@ fn main() {
     // Base genome ≈ 18.6 kb at the default 0.004 scale; the input sweep
     // doubles it twice.
     let base_len = ((4_641_652f64 * scale.bella_scale) as usize).max(12_000);
-    let aligner = logan_align::CpuBatchAligner::new(4);
+    let aligner = logan_align::XDropCpuAligner::new(
+        4,
+        logan_seq::Scoring::default(),
+        50,
+        logan_align::Engine::from_env(),
+    );
     let mut rows = Vec::new();
 
     let fixed = PipelineBudget {

@@ -1,0 +1,454 @@
+//! The alignment-backend abstraction: one object-safe trait every
+//! extension engine implements, so pipelines and schedulers dispatch
+//! over `&dyn AlignBackend` instead of matching a closed enum.
+//!
+//! A backend takes a block of read pairs and returns per-pair
+//! seed-extend results (in block order) plus a mergeable
+//! [`BackendReport`]. Capability metadata — [`AlignBackend::name`],
+//! [`AlignBackend::throughput_hint`], [`AlignBackend::max_block`] —
+//! lets a scheduler ([`crate::fleet::Fleet`]) size work chunks per
+//! backend without knowing what kind of device sits behind the call.
+//!
+//! Implementations in this workspace:
+//!
+//! * [`logan_align::XDropCpuAligner`] — BELLA's multi-threaded CPU loop
+//!   (either compute engine).
+//! * [`crate::executor::LoganExecutor`] — LOGAN on one simulated GPU.
+//! * [`GpuBackend`] — a [`LoganExecutor`] plus a private host driver
+//!   pool, for fleets where each device gets a bounded host share.
+//! * [`crate::multi_gpu::MultiGpu`] — the statically partitioned
+//!   multi-device deployment (itself a fleet in static mode).
+//! * [`crate::fleet::Fleet`] — the work-stealing heterogeneous
+//!   scheduler over any set of the above.
+//!
+//! Every backend must be *result-deterministic*: `align_block` on the
+//! same pairs returns bit-identical [`SeedExtendResult`]s regardless of
+//! which backend runs them, how the block was chunked, or what else ran
+//! concurrently. The differential suites (`tests/backend_equivalence.rs`)
+//! enforce this; it is what makes dynamic scheduling safe.
+
+use crate::executor::{GpuBatchReport, LoganExecutor};
+use logan_align::{SeedExtendResult, XDropCpuAligner};
+use logan_gpusim::KernelReport;
+use logan_seq::readsim::ReadPair;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// An alignment backend: anything that can extend a block of read pairs.
+///
+/// Object-safe (`&dyn AlignBackend` is how the BELLA pipeline and the
+/// CLI hold one) and thread-shareable: `align_block` takes `&self`, and
+/// the `Send + Sync` bounds let a scheduler drive many backends — or
+/// the lanes of one backend — from worker threads.
+pub trait AlignBackend: Send + Sync {
+    /// Human-readable identity, e.g. `cpu:8` or `gpu:V100`.
+    fn name(&self) -> String;
+
+    /// Approximate relative throughput in GCUPS (simulated device GCUPS
+    /// for GPU backends, calibrated host GCUPS for CPU backends). Used
+    /// only as a *ratio* between fleet members when sizing work chunks —
+    /// absolute accuracy is not required, monotonicity is.
+    fn throughput_hint(&self) -> f64;
+
+    /// Largest block this backend wants in a single `align_block` call.
+    /// Schedulers cap dynamic chunks at this; callers handing over a
+    /// pre-partitioned bin may exceed it (backends chunk internally).
+    fn max_block(&self) -> usize;
+
+    /// Align every pair of `block`, returning per-pair results in block
+    /// order and the block's report.
+    fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport);
+
+    /// How many independent consumers can drive this backend at once.
+    /// `1` for a single device or a self-parallel CPU pool; a fleet
+    /// reports one lane per member so a streaming producer can feed all
+    /// of them concurrently.
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    /// The X-drop parameters this backend aligns under, when it has a
+    /// single fixed set: schedulers and pipelines whose *own*
+    /// configuration must agree with the backend (BELLA's adaptive
+    /// threshold interprets scores in its config's scoring system)
+    /// check against this instead of trusting call sites to keep two
+    /// values in sync. `None` means "unknown/heterogeneous" and skips
+    /// the check.
+    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
+        None
+    }
+
+    /// Align a block on one specific lane (`lane < self.lanes()`).
+    /// Single-lane backends ignore the lane index.
+    fn align_block_on(
+        &self,
+        _lane: usize,
+        block: &[ReadPair],
+    ) -> (Vec<SeedExtendResult>, BackendReport) {
+        self.align_block(block)
+    }
+}
+
+/// What one backend did for one or more blocks — a single mergeable
+/// shape for every backend kind, so schedulers and pipelines accumulate
+/// reports without knowing who produced them. Host-only backends leave
+/// the simulated fields at zero; simulated backends also measure host
+/// wall time, so the two time domains never mix.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BackendReport {
+    /// Pairs aligned.
+    pub pairs: usize,
+    /// `align_block` calls folded into this report.
+    pub blocks: usize,
+    /// DP cells computed.
+    pub total_cells: u64,
+    /// Host wall-clock seconds spent inside `align_block`.
+    pub wall_s: f64,
+    /// Simulated device seconds (0.0 for host-only backends).
+    pub sim_time_s: f64,
+    /// Kernel launches issued (0 for host-only backends).
+    pub launches: usize,
+    /// Peak simulated HBM bytes in flight (0 for host-only backends).
+    pub hbm_peak_bytes: u64,
+    /// Per-launch kernel reports, in launch order.
+    pub kernel_reports: Vec<KernelReport>,
+}
+
+impl BackendReport {
+    /// A report of no work at all.
+    pub fn empty() -> BackendReport {
+        BackendReport::default()
+    }
+
+    /// Report of one block run on a host-only (CPU) backend.
+    pub fn from_host(pairs: usize, total_cells: u64, wall_s: f64) -> BackendReport {
+        BackendReport {
+            pairs,
+            blocks: 1,
+            total_cells,
+            wall_s,
+            ..BackendReport::default()
+        }
+    }
+
+    /// Report of one block run on a simulated GPU.
+    pub fn from_gpu(pairs: usize, wall_s: f64, rep: GpuBatchReport) -> BackendReport {
+        BackendReport {
+            pairs,
+            blocks: 1,
+            total_cells: rep.total_cells,
+            wall_s,
+            sim_time_s: rep.sim_time_s,
+            launches: rep.launches,
+            hbm_peak_bytes: rep.hbm_peak_bytes,
+            kernel_reports: rep.kernel_reports,
+        }
+    }
+
+    /// View the simulated half of this report as a [`GpuBatchReport`] —
+    /// what [`crate::multi_gpu::MultiGpuReport`] records per device.
+    pub fn into_gpu_batch(self) -> GpuBatchReport {
+        GpuBatchReport {
+            sim_time_s: self.sim_time_s,
+            total_cells: self.total_cells,
+            kernel_reports: self.kernel_reports,
+            hbm_peak_bytes: self.hbm_peak_bytes,
+            launches: self.launches,
+        }
+    }
+
+    /// Fold in a report of work that ran *after* this one on the same
+    /// backend: both time domains add (blocks run back to back).
+    pub fn merge(&mut self, other: BackendReport) {
+        self.pairs += other.pairs;
+        self.blocks += other.blocks;
+        self.total_cells += other.total_cells;
+        self.wall_s += other.wall_s;
+        self.sim_time_s += other.sim_time_s;
+        self.launches += other.launches;
+        self.hbm_peak_bytes = self.hbm_peak_bytes.max(other.hbm_peak_bytes);
+        self.kernel_reports.extend(other.kernel_reports);
+    }
+
+    /// Fold in a report of work that ran *concurrently* with this one
+    /// (another fleet worker, another streaming lane): work adds, both
+    /// time domains take the maximum — concurrent seconds do not sum.
+    /// This is why fleet reports stay mergeable: every accumulation is
+    /// either sequential ([`BackendReport::merge`]) or concurrent (this),
+    /// and both operations are associative.
+    pub fn merge_concurrent(&mut self, other: BackendReport) {
+        self.pairs += other.pairs;
+        self.blocks += other.blocks;
+        self.total_cells += other.total_cells;
+        self.wall_s = self.wall_s.max(other.wall_s);
+        self.sim_time_s = self.sim_time_s.max(other.sim_time_s);
+        self.launches += other.launches;
+        self.hbm_peak_bytes = self.hbm_peak_bytes.max(other.hbm_peak_bytes);
+        self.kernel_reports.extend(other.kernel_reports);
+    }
+
+    /// Giga cell updates per *simulated* second; 0.0 (not NaN/∞) when no
+    /// simulated time elapsed — an empty batch or a host-only backend.
+    pub fn gcups(&self) -> f64 {
+        if self.sim_time_s == 0.0 {
+            return 0.0;
+        }
+        self.total_cells as f64 / self.sim_time_s / 1e9
+    }
+
+    /// Giga cell updates per host wall-clock second; 0.0 when no wall
+    /// time was measured.
+    pub fn wall_gcups(&self) -> f64 {
+        if self.wall_s == 0.0 {
+            return 0.0;
+        }
+        self.total_cells as f64 / self.wall_s / 1e9
+    }
+}
+
+/// The simulated compute ceiling of a device spec in GCUPS — the
+/// calibration-backed throughput hint for GPU backends.
+fn gpu_gcups_hint(spec: &logan_gpusim::DeviceSpec) -> f64 {
+    spec.int_warp_gips() * spec.warp_size as f64 / crate::calibration::LOGAN_INSTR_PER_CELL as f64
+}
+
+/// Calibrated per-thread GCUPS hint for the CPU X-drop loop: Table II's
+/// POWER9 × SeqAn row sustains ≈1.85 GCUPS over 168 threads (≈0.011),
+/// and the Skylake × ksw2 comparator lands several times higher; 0.05
+/// splits the difference. Only the *ratio* against the GPU hints (the
+/// §VI-B compute ceiling of the device spec) matters for chunk sizing,
+/// so the spread between testbeds is tolerable.
+pub const CPU_THREAD_GCUPS_HINT: f64 = 0.05;
+
+/// Worker threads available on this host (≥ 1) — the shared fallback
+/// every "default to machine width" knob uses.
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+impl AlignBackend for XDropCpuAligner {
+    fn name(&self) -> String {
+        format!("cpu:{}", self.threads())
+    }
+
+    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
+        Some((self.scoring(), self.x()))
+    }
+
+    fn throughput_hint(&self) -> f64 {
+        CPU_THREAD_GCUPS_HINT * self.threads() as f64
+    }
+
+    fn max_block(&self) -> usize {
+        usize::MAX
+    }
+
+    fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
+        let batch = self.run(block);
+        let wall_s = batch.wall.unwrap_or_default().as_secs_f64();
+        let report = BackendReport::from_host(block.len(), batch.total_cells, wall_s);
+        (batch.results, report)
+    }
+}
+
+impl AlignBackend for LoganExecutor {
+    fn name(&self) -> String {
+        format!("gpu:{}", self.device().spec().name)
+    }
+
+    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
+        Some((self.config.scoring, self.config.x))
+    }
+
+    fn throughput_hint(&self) -> f64 {
+        gpu_gcups_hint(self.device().spec())
+    }
+
+    fn max_block(&self) -> usize {
+        usize::MAX
+    }
+
+    fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
+        let start = Instant::now();
+        let (results, rep) = self.align_pairs(block);
+        let wall_s = start.elapsed().as_secs_f64();
+        (results, BackendReport::from_gpu(block.len(), wall_s, rep))
+    }
+}
+
+/// A [`LoganExecutor`] paired with a private host driver pool: the
+/// simulated device's block-parallel host computation fans out over
+/// `driver_threads` workers instead of the whole machine. In a fleet of
+/// several devices this is what keeps N concurrent workers from
+/// spawning N × machine-width threads — and what makes wall-clock
+/// scheduling benchmarks honest (one host thread drives one device,
+/// exactly the paper's §IV-C deployment shape).
+pub struct GpuBackend {
+    exec: LoganExecutor,
+    driver: rayon::ThreadPool,
+    driver_threads: usize,
+}
+
+impl GpuBackend {
+    /// Wrap an executor with a driver pool of `driver_threads` host
+    /// workers (clamped to at least 1).
+    pub fn new(exec: LoganExecutor, driver_threads: usize) -> GpuBackend {
+        let driver_threads = driver_threads.max(1);
+        let driver = rayon::ThreadPoolBuilder::new()
+            .num_threads(driver_threads)
+            .build()
+            .expect("failed to build GPU driver pool");
+        GpuBackend {
+            exec,
+            driver,
+            driver_threads,
+        }
+    }
+
+    /// The wrapped executor.
+    pub fn executor(&self) -> &LoganExecutor {
+        &self.exec
+    }
+
+    /// Host threads driving this device.
+    pub fn driver_threads(&self) -> usize {
+        self.driver_threads
+    }
+}
+
+impl AlignBackend for GpuBackend {
+    fn name(&self) -> String {
+        format!(
+            "gpu:{}/host{}",
+            self.exec.device().spec().name,
+            self.driver_threads
+        )
+    }
+
+    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
+        self.exec.xdrop_params()
+    }
+
+    fn throughput_hint(&self) -> f64 {
+        gpu_gcups_hint(self.exec.device().spec())
+    }
+
+    fn max_block(&self) -> usize {
+        usize::MAX
+    }
+
+    fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
+        let start = Instant::now();
+        // The install scopes the simulated device's host fan-out to this
+        // backend's driver pool; simulated time is unaffected (the wave
+        // scheduler counts work, not host threads).
+        let (results, rep) = self.driver.install(|| self.exec.align_pairs(block));
+        let wall_s = start.elapsed().as_secs_f64();
+        (results, BackendReport::from_gpu(block.len(), wall_s, rep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::LoganConfig;
+    use logan_align::Engine;
+    use logan_gpusim::DeviceSpec;
+    use logan_seq::readsim::PairSet;
+    use logan_seq::Scoring;
+
+    fn pairs(n: usize) -> Vec<ReadPair> {
+        PairSet::generate_with_lengths(n, 0.15, 600, 1200, 5).pairs
+    }
+
+    #[test]
+    fn cpu_and_gpu_backends_agree_through_the_trait() {
+        let ps = pairs(10);
+        let cpu = XDropCpuAligner::new(2, Scoring::default(), 50, Engine::Scalar);
+        let gpu = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50));
+        let wrapped = GpuBackend::new(
+            LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50)),
+            1,
+        );
+        let backends: [&dyn AlignBackend; 3] = [&cpu, &gpu, &wrapped];
+        let (want, _) = backends[0].align_block(&ps);
+        for b in backends {
+            let (got, rep) = b.align_block(&ps);
+            assert_eq!(got, want, "{} must agree", b.name());
+            assert_eq!(rep.pairs, ps.len());
+            assert_eq!(rep.total_cells, got.iter().map(|r| r.cells()).sum::<u64>());
+            assert!(b.throughput_hint() > 0.0);
+            assert_eq!(b.lanes(), 1);
+        }
+    }
+
+    #[test]
+    fn gpu_hint_dwarfs_cpu_hint() {
+        let cpu = XDropCpuAligner::new(4, Scoring::default(), 50, Engine::Scalar);
+        let gpu = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50));
+        assert!(gpu.throughput_hint() > 100.0 * cpu.throughput_hint());
+        // The hint is the §VI-B compute ceiling, just above the paper's
+        // measured 181.6 GCUPS peak.
+        assert!(gpu.throughput_hint() > 181.6 && gpu.throughput_hint() < 230.0);
+    }
+
+    #[test]
+    fn report_gcups_zero_on_empty_batch() {
+        // The satellite regression: an empty batch reports 0.0, never
+        // NaN or infinity, in both time domains.
+        let gpu = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50));
+        let (res, rep) = gpu.align_block(&[]);
+        assert!(res.is_empty());
+        assert_eq!(rep.gcups(), 0.0);
+        assert!(rep.gcups().is_finite());
+        assert_eq!(BackendReport::empty().gcups(), 0.0);
+        assert_eq!(BackendReport::empty().wall_gcups(), 0.0);
+        let host = BackendReport::from_host(0, 0, 0.0);
+        assert_eq!(host.gcups(), 0.0);
+        assert_eq!(host.wall_gcups(), 0.0);
+    }
+
+    #[test]
+    fn sequential_and_concurrent_merges() {
+        let mk = |cells, sim, wall| BackendReport {
+            pairs: 1,
+            blocks: 1,
+            total_cells: cells,
+            wall_s: wall,
+            sim_time_s: sim,
+            launches: 2,
+            hbm_peak_bytes: cells,
+            kernel_reports: Vec::new(),
+        };
+        let mut seq = mk(100, 1.0, 0.5);
+        seq.merge(mk(50, 2.0, 0.25));
+        assert_eq!(seq.total_cells, 150);
+        assert_eq!(seq.sim_time_s, 3.0);
+        assert_eq!(seq.wall_s, 0.75);
+        assert_eq!(seq.launches, 4);
+        assert_eq!(seq.hbm_peak_bytes, 100);
+
+        let mut conc = mk(100, 1.0, 0.5);
+        conc.merge_concurrent(mk(50, 2.0, 0.25));
+        assert_eq!(conc.total_cells, 150);
+        assert_eq!(conc.sim_time_s, 2.0, "concurrent seconds take the max");
+        assert_eq!(conc.wall_s, 0.5);
+        assert_eq!(conc.pairs, 2);
+    }
+
+    #[test]
+    fn gpu_report_round_trips_to_batch_report() {
+        let ps = pairs(4);
+        let gpu = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50));
+        let (_, direct) = gpu.align_pairs(&ps);
+        let (_, rep) = gpu.align_block(&ps);
+        let back = rep.into_gpu_batch();
+        assert_eq!(back.sim_time_s, direct.sim_time_s);
+        assert_eq!(back.total_cells, direct.total_cells);
+        assert_eq!(back.launches, direct.launches);
+        assert_eq!(back.hbm_peak_bytes, direct.hbm_peak_bytes);
+        assert_eq!(back.kernel_reports.len(), direct.kernel_reports.len());
+    }
+}

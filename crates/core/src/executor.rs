@@ -99,7 +99,8 @@ pub struct GpuBatchReport {
 }
 
 impl GpuBatchReport {
-    /// Giga cell updates per simulated second.
+    /// Giga cell updates per simulated second; 0.0 (not NaN/∞) when no
+    /// simulated time has elapsed, as for an empty batch.
     pub fn gcups(&self) -> f64 {
         if self.sim_time_s == 0.0 {
             return 0.0;
@@ -468,6 +469,11 @@ mod tests {
         let (res, rep) = exec.extend_batch(&[]);
         assert!(res.is_empty());
         assert_eq!(rep.total_cells, 0);
+        // Satellite regression: zero simulated time reports 0.0 GCUPS,
+        // never NaN or infinity.
+        assert_eq!(rep.sim_time_s, 0.0);
+        assert_eq!(rep.gcups(), 0.0);
+        assert!(rep.gcups().is_finite());
     }
 
     #[test]

@@ -1,0 +1,981 @@
+//! The work-stealing heterogeneous fleet scheduler.
+//!
+//! A [`Fleet`] owns one [`AlignBackend`] per worker and drives them from
+//! one shared queue: candidate pairs queue up heaviest-first, a shared
+//! cursor marks the frontier, and each worker thread repeatedly
+//! *steals* the next chunk — weight-quota sized by its own
+//! [`AlignBackend::throughput_hint`] share of the remaining work — until
+//! the queue drains. A device that lands cheap pairs simply comes back
+//! for more; a device stuck on a repeat-heavy block steals nothing else
+//! meanwhile. That is the dynamic alternative to the static up-front
+//! partition of [`crate::multi_gpu::MultiGpu`] (paper §IV-C), whose
+//! weakness on skewed BELLA workloads motivates this module: sequence
+//! length predicts X-drop work only loosely, so equal-bases bins can
+//! carry wildly unequal cell counts.
+//!
+//! Both schedules produce **bit-identical results**: every backend is
+//! result-deterministic, per-pair results do not depend on batch
+//! composition, and the fleet writes each result back to its input slot
+//! (order-normalization), so which worker aligned which chunk is
+//! unobservable in the output. `tests/backend_equivalence.rs` pins this.
+//!
+//! The chunk rule is guided self-scheduling on *weight*: worker *w*
+//! with rate share `s_w` takes queued pairs while their cumulative
+//! bases stay within `remaining_weight × s_w / 4`, clamped to
+//! `[min_chunk, max_block(w)]` items. Early chunks are large
+//! (amortizing per-block overhead), a heavy pair fills a chunk by
+//! itself (a worker never commits to several possible stragglers at
+//! once), the tail degrades to `min_chunk` pairs (smoothing the
+//! makespan), and faster backends take proportionally bigger bites.
+//! Rate shares start from the nameplate [`AlignBackend::throughput_hint`]
+//! and switch to each worker's *observed* throughput after a cheap
+//! calibration probe, and steals are paced by virtual device time —
+//! see [`Fleet::align_pairs`] for both rules and DESIGN.md §9 for the
+//! full argument.
+
+use crate::backend::{AlignBackend, BackendReport, GpuBackend};
+use crate::calibration::BALANCER_SETUP_S_PER_GPU;
+use crate::executor::{LoganConfig, LoganExecutor};
+use logan_align::{SeedExtendResult, XDropCpuAligner};
+use logan_gpusim::DeviceSpec;
+use logan_seq::readsim::ReadPair;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Guided self-scheduling divisor: each steal is quota-limited to the
+/// worker's hint share of a *quarter* of the remaining weight, so the
+/// queue drains in geometrically shrinking chunks instead of one bite
+/// per worker, and stragglers near the tail are stolen one by one.
+const GUIDED_DIVISOR: u64 = 4;
+
+/// What one worker hands back: its merged report, the results it
+/// produced tagged with their input slots, and how many chunks it ran.
+type WorkerOutput = (BackendReport, Vec<(usize, SeedExtendResult)>, usize);
+
+/// Pair weight for scheduling: total bases, floored at 1 so zero-length
+/// pairs still advance the queue (same floor as the static partition).
+fn weight(p: &ReadPair) -> usize {
+    (p.query.len() + p.target.len()).max(1)
+}
+
+/// Longest-processing-time order: indices sorted by weight descending,
+/// index ascending — deterministic, shared by both schedules.
+fn lpt_order(pairs: &[ReadPair]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weight(&pairs[i])), i));
+    order
+}
+
+/// Greedy LPT partition of `pairs` into one bin per worker, bins
+/// weighted by `hints`: each pair goes to the bin with the smallest
+/// *normalized* load `load / hint` (ties to the lowest worker index).
+/// Comparisons use exact integer cross-multiplication, so with equal
+/// hints this reduces bit-for-bit to the classic unweighted LPT the
+/// multi-GPU balancer has always used.
+pub(crate) fn lpt_partition(pairs: &[ReadPair], hints: &[f64]) -> Vec<Vec<usize>> {
+    let n = hints.len();
+    assert!(n >= 1, "need at least one bin");
+    // Scale hints to integers (milli-units) for exact comparisons.
+    let h: Vec<u128> = hints
+        .iter()
+        .map(|&x| ((x * 1024.0).round() as u128).max(1))
+        .collect();
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut loads = vec![0u128; n];
+    for i in lpt_order(pairs) {
+        let mut dst = 0usize;
+        for g in 1..n {
+            // g is better than dst iff load_g / h_g < load_dst / h_dst.
+            if loads[g] * h[dst] < loads[dst] * h[g] {
+                dst = g;
+            }
+        }
+        loads[dst] += weight(&pairs[i]) as u128;
+        bins[dst].push(i);
+    }
+    debug_assert!(
+        pairs.len() < n || bins.iter().all(|b| !b.is_empty()),
+        "positive weights must fill every bin"
+    );
+    bins
+}
+
+/// Report of a fleet run: per-worker detail plus deployment aggregates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-worker reports, in worker order.
+    pub per_worker: Vec<BackendReport>,
+    /// Pairs each worker aligned. Under the dynamic schedule these
+    /// depend on thread timing and are **not** deterministic — only
+    /// their sum is.
+    pub assignment_sizes: Vec<usize>,
+    /// Chunks each worker stole from the queue.
+    pub chunks: Vec<usize>,
+    /// Simulated deployment seconds: workers run concurrently, so the
+    /// makespan is the slowest worker plus the serial per-worker host
+    /// setup charge (same model as the static balancer).
+    pub sim_time_s: f64,
+    /// Measured host wall-clock of the whole call, seconds.
+    pub wall_s: f64,
+    /// Total DP cells across workers.
+    pub total_cells: u64,
+}
+
+impl FleetReport {
+    /// A report of no work on `workers` workers.
+    pub fn empty(workers: usize) -> FleetReport {
+        FleetReport {
+            per_worker: vec![BackendReport::empty(); workers],
+            assignment_sizes: vec![0; workers],
+            chunks: vec![0; workers],
+            sim_time_s: 0.0,
+            wall_s: 0.0,
+            total_cells: 0,
+        }
+    }
+
+    /// Aggregate GCUPS in the simulated domain; 0.0 when no simulated
+    /// time elapsed (empty run or all-host fleet).
+    pub fn gcups(&self) -> f64 {
+        if self.sim_time_s == 0.0 {
+            return 0.0;
+        }
+        self.total_cells as f64 / self.sim_time_s / 1e9
+    }
+
+    /// Fold in a later run of the same fleet (streaming block batches):
+    /// per-worker reports merge sequentially, times add.
+    pub fn merge(&mut self, other: FleetReport) {
+        self.sim_time_s += other.sim_time_s;
+        self.wall_s += other.wall_s;
+        self.total_cells += other.total_cells;
+        for (i, rep) in other.per_worker.into_iter().enumerate() {
+            match self.per_worker.get_mut(i) {
+                Some(mine) => mine.merge(rep),
+                None => self.per_worker.push(rep),
+            }
+        }
+        for (i, n) in other.assignment_sizes.into_iter().enumerate() {
+            match self.assignment_sizes.get_mut(i) {
+                Some(mine) => *mine += n,
+                None => self.assignment_sizes.push(n),
+            }
+        }
+        for (i, n) in other.chunks.into_iter().enumerate() {
+            match self.chunks.get_mut(i) {
+                Some(mine) => *mine += n,
+                None => self.chunks.push(n),
+            }
+        }
+    }
+}
+
+/// A heterogeneous deployment: one worker thread per backend, all
+/// pulling from one shared queue.
+pub struct Fleet {
+    backends: Vec<Box<dyn AlignBackend>>,
+    /// Smallest chunk a worker may steal (≥ 1).
+    pub min_chunk: usize,
+    /// Serial host seconds charged per worker in the simulated makespan
+    /// (the balancer setup charge of paper §IV-C).
+    pub setup_s_per_worker: f64,
+}
+
+impl Fleet {
+    /// Assemble a fleet from backend instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `backends` is empty — a fleet with zero workers has
+    /// no way to make progress, and letting it through would surface
+    /// later as a division by zero in chunk sizing.
+    pub fn new(backends: Vec<Box<dyn AlignBackend>>) -> Fleet {
+        assert!(!backends.is_empty(), "fleet needs at least one backend");
+        Fleet {
+            backends,
+            min_chunk: 1,
+            setup_s_per_worker: BALANCER_SETUP_S_PER_GPU,
+        }
+    }
+
+    /// A homogeneous fleet of `n` simulated GPUs of the given spec, each
+    /// driven by an even share of the host's threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` (see [`Fleet::new`]).
+    pub fn homogeneous_gpus(n: usize, spec: DeviceSpec, config: LoganConfig) -> Fleet {
+        assert!(n >= 1, "need at least one GPU");
+        let driver = (crate::backend::host_threads() / n).max(1);
+        Fleet::new(
+            (0..n)
+                .map(|_| {
+                    Box::new(GpuBackend::new(
+                        LoganExecutor::new(spec.clone(), config),
+                        driver,
+                    )) as Box<dyn AlignBackend>
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Borrow a worker's backend.
+    pub fn backend(&self, w: usize) -> &dyn AlignBackend {
+        &*self.backends[w]
+    }
+
+    /// The static LPT partition this fleet would use in static mode:
+    /// bins weighted by each worker's throughput hint.
+    pub fn partition(&self, pairs: &[ReadPair]) -> Vec<Vec<usize>> {
+        let hints: Vec<f64> = self.backends.iter().map(|b| b.throughput_hint()).collect();
+        lpt_partition(pairs, &hints)
+    }
+
+    /// The throughput rate assumed for worker `w` when sizing chunks, in
+    /// cells per second: the *observed* rate once the worker has aligned
+    /// a chunk ([`Fleet::align_pairs`] measures cells per simulated
+    /// second, or per host second for host-only backends), otherwise the
+    /// nameplate [`AlignBackend::throughput_hint`]. Nameplate ratios
+    /// routinely misstate effective throughput — a latency-bound
+    /// workload can run at a fraction of a device's compute ceiling —
+    /// and correcting from observation is exactly what a static weight
+    /// floor cannot do.
+    fn assumed_rate(&self, w: usize, observed: &[Option<f64>]) -> f64 {
+        observed[w]
+            .unwrap_or_else(|| self.backends[w].throughput_hint() * 1e9)
+            .max(f64::MIN_POSITIVE)
+    }
+
+    /// How many items worker `w` steals from the heavy end of the queue
+    /// (`prefix` weights, live range `[cur, hi)`): items are taken while
+    /// their cumulative weight stays within the worker's rate share of
+    /// `1/GUIDED_DIVISOR` of the remaining weight — so a heavy pair
+    /// fills a chunk by itself while light pairs batch up — clamped to
+    /// `[min_chunk, max_block]` items and at least one.
+    fn chunk_len(
+        &self,
+        w: usize,
+        prefix: &[u64],
+        cur: usize,
+        hi: usize,
+        observed: &[Option<f64>],
+        done: &[bool],
+    ) -> usize {
+        debug_assert!(cur < hi && hi < prefix.len());
+        // Exited workers steal nothing more; their rates must not dilute
+        // the shares of the workers still draining the tail.
+        let total_rate: f64 = (0..self.backends.len())
+            .filter(|&g| !done[g])
+            .map(|g| self.assumed_rate(g, observed))
+            .sum();
+        let share = self.assumed_rate(w, observed) / total_rate.max(f64::MIN_POSITIVE);
+        let remaining_w = prefix[hi] - prefix[cur];
+        let quota = (remaining_w as f64 * share / GUIDED_DIVISOR as f64) as u64;
+        let budget = prefix[cur] + quota.max(1);
+        // Take items while the *next* one still fits the quota.
+        let mut take = 1usize;
+        while cur + take < hi && prefix[cur + take + 1] <= budget {
+            take += 1;
+        }
+        // A backend's max_block caps the floor too: a fleet-level
+        // min_chunk larger than what a backend accepts must not panic
+        // the clamp (min > max) — the backend's cap wins.
+        let cap = self.backends[w].max_block().max(1);
+        take.clamp(self.min_chunk.min(cap), cap).min(hi - cur)
+    }
+
+    /// Align `pairs` under the dynamic work-stealing schedule. Results
+    /// come back in input order (bit-identical to any other schedule);
+    /// the report records which worker did how much.
+    ///
+    /// The queue is sorted heaviest-first (the list-scheduling order:
+    /// potentially expensive pairs are in flight early, light pairs
+    /// smooth the tail), and each steal is *weight-quota* limited
+    /// (see the module docs): one heavy pair fills a chunk by itself,
+    /// so a worker never commits to several possible stragglers at
+    /// once, while light pairs batch into efficient blocks. A straggler
+    /// therefore delays the makespan by at most its own cost — the
+    /// property the static partition loses when pair weight (bases)
+    /// misjudges pair cost.
+    ///
+    /// A worker's first steal is a *calibration probe*: `min_chunk` of
+    /// the **lightest** queued pairs, taken from the tail. Once it has
+    /// an observed rate (cells per simulated second; host second for
+    /// host-only backends), its quota share switches from the nameplate
+    /// hint to the observation — so a backend whose effective speed
+    /// belies its spec sheet (a latency-bound device, a busy CPU) is
+    /// never handed a nameplate-sized bite of the expensive head, and
+    /// stops being overfed after one cheap probe.
+    ///
+    /// Steals are paced by **virtual device time**: each worker keeps a
+    /// clock summing the device seconds of the chunks it has run
+    /// (simulated seconds for device backends, host seconds for
+    /// host-only ones), and a free worker may steal only when its clock
+    /// is minimal among the free workers. That is exactly a real
+    /// deployment — "whichever device finishes first pulls next" — and
+    /// it decouples the schedule from how fast the *host* happens to
+    /// execute each simulated chunk; without the gate, every worker
+    /// would steal at host speed and a slow device would ingest work as
+    /// fast as a quick one. Which worker aligned which chunk (and hence
+    /// [`FleetReport::assignment_sizes`]) can still vary run to run;
+    /// results never do.
+    pub fn align_pairs(&self, pairs: &[ReadPair]) -> (Vec<SeedExtendResult>, FleetReport) {
+        let start = Instant::now();
+        let order = lpt_order(pairs);
+        // prefix[j] = total weight of order[..j]; the chunk quota works
+        // on remaining weight, not remaining count.
+        let mut prefix: Vec<u64> = Vec::with_capacity(order.len() + 1);
+        prefix.push(0);
+        for &i in &order {
+            prefix.push(prefix.last().unwrap() + weight(&pairs[i]) as u64);
+        }
+        let n_workers = self.backends.len();
+        struct QueueState {
+            /// Heavy frontier: next unstolen index in `order`.
+            lo: usize,
+            /// Light frontier: one past the last unstolen index.
+            hi: usize,
+            observed: Vec<Option<f64>>,
+            /// Virtual device clock per worker, seconds.
+            clock: Vec<f64>,
+            /// Worker is currently executing a chunk.
+            busy: Vec<bool>,
+            /// Worker has exited (queue drained when it looked).
+            done: Vec<bool>,
+        }
+        let queue = Mutex::new(QueueState {
+            lo: 0,
+            hi: order.len(),
+            observed: vec![None; n_workers],
+            clock: vec![0.0; n_workers],
+            busy: vec![false; n_workers],
+            done: vec![false; n_workers],
+        });
+        let turnstile = std::sync::Condvar::new();
+        let worker_out = self.run_workers(|w, backend| {
+            let mut report = BackendReport::empty();
+            let mut placed: Vec<(usize, SeedExtendResult)> = Vec::new();
+            let mut chunks = 0usize;
+            loop {
+                let (lo, hi) = {
+                    let mut q = queue.lock().expect("fleet queue poisoned");
+                    loop {
+                        if q.lo >= q.hi {
+                            q.done[w] = true;
+                            turnstile.notify_all();
+                            break;
+                        }
+                        // Steal when this worker is first in virtual
+                        // time: lexicographic minimum among the free
+                        // workers (exactly one qualifies), and no busy
+                        // worker is running *behind* this clock — a busy
+                        // worker's clock lower-bounds the virtual time
+                        // of its next steal, so stealing past it would
+                        // let a host-fast worker outrun a device-slow
+                        // one.
+                        let may_steal = (0..n_workers).filter(|&g| g != w && !q.done[g]).all(|g| {
+                            if q.busy[g] {
+                                q.clock[w] <= q.clock[g]
+                            } else {
+                                (q.clock[w], w) < (q.clock[g], g)
+                            }
+                        });
+                        if may_steal {
+                            break;
+                        }
+                        q = turnstile
+                            .wait(q)
+                            .expect("fleet queue poisoned while waiting");
+                    }
+                    if q.done[w] {
+                        break;
+                    }
+                    let span = if q.observed[w].is_none() {
+                        // Calibration probe off the light tail.
+                        let take = self.min_chunk.max(1).min(q.hi - q.lo);
+                        q.hi -= take;
+                        (q.hi, q.hi + take)
+                    } else {
+                        let take = self.chunk_len(w, &prefix, q.lo, q.hi, &q.observed, &q.done);
+                        let lo = q.lo;
+                        q.lo += take;
+                        (lo, lo + take)
+                    };
+                    q.busy[w] = true;
+                    // The frontier moved and this worker left the free
+                    // set: wake waiters so the next-lowest clock steals.
+                    turnstile.notify_all();
+                    span
+                };
+                // If align_block panics, this worker's thread unwinds
+                // past the clock update below — without cleanup, its
+                // `busy` flag would gate every other worker onto the
+                // condvar forever and turn the panic into a process
+                // hang. The guard retires the worker and wakes the rest
+                // on any exit path; the panic itself then propagates
+                // through the scope join.
+                struct PanicRetire<'a, Q> {
+                    queue: &'a Mutex<Q>,
+                    turnstile: &'a std::sync::Condvar,
+                    w: usize,
+                    retire: fn(&mut Q, usize),
+                    armed: bool,
+                }
+                impl<Q> Drop for PanicRetire<'_, Q> {
+                    fn drop(&mut self) {
+                        if self.armed {
+                            if let Ok(mut q) = self.queue.lock() {
+                                (self.retire)(&mut q, self.w);
+                            }
+                            self.turnstile.notify_all();
+                        }
+                    }
+                }
+                let mut guard = PanicRetire {
+                    queue: &queue,
+                    turnstile: &turnstile,
+                    w,
+                    retire: |q: &mut QueueState, w| {
+                        q.busy[w] = false;
+                        q.done[w] = true;
+                    },
+                    armed: true,
+                };
+                let idxs = &order[lo..hi];
+                let block: Vec<ReadPair> = idxs.iter().map(|&i| pairs[i].clone()).collect();
+                let (results, rep) = backend.align_block(&block);
+                guard.armed = false;
+                let chunk_device_s = if rep.sim_time_s > 0.0 {
+                    rep.sim_time_s
+                } else {
+                    rep.wall_s
+                };
+                report.merge(rep);
+                chunks += 1;
+                placed.extend(idxs.iter().copied().zip(results));
+                // Advance the virtual clock and publish the observed
+                // lifetime rate for quota sizing.
+                let mut q = queue.lock().expect("fleet queue poisoned");
+                q.busy[w] = false;
+                q.clock[w] += chunk_device_s;
+                let elapsed = if report.sim_time_s > 0.0 {
+                    report.sim_time_s
+                } else {
+                    report.wall_s
+                };
+                if report.total_cells > 0 && elapsed > 0.0 {
+                    q.observed[w] = Some(report.total_cells as f64 / elapsed);
+                }
+                turnstile.notify_all();
+            }
+            (report, placed, chunks)
+        });
+        self.assemble(pairs.len(), worker_out, start)
+    }
+
+    /// Align `pairs` under the static LPT partition — the reference
+    /// schedule ([`crate::multi_gpu::MultiGpu`]'s semantics): each
+    /// worker gets its whole bin up front as one block. Workers still
+    /// run concurrently, so wall-clock comparisons against
+    /// [`Fleet::align_pairs`] isolate the *scheduling* policy.
+    pub fn align_pairs_static(&self, pairs: &[ReadPair]) -> (Vec<SeedExtendResult>, FleetReport) {
+        let start = Instant::now();
+        let bins = self.partition(pairs);
+        let worker_out = self.run_workers(|w, backend| {
+            let bin = &bins[w];
+            let block: Vec<ReadPair> = bin.iter().map(|&i| pairs[i].clone()).collect();
+            let (results, rep) = backend.align_block(&block);
+            let placed: Vec<(usize, SeedExtendResult)> = bin.iter().copied().zip(results).collect();
+            (rep, placed, 1)
+        });
+        self.assemble(pairs.len(), worker_out, start)
+    }
+
+    /// Run `work(worker_index, backend)` on one scoped thread per
+    /// backend, collecting outputs in worker order.
+    fn run_workers<F>(&self, work: F) -> Vec<WorkerOutput>
+    where
+        F: Fn(usize, &dyn AlignBackend) -> WorkerOutput + Sync,
+    {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .backends
+                .iter()
+                .enumerate()
+                .map(|(w, b)| {
+                    let work = &work;
+                    scope.spawn(move || work(w, &**b))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Order-normalize per-worker outputs into input-order results and a
+    /// deployment report.
+    fn assemble(
+        &self,
+        n_pairs: usize,
+        worker_out: Vec<WorkerOutput>,
+        start: Instant,
+    ) -> (Vec<SeedExtendResult>, FleetReport) {
+        let mut slots: Vec<Option<SeedExtendResult>> = vec![None; n_pairs];
+        let mut per_worker = Vec::with_capacity(worker_out.len());
+        let mut assignment_sizes = Vec::with_capacity(worker_out.len());
+        let mut chunk_counts = Vec::with_capacity(worker_out.len());
+        let mut max_sim = 0.0f64;
+        let mut total_cells = 0u64;
+        for (report, placed, chunks) in worker_out {
+            assignment_sizes.push(placed.len());
+            chunk_counts.push(chunks);
+            max_sim = max_sim.max(report.sim_time_s);
+            total_cells += report.total_cells;
+            for (i, r) in placed {
+                debug_assert!(slots[i].is_none(), "pair {i} aligned twice");
+                slots[i] = Some(r);
+            }
+            per_worker.push(report);
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every pair stolen by exactly one worker"))
+            .collect();
+        let sim_time_s = max_sim + self.setup_s_per_worker * self.backends.len() as f64;
+        (
+            results,
+            FleetReport {
+                per_worker,
+                assignment_sizes,
+                chunks: chunk_counts,
+                sim_time_s,
+                wall_s: start.elapsed().as_secs_f64(),
+                total_cells,
+            },
+        )
+    }
+}
+
+impl AlignBackend for Fleet {
+    fn name(&self) -> String {
+        let members: Vec<String> = self.backends.iter().map(|b| b.name()).collect();
+        format!("fleet({})", members.join("+"))
+    }
+
+    fn throughput_hint(&self) -> f64 {
+        self.backends.iter().map(|b| b.throughput_hint()).sum()
+    }
+
+    fn max_block(&self) -> usize {
+        usize::MAX
+    }
+
+    fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
+        let (results, fr) = self.align_pairs(block);
+        let mut merged = BackendReport::empty();
+        for rep in fr.per_worker {
+            merged.merge_concurrent(rep);
+        }
+        merged.blocks = 1; // one align_block call, however many chunks inside
+        merged.sim_time_s = fr.sim_time_s; // makespan + setup, not per-worker max
+        merged.wall_s = fr.wall_s;
+        (results, merged)
+    }
+
+    /// The fleet's X-drop parameters when every member agrees (the only
+    /// configuration the differential guarantees cover); `None` as soon
+    /// as members disagree, which the BELLA pipeline rejects.
+    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
+        let mut params = None;
+        for b in &self.backends {
+            match (params, b.xdrop_params()) {
+                (_, None) => return None,
+                (None, got) => params = got,
+                (Some(p), Some(got)) if p == got => {}
+                _ => return None,
+            }
+        }
+        params
+    }
+
+    /// One lane per fleet member: a streaming producer can feed every
+    /// worker's queue slot concurrently instead of serializing behind a
+    /// single consumer.
+    fn lanes(&self) -> usize {
+        self.backends.len()
+    }
+
+    fn align_block_on(
+        &self,
+        lane: usize,
+        block: &[ReadPair],
+    ) -> (Vec<SeedExtendResult>, BackendReport) {
+        self.backends[lane].align_block(block)
+    }
+}
+
+/// One worker of a parsed [`FleetSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetWorker {
+    /// A simulated GPU.
+    Gpu,
+    /// A CPU pool with this many threads.
+    Cpu {
+        /// Worker threads of the pool.
+        threads: usize,
+    },
+}
+
+/// A textual fleet description, e.g. `2gpu+cpu` or `gpu+2cpu:4`:
+/// `+`-separated terms, each `[count]gpu` or `[count]cpu[:threads]`
+/// (count defaults to 1; CPU threads default to the machine width).
+/// This is what `logan_cli --backend fleet:SPEC` parses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// The workers, in declaration order.
+    pub workers: Vec<FleetWorker>,
+}
+
+impl std::str::FromStr for FleetSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FleetSpec, String> {
+        let mut workers = Vec::new();
+        for term in s.split('+') {
+            let term = term.trim();
+            let split = term
+                .find(|c: char| !c.is_ascii_digit())
+                .ok_or_else(|| format!("fleet term {term:?}: missing backend kind"))?;
+            let count: usize = if split == 0 {
+                1
+            } else {
+                term[..split]
+                    .parse()
+                    .map_err(|e| format!("fleet term {term:?}: {e}"))?
+            };
+            if count == 0 {
+                return Err(format!("fleet term {term:?}: count must be at least 1"));
+            }
+            let (kind, threads) = match term[split..].split_once(':') {
+                Some((kind, t)) => (
+                    kind,
+                    Some(
+                        t.parse::<usize>()
+                            .map_err(|e| format!("fleet term {term:?}: threads: {e}"))?,
+                    ),
+                ),
+                None => (&term[split..], None),
+            };
+            let worker = match kind {
+                "gpu" => {
+                    if threads.is_some() {
+                        return Err(format!("fleet term {term:?}: gpu takes no :threads"));
+                    }
+                    FleetWorker::Gpu
+                }
+                "cpu" => {
+                    if threads == Some(0) {
+                        return Err(format!("fleet term {term:?}: threads must be at least 1"));
+                    }
+                    FleetWorker::Cpu {
+                        threads: threads.unwrap_or_else(crate::backend::host_threads),
+                    }
+                }
+                other => return Err(format!("unknown fleet backend {other:?} in {term:?}")),
+            };
+            workers.extend(std::iter::repeat_n(worker, count));
+        }
+        if workers.is_empty() {
+            return Err("empty fleet spec".into());
+        }
+        Ok(FleetSpec { workers })
+    }
+}
+
+impl FleetSpec {
+    /// Instantiate the fleet: GPUs get the given device spec and LOGAN
+    /// config (and an even share of host driver threads); CPU workers
+    /// align with the config's scoring, X and engine.
+    pub fn build(&self, device: DeviceSpec, config: LoganConfig) -> Fleet {
+        let gpus = self
+            .workers
+            .iter()
+            .filter(|w| matches!(w, FleetWorker::Gpu))
+            .count();
+        let driver = (crate::backend::host_threads() / gpus.max(1)).max(1);
+        Fleet::new(
+            self.workers
+                .iter()
+                .map(|w| match *w {
+                    FleetWorker::Gpu => Box::new(GpuBackend::new(
+                        LoganExecutor::new(device.clone(), config),
+                        driver,
+                    )) as Box<dyn AlignBackend>,
+                    FleetWorker::Cpu { threads } => Box::new(XDropCpuAligner::new(
+                        threads,
+                        config.scoring,
+                        config.x,
+                        config.engine,
+                    )) as Box<dyn AlignBackend>,
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logan_align::Engine;
+    use logan_seq::readsim::PairSet;
+    use logan_seq::Scoring;
+
+    fn pairs(n: usize) -> Vec<ReadPair> {
+        PairSet::generate_with_lengths(n, 0.15, 700, 1800, 11).pairs
+    }
+
+    fn mixed_fleet(x: i32) -> Fleet {
+        let cfg = LoganConfig::with_x(x);
+        Fleet::new(vec![
+            Box::new(GpuBackend::new(
+                LoganExecutor::new(DeviceSpec::v100(), cfg),
+                1,
+            )),
+            Box::new(GpuBackend::new(
+                LoganExecutor::new(DeviceSpec::v100(), cfg),
+                1,
+            )),
+            Box::new(XDropCpuAligner::new(
+                2,
+                Scoring::default(),
+                x,
+                Engine::Scalar,
+            )),
+        ])
+    }
+
+    #[test]
+    fn dynamic_equals_static_equals_reference() {
+        let ps = pairs(40);
+        let fleet = mixed_fleet(50);
+        let reference = XDropCpuAligner::new(1, Scoring::default(), 50, Engine::Scalar);
+        let (want, _) = reference.align_block(&ps);
+        let (dynamic, dr) = fleet.align_pairs(&ps);
+        let (stat, sr) = fleet.align_pairs_static(&ps);
+        assert_eq!(dynamic, want, "dynamic schedule must not change results");
+        assert_eq!(stat, want, "static schedule must not change results");
+        assert_eq!(dr.assignment_sizes.iter().sum::<usize>(), ps.len());
+        assert_eq!(sr.assignment_sizes.iter().sum::<usize>(), ps.len());
+        assert_eq!(dr.total_cells, sr.total_cells);
+        assert!(dr.chunks.iter().sum::<usize>() >= fleet.workers());
+    }
+
+    #[test]
+    fn heterogeneous_chunks_follow_hints() {
+        let fleet = mixed_fleet(30);
+        // 1000 queued pairs of uniform weight 10.
+        let prefix: Vec<u64> = (0..=1000u64).map(|i| i * 10).collect();
+        // The GPU hint dwarfs the CPU hint, so at the same frontier the
+        // GPU steals a strictly larger chunk.
+        let fresh = vec![None; 3];
+        let live = vec![false; 3];
+        let gpu_chunk = fleet.chunk_len(0, &prefix, 0, 1000, &fresh, &live);
+        let cpu_chunk = fleet.chunk_len(2, &prefix, 0, 1000, &fresh, &live);
+        assert!(
+            gpu_chunk > 50 * cpu_chunk.max(1),
+            "{gpu_chunk} vs {cpu_chunk}"
+        );
+        // A heavy head pair fills a chunk by itself: quota-limited
+        // stealing never commits a worker to two possible stragglers.
+        let mut skewed = vec![0u64, 500_000];
+        for i in 1..=100u64 {
+            skewed.push(500_000 + i * 10);
+        }
+        assert_eq!(fleet.chunk_len(0, &skewed, 0, 101, &fresh, &live), 1);
+        // And every chunk respects the floor and the remaining count.
+        let two = vec![0u64, 10, 20];
+        assert_eq!(fleet.chunk_len(2, &two, 1, 2, &fresh, &live), 1);
+        assert!(fleet.chunk_len(0, &two, 0, 2, &fresh, &live) <= 2);
+        // An observed rate overrides the nameplate hint: once the CPU
+        // has demonstrated 10x the GPU's measured rate, it steals the
+        // bigger chunk.
+        let observed = vec![Some(1e8), Some(1e8), Some(1e9)];
+        assert!(
+            fleet.chunk_len(2, &prefix, 0, 1000, &observed, &live)
+                > fleet.chunk_len(0, &prefix, 0, 1000, &observed, &live)
+        );
+    }
+
+    #[test]
+    fn empty_input_and_empty_report() {
+        let fleet = mixed_fleet(30);
+        let (res, rep) = fleet.align_pairs(&[]);
+        assert!(res.is_empty());
+        assert_eq!(rep.total_cells, 0);
+        assert_eq!(rep.gcups(), 0.0, "empty run reports 0.0, not NaN");
+        assert_eq!(rep.assignment_sizes, vec![0, 0, 0]);
+        assert_eq!(FleetReport::empty(3).gcups(), 0.0);
+    }
+
+    #[test]
+    fn fleet_report_merges_across_blocks() {
+        let ps = pairs(24);
+        let fleet = mixed_fleet(30);
+        let (_, whole) = fleet.align_pairs(&ps);
+        let mut merged = FleetReport::empty(fleet.workers());
+        for chunk in ps.chunks(6) {
+            let (_, rep) = fleet.align_pairs(chunk);
+            merged.merge(rep);
+        }
+        assert_eq!(merged.total_cells, whole.total_cells);
+        assert_eq!(merged.per_worker.len(), fleet.workers());
+        assert_eq!(merged.assignment_sizes.iter().sum::<usize>(), ps.len());
+        assert!(
+            merged.sim_time_s > whole.sim_time_s,
+            "per-block setup adds up"
+        );
+    }
+
+    #[test]
+    fn weighted_partition_reduces_to_classic_lpt_when_equal() {
+        let ps = pairs(30);
+        let equal = lpt_partition(&ps, &[1.0, 1.0, 1.0]);
+        // Replicate the classic integer LPT by hand.
+        let mut order: Vec<usize> = (0..ps.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(weight(&ps[i])), i));
+        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); 3];
+        let mut loads = [0usize; 3];
+        for i in order {
+            let dst = (0..3).min_by_key(|&g| (loads[g], g)).unwrap();
+            loads[dst] += weight(&ps[i]);
+            bins[dst].push(i);
+        }
+        assert_eq!(equal, bins);
+    }
+
+    #[test]
+    fn weighted_partition_respects_hints() {
+        let ps = pairs(60);
+        let bins = lpt_partition(&ps, &[3.0, 1.0]);
+        let load = |b: &Vec<usize>| -> usize { b.iter().map(|&i| weight(&ps[i])).sum() };
+        let (l0, l1) = (load(&bins[0]), load(&bins[1]));
+        // The 3× worker should carry roughly 3× the bases.
+        let ratio = l0 as f64 / l1 as f64;
+        assert!((2.0..4.5).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn fleet_is_itself_a_backend_with_lanes() {
+        let ps = pairs(12);
+        let fleet = mixed_fleet(50);
+        let backend: &dyn AlignBackend = &fleet;
+        assert_eq!(backend.lanes(), 3);
+        let (whole, rep) = backend.align_block(&ps);
+        let reference = XDropCpuAligner::new(1, Scoring::default(), 50, Engine::Scalar);
+        let (want, _) = reference.align_block(&ps);
+        assert_eq!(whole, want);
+        assert_eq!(rep.pairs, ps.len());
+        for lane in 0..backend.lanes() {
+            let (got, _) = backend.align_block_on(lane, &ps);
+            assert_eq!(got, want, "lane {lane} must agree");
+        }
+        assert!(backend.name().starts_with("fleet("));
+    }
+
+    #[test]
+    fn fleet_spec_parses_and_builds() {
+        let spec: FleetSpec = "2gpu+cpu:3".parse().unwrap();
+        assert_eq!(
+            spec.workers,
+            vec![
+                FleetWorker::Gpu,
+                FleetWorker::Gpu,
+                FleetWorker::Cpu { threads: 3 }
+            ]
+        );
+        let fleet = spec.build(DeviceSpec::v100(), LoganConfig::with_x(20));
+        assert_eq!(fleet.workers(), 3);
+        assert!(fleet.backend(0).name().starts_with("gpu:"));
+        assert!(fleet.backend(2).name().starts_with("cpu:3"));
+
+        assert!("".parse::<FleetSpec>().is_err());
+        assert!("2tpu".parse::<FleetSpec>().is_err());
+        assert!("0gpu".parse::<FleetSpec>().is_err());
+        assert!("gpu:4".parse::<FleetSpec>().is_err());
+        assert!("cpu:x".parse::<FleetSpec>().is_err());
+        assert!("2gpu+cpu:0".parse::<FleetSpec>().is_err());
+        let bare: FleetSpec = "gpu".parse().unwrap();
+        assert_eq!(bare.workers, vec![FleetWorker::Gpu]);
+    }
+
+    /// A backend that panics on its `n`th block (0-based).
+    struct PanicOnBlock {
+        fail_at: std::sync::atomic::AtomicUsize,
+        inner: XDropCpuAligner,
+    }
+
+    impl AlignBackend for PanicOnBlock {
+        fn name(&self) -> String {
+            "panic-backend".into()
+        }
+        fn throughput_hint(&self) -> f64 {
+            1.0
+        }
+        fn max_block(&self) -> usize {
+            usize::MAX
+        }
+        fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
+            use std::sync::atomic::Ordering;
+            if self.fail_at.fetch_sub(1, Ordering::SeqCst) == 0 {
+                panic!("injected backend failure");
+            }
+            self.inner.align_block(block)
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        // A panic inside align_block must unwind out of align_pairs —
+        // before the retire guard, the dead worker's `busy` flag gated
+        // every other worker onto the condvar forever and the scope
+        // join hung the process.
+        let ps = pairs(30);
+        for fail_at in [0usize, 2] {
+            let fleet = Fleet::new(vec![
+                Box::new(PanicOnBlock {
+                    fail_at: std::sync::atomic::AtomicUsize::new(fail_at),
+                    inner: XDropCpuAligner::new(1, Scoring::default(), 30, Engine::Scalar),
+                }),
+                Box::new(XDropCpuAligner::new(
+                    1,
+                    Scoring::default(),
+                    30,
+                    Engine::Scalar,
+                )),
+            ]);
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fleet.align_pairs(&ps)));
+            assert!(outcome.is_err(), "panic must propagate (fail_at={fail_at})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn empty_fleet_rejected() {
+        let _ = Fleet::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpu_fleet_rejected() {
+        let _ = Fleet::homogeneous_gpus(0, DeviceSpec::v100(), LoganConfig::with_x(10));
+    }
+}

@@ -12,7 +12,14 @@
 //!   splitting into left/right extensions, sequence reversal for
 //!   coalesced access, dual streams, threads ∝ X scheduling, HBM
 //!   batch sizing.
-//! * [`multi_gpu`] — the multi-GPU load balancer (paper §IV-C, Fig. 7).
+//! * [`backend`] — the [`backend::AlignBackend`] trait every extension
+//!   engine implements (CPU pool, single GPU, multi-GPU, fleet), plus
+//!   the unified mergeable [`backend::BackendReport`].
+//! * [`multi_gpu`] — the multi-GPU load balancer (paper §IV-C, Fig. 7),
+//!   now the static schedule of a homogeneous fleet.
+//! * [`fleet`] — the work-stealing heterogeneous scheduler: one worker
+//!   thread per backend, chunks sized by throughput hints, results
+//!   order-normalized to be bit-identical to any static schedule.
 //! * [`comparators`] — GPU comparator kernels for Fig. 12: a
 //!   CUDASW++-style full Smith–Waterman and a manymap-style banded
 //!   extension.
@@ -33,14 +40,18 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod calibration;
 pub mod comparators;
 pub mod executor;
+pub mod fleet;
 pub mod kernel;
 pub mod multi_gpu;
 pub mod platform;
 
+pub use backend::{AlignBackend, BackendReport, GpuBackend};
 pub use executor::{GpuBatchReport, LoganConfig, LoganExecutor, ThreadPolicy};
+pub use fleet::{Fleet, FleetReport, FleetSpec, FleetWorker};
 pub use kernel::{ExtensionJob, KernelPolicy, LoganKernel};
 pub use multi_gpu::{MultiGpu, MultiGpuReport};
 pub use platform::CpuPlatformModel;

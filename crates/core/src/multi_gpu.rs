@@ -8,9 +8,19 @@
 //! per device (context switches and buffer splitting), which is what
 //! keeps small-X multi-GPU speed-ups modest in Table II and motivates
 //! the paper's future-work item on balancer overhead.
+//!
+//! Since the backend refactor this type is a thin wrapper over a
+//! homogeneous [`Fleet`] run in **static** mode: the up-front LPT
+//! partition and the per-device single-batch reports are exactly the
+//! paper's balancer (and pin the published Table II numbers), while the
+//! same fleet's dynamic work-stealing schedule
+//! ([`Fleet::align_pairs`]) is the load-balanced alternative the
+//! `fleet_scaling` bench measures against it.
 
+use crate::backend::{AlignBackend, BackendReport};
 use crate::calibration::BALANCER_SETUP_S_PER_GPU;
-use crate::executor::{GpuBatchReport, LoganConfig, LoganExecutor};
+use crate::executor::{GpuBatchReport, LoganConfig};
+use crate::fleet::Fleet;
 use logan_align::SeedExtendResult;
 use logan_gpusim::DeviceSpec;
 use logan_seq::readsim::ReadPair;
@@ -18,7 +28,7 @@ use serde::{Deserialize, Serialize};
 
 /// A LOGAN deployment across several (simulated) GPUs.
 pub struct MultiGpu {
-    executors: Vec<LoganExecutor>,
+    fleet: Fleet,
     /// Serial host seconds charged per device (see
     /// [`BALANCER_SETUP_S_PER_GPU`]).
     pub setup_s_per_gpu: f64,
@@ -48,7 +58,8 @@ impl MultiGpuReport {
         }
     }
 
-    /// Aggregate GCUPS across the deployment.
+    /// Aggregate GCUPS across the deployment; 0.0 (not NaN/∞) when no
+    /// simulated time has elapsed, as on an empty deployment-run.
     pub fn gcups(&self) -> f64 {
         if self.sim_time_s == 0.0 {
             return 0.0;
@@ -80,20 +91,29 @@ impl MultiGpuReport {
 
 impl MultiGpu {
     /// Bring up `n_gpus` devices of the given spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_gpus == 0`: a deployment without devices cannot
+    /// align anything, and admitting it would only defer the failure to
+    /// a division by zero inside partitioning.
     pub fn new(n_gpus: usize, spec: DeviceSpec, config: LoganConfig) -> MultiGpu {
         assert!(n_gpus >= 1, "need at least one GPU");
-        let executors = (0..n_gpus)
-            .map(|_| LoganExecutor::new(spec.clone(), config))
-            .collect();
         MultiGpu {
-            executors,
+            fleet: Fleet::homogeneous_gpus(n_gpus, spec, config),
             setup_s_per_gpu: BALANCER_SETUP_S_PER_GPU,
         }
     }
 
     /// Number of devices.
     pub fn gpus(&self) -> usize {
-        self.executors.len()
+        self.fleet.workers()
+    }
+
+    /// The underlying fleet (e.g. to run the same devices under the
+    /// dynamic work-stealing schedule).
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
     }
 
     /// Partition pair indices across devices, balancing total bases
@@ -108,66 +128,83 @@ impl MultiGpu {
     /// When `pairs.len() < gpus()`, exactly `pairs.len()` bins are
     /// non-empty and the rest are empty by construction.
     pub fn partition(&self, pairs: &[ReadPair]) -> Vec<Vec<usize>> {
-        let weight = |p: &ReadPair| (p.query.len() + p.target.len()).max(1);
-        let n = self.executors.len();
-        let mut order: Vec<usize> = (0..pairs.len()).collect();
-        // Sort by weight descending, index ascending for determinism.
-        order.sort_by_key(|&i| (std::cmp::Reverse(weight(&pairs[i])), i));
-        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut loads = vec![0usize; n];
-        for i in order {
-            let dst = (0..n).min_by_key(|&g| (loads[g], g)).expect("n >= 1");
-            loads[dst] += weight(&pairs[i]);
-            bins[dst].push(i);
-        }
-        debug_assert!(
-            pairs.len() < n || bins.iter().all(|b| !b.is_empty()),
-            "positive weights must fill every bin"
-        );
-        bins
+        // Homogeneous devices have equal throughput hints, for which the
+        // fleet's weighted LPT reduces exactly to the classic one.
+        self.fleet.partition(pairs)
     }
 
-    /// Align pairs across all devices.
+    /// Align pairs across all devices under the static partition.
     pub fn align_pairs(&self, pairs: &[ReadPair]) -> (Vec<SeedExtendResult>, MultiGpuReport) {
-        let bins = self.partition(pairs);
-        let mut slots: Vec<Option<SeedExtendResult>> = vec![None; pairs.len()];
-        let mut per_gpu = Vec::with_capacity(self.executors.len());
-        let mut max_time = 0.0f64;
-        let mut total_cells = 0u64;
-        let mut sizes = Vec::with_capacity(bins.len());
-
-        for (exec, bin) in self.executors.iter().zip(&bins) {
-            sizes.push(bin.len());
-            let subset: Vec<ReadPair> = bin.iter().map(|&i| pairs[i].clone()).collect();
-            let (results, report) = exec.align_pairs(&subset);
-            for (&idx, r) in bin.iter().zip(results) {
-                slots[idx] = Some(r);
-            }
-            max_time = max_time.max(report.sim_time_s);
-            total_cells += report.total_cells;
-            per_gpu.push(report);
-        }
-
-        let sim_time_s = max_time + self.setup_s_per_gpu * self.executors.len() as f64;
-        let results = slots
+        let (results, fr) = self.fleet.align_pairs_static(pairs);
+        let per_gpu: Vec<GpuBatchReport> = fr
+            .per_worker
             .into_iter()
-            .map(|s| s.expect("every pair assigned to exactly one device"))
+            .map(BackendReport::into_gpu_batch)
             .collect();
+        let max_time = per_gpu.iter().map(|r| r.sim_time_s).fold(0.0f64, f64::max);
+        let sim_time_s = max_time + self.setup_s_per_gpu * per_gpu.len() as f64;
         (
             results,
             MultiGpuReport {
-                per_gpu,
                 sim_time_s,
-                total_cells,
-                assignment_sizes: sizes,
+                total_cells: fr.total_cells,
+                assignment_sizes: fr.assignment_sizes,
+                per_gpu,
             },
         )
+    }
+}
+
+impl AlignBackend for MultiGpu {
+    fn name(&self) -> String {
+        format!("multi:{}", self.gpus())
+    }
+
+    fn throughput_hint(&self) -> f64 {
+        self.fleet.throughput_hint()
+    }
+
+    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
+        self.fleet.xdrop_params()
+    }
+
+    fn max_block(&self) -> usize {
+        usize::MAX
+    }
+
+    fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
+        let start = std::time::Instant::now();
+        let (results, rep) = self.align_pairs(block);
+        let mut merged = BackendReport::empty();
+        for gpu_rep in rep.per_gpu {
+            merged.merge_concurrent(BackendReport::from_gpu(0, 0.0, gpu_rep));
+        }
+        merged.pairs = block.len();
+        merged.blocks = 1; // one align_block call, not one per device
+        merged.sim_time_s = rep.sim_time_s; // max + setup, the §IV-C model
+        merged.wall_s = start.elapsed().as_secs_f64();
+        (results, merged)
+    }
+
+    /// One lane per device: a streaming producer can hand whole blocks
+    /// to idle devices instead of splitting every block N ways.
+    fn lanes(&self) -> usize {
+        self.gpus()
+    }
+
+    fn align_block_on(
+        &self,
+        lane: usize,
+        block: &[ReadPair],
+    ) -> (Vec<SeedExtendResult>, BackendReport) {
+        self.fleet.align_block_on(lane, block)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::LoganExecutor;
     use logan_seq::readsim::PairSet;
 
     fn pairs(n: usize) -> Vec<ReadPair> {
@@ -300,6 +337,57 @@ mod tests {
         let ps = pairs(30);
         let multi = MultiGpu::new(3, DeviceSpec::v100(), LoganConfig::with_x(50));
         assert_eq!(multi.partition(&ps), multi.partition(&ps));
+    }
+
+    #[test]
+    fn empty_deployment_run_reports_zero_gcups() {
+        // Satellite regression: GCUPS on a zero-simulated-time report is
+        // 0.0, never NaN or infinity.
+        let empty = MultiGpuReport::empty(4);
+        assert_eq!(empty.sim_time_s, 0.0);
+        assert_eq!(empty.gcups(), 0.0);
+        assert!(empty.gcups().is_finite());
+        // An empty *batch* still pays the per-device setup charge, so its
+        // time is positive and its GCUPS a clean measured zero.
+        let multi = MultiGpu::new(2, DeviceSpec::v100(), LoganConfig::with_x(10));
+        let (res, rep) = multi.align_pairs(&[]);
+        assert!(res.is_empty());
+        assert_eq!(rep.total_cells, 0);
+        assert_eq!(rep.gcups(), 0.0);
+        assert!(rep.gcups().is_finite());
+        // The per-device halves did simulate zero seconds each.
+        for gpu in &rep.per_gpu {
+            assert_eq!(gpu.sim_time_s, 0.0);
+            assert_eq!(gpu.gcups(), 0.0);
+        }
+    }
+
+    #[test]
+    fn multi_gpu_is_a_backend() {
+        let ps = pairs(10);
+        let multi = MultiGpu::new(3, DeviceSpec::v100(), LoganConfig::with_x(50));
+        let backend: &dyn AlignBackend = &multi;
+        assert_eq!(backend.lanes(), 3);
+        assert_eq!(backend.name(), "multi:3");
+        let single = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50));
+        let (want, _) = single.align_pairs(&ps);
+        let (got, rep) = backend.align_block(&ps);
+        assert_eq!(got, want);
+        assert_eq!(rep.pairs, ps.len());
+        assert_eq!(rep.blocks, 1, "one call is one block, whatever the fan-out");
+        assert!(rep.sim_time_s > 0.0);
+        let (lane_res, _) = backend.align_block_on(1, &ps);
+        assert_eq!(lane_res, want);
+    }
+
+    #[test]
+    fn dynamic_fleet_matches_static_deployment() {
+        let ps = pairs(32);
+        let multi = MultiGpu::new(3, DeviceSpec::v100(), LoganConfig::with_x(50));
+        let (stat, _) = multi.align_pairs(&ps);
+        let (dynamic, rep) = multi.fleet().align_pairs(&ps);
+        assert_eq!(stat, dynamic, "schedule must be unobservable in results");
+        assert_eq!(rep.assignment_sizes.iter().sum::<usize>(), ps.len());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! generation → binning → LOGAN alignment → adaptive threshold, and
 //! scores precision/recall against the simulator's truth.
 
-use logan::bella::{AlignerBackend, BellaConfig, BellaPipeline};
+use logan::bella::{BellaConfig, BellaPipeline};
 use logan::prelude::*;
 use logan::seq::readsim::ReadSimulator;
 
@@ -35,11 +35,11 @@ fn main() {
     };
     let pipeline = BellaPipeline::new(config);
 
-    // Align on a simulated GPU (swap in AlignerBackend::Cpu for the
-    // SeqAn-style loop — results are identical).
+    // Align on a simulated GPU (any other `AlignBackend` — the CPU
+    // pool, a multi-GPU deployment, a heterogeneous fleet — slots into
+    // the same call with identical results).
     let executor = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50));
-    let backend = AlignerBackend::Gpu(&executor);
-    let (out, metrics) = pipeline.run_on_readset(&rs, &backend, 1000);
+    let (out, metrics) = pipeline.run_on_readset(&rs, &executor, 1000);
 
     println!(
         "k-mers: {} distinct, {} reliable (window {:?})",

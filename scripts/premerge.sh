@@ -34,6 +34,12 @@ if [[ $quick -eq 0 ]]; then
 
   step "cargo build --release"
   cargo build --release
+
+  step "fleet_scaling --quick smoke"
+  # The scheduler bench in smoke mode: asserts both schedules stay
+  # bit-identical on a real workload and exercises the probe/steal path
+  # end to end (full-sweep speedup assertions run in the full binary).
+  cargo run --release -q -p logan-bench --bin fleet_scaling -- --quick >/dev/null
 else
   step "cargo clippy (quick: benches skipped)"
   cargo clippy --workspace --lib --bins --tests --examples -- -D warnings
@@ -41,6 +47,12 @@ fi
 
 step "differential suite: Engine::Simd vs Engine::Scalar vs gpusim"
 cargo test -q --test simd_equivalence
+
+step "backend-equivalence: fleet/static/single backends diff clean"
+# The backend/fleet contract: every AlignBackend — CPU pool, single GPU,
+# static multi-GPU, work-stealing fleet — returns bit-identical results,
+# across seeds and worker interleavings (proptest included).
+cargo test -q --test backend_equivalence
 
 step "allocation-count: warm AlignWorkspace is allocation-free"
 # The DESIGN.md §7 contract: zero heap allocations per extension once a

@@ -1,8 +1,10 @@
 //! `logan_cli` — command-line front end for LOGAN-rs.
 //!
 //! ```text
-//! logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--gpus N] [--engine scalar|simd]
-//! logan_cli overlap <reads.fa>                [-x N] [--gpus N] [-k K] [--min-overlap L]
+//! logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--backend B] [--gpus N]
+//!                                             [--engine scalar|simd]
+//! logan_cli overlap <reads.fa>                [-x N] [--backend B] [--gpus N]
+//!                                             [-k K] [--min-overlap L]
 //!                                             [--engine scalar|simd] [--stream]
 //!                                             [--batch-reads N] [--shards N] [--inflight N]
 //! ```
@@ -10,7 +12,13 @@
 //! `pairs` aligns record *i* of the first file against record *i* of the
 //! second (seed = first shared canonical 17-mer), printing one TSV row
 //! per pair. `overlap` runs the BELLA pipeline on a read set and prints
-//! kept overlaps in a PAF-like TSV. Both run on simulated V100s.
+//! kept overlaps in a PAF-like TSV.
+//!
+//! `--backend` selects the alignment backend (all bit-identical):
+//! `cpu[:T]` (host pool of T threads), `gpu` (one simulated V100),
+//! `multi:N` (N statically partitioned simulated V100s — the default,
+//! with N from `--gpus`), or `fleet:SPEC` (a work-stealing
+//! heterogeneous fleet, e.g. `fleet:2gpu+cpu:4`).
 //!
 //! `--stream` runs `overlap` through the bounded-memory streaming
 //! dataflow (bit-identical output): the FASTA is parsed in batches of
@@ -18,7 +26,7 @@
 //! at most `--inflight` candidate blocks sit between the SpGEMM
 //! producer and the alignment backend.
 
-use logan::bella::{AlignerBackend, BellaConfig, BellaPipeline, PipelineBudget};
+use logan::bella::{BellaConfig, BellaPipeline, PipelineBudget};
 use logan::prelude::*;
 use logan::seq::fasta::{read_fasta, FastaBatches};
 use logan::seq::kmer::KmerIter;
@@ -29,16 +37,19 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--gpus N] \
+        "usage:\n  logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--backend B] [--gpus N] \
          [--engine scalar|simd]\n  \
-         logan_cli overlap <reads.fa> [-x N] [--gpus N] [-k K] [--min-overlap L] \
-         [--engine scalar|simd] [--stream] [--batch-reads N] [--shards N] [--inflight N]"
+         logan_cli overlap <reads.fa> [-x N] [--backend B] [--gpus N] [-k K] [--min-overlap L] \
+         [--engine scalar|simd] [--stream] [--batch-reads N] [--shards N] [--inflight N]\n\
+         backends: cpu[:T] | gpu | multi:N (default, N from --gpus) | fleet:SPEC \
+         (e.g. fleet:2gpu+cpu:4)"
     );
     ExitCode::from(2)
 }
 
 struct Opts {
     x: i32,
+    backend: Option<BackendSel>,
     gpus: usize,
     k: usize,
     min_overlap: usize,
@@ -51,6 +62,7 @@ struct Opts {
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         x: 100,
+        backend: None,
         gpus: 1,
         k: 17,
         min_overlap: 2000,
@@ -70,6 +82,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         };
         match a.as_str() {
             "-x" => opts.x = grab("-x")?.parse().map_err(|e| format!("-x: {e}"))?,
+            "--backend" => opts.backend = Some(grab("--backend")?.parse()?),
             "--gpus" => {
                 opts.gpus = grab("--gpus")?
                     .parse()
@@ -115,6 +128,76 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         return Err("--batch-reads/--shards/--inflight must be at least 1".into());
     }
     Ok(opts)
+}
+
+/// A parsed `--backend` selection. Parsing happens with the other
+/// option validation so a malformed value is a usage error (exit 2),
+/// not a runtime failure.
+enum BackendSel {
+    Cpu(Option<usize>),
+    Gpu,
+    Multi(usize),
+    Fleet(FleetSpec),
+}
+
+impl std::str::FromStr for BackendSel {
+    type Err = String;
+
+    fn from_str(sel: &str) -> Result<BackendSel, String> {
+        match sel {
+            "cpu" => Ok(BackendSel::Cpu(None)),
+            "gpu" => Ok(BackendSel::Gpu),
+            other => {
+                if let Some(t) = other.strip_prefix("cpu:") {
+                    let threads: usize = t.parse().map_err(|e| format!("--backend cpu: {e}"))?;
+                    if threads == 0 {
+                        return Err("--backend cpu: threads must be at least 1".into());
+                    }
+                    Ok(BackendSel::Cpu(Some(threads)))
+                } else if let Some(n) = other.strip_prefix("multi:") {
+                    let gpus: usize = n.parse().map_err(|e| format!("--backend multi: {e}"))?;
+                    if gpus == 0 {
+                        return Err("--backend multi: need at least one GPU".into());
+                    }
+                    Ok(BackendSel::Multi(gpus))
+                } else if let Some(fleet_spec) = other.strip_prefix("fleet:") {
+                    Ok(BackendSel::Fleet(
+                        fleet_spec
+                            .parse()
+                            .map_err(|e| format!("--backend fleet: {e}"))?,
+                    ))
+                } else {
+                    Err(format!(
+                        "--backend {other:?}: expected cpu[:T], gpu, multi:N or fleet:SPEC"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Instantiate the `--backend` selection (default `multi:{--gpus}`).
+/// Every backend aligns with the options' X and engine, on simulated
+/// V100s where a device is involved.
+fn build_backend(opts: &Opts) -> Box<dyn AlignBackend> {
+    let mut cfg = LoganConfig::with_x(opts.x);
+    cfg.engine = opts.engine;
+    let spec = DeviceSpec::v100();
+    match &opts.backend {
+        Some(BackendSel::Cpu(threads)) => {
+            let threads = threads.unwrap_or_else(logan::core::backend::host_threads);
+            Box::new(XDropCpuAligner::new(
+                threads,
+                cfg.scoring,
+                opts.x,
+                opts.engine,
+            ))
+        }
+        Some(BackendSel::Gpu) => Box::new(LoganExecutor::new(spec, cfg)),
+        Some(BackendSel::Multi(gpus)) => Box::new(MultiGpu::new(*gpus, spec, cfg)),
+        Some(BackendSel::Fleet(parsed)) => Box::new(parsed.build(spec, cfg)),
+        None => Box::new(MultiGpu::new(opts.gpus, spec, cfg)),
+    }
 }
 
 /// First shared canonical k-mer between two sequences.
@@ -178,10 +261,8 @@ fn cmd_pairs(opts: &Opts) -> Result<(), String> {
         );
     }
 
-    let mut cfg = LoganConfig::with_x(opts.x);
-    cfg.engine = opts.engine;
-    let multi = MultiGpu::new(opts.gpus, DeviceSpec::v100(), cfg);
-    let (results, report) = multi.align_pairs(&pairs);
+    let backend = build_backend(opts);
+    let (results, report) = backend.align_block(&pairs);
     println!("#query\ttarget\tscore\tq_start\tq_end\tt_start\tt_end\tcells");
     let mut pi = 0usize;
     for (i, (qr, tr)) in queries.iter().zip(&targets).enumerate() {
@@ -203,11 +284,12 @@ fn cmd_pairs(opts: &Opts) -> Result<(), String> {
         );
     }
     eprintln!(
-        "aligned {} pairs on {} simulated GPU(s): {:.3} s simulated, {:.1} GCUPS",
+        "aligned {} pairs on {}: {:.3} s simulated ({:.1} GCUPS), {:.3} s host wall",
         pairs.len(),
-        opts.gpus,
+        backend.name(),
         report.sim_time_s,
-        report.gcups()
+        report.gcups(),
+        report.wall_s
     );
     Ok(())
 }
@@ -226,10 +308,7 @@ fn cmd_overlap(opts: &Opts) -> Result<(), String> {
         ..BellaConfig::with_x(opts.x)
     };
     let pipeline = BellaPipeline::new(config);
-    let mut gpu_cfg = LoganConfig::with_x(opts.x);
-    gpu_cfg.engine = opts.engine;
-    let multi = MultiGpu::new(opts.gpus, DeviceSpec::v100(), gpu_cfg);
-    let backend = AlignerBackend::Multi(&multi);
+    let backend = build_backend(opts);
     let file = File::open(rf).map_err(|e| format!("{rf}: {e}"))?;
 
     let mut ids: Vec<String> = Vec::new();
@@ -252,7 +331,7 @@ fn cmd_overlap(opts: &Opts) -> Result<(), String> {
             }
             batches.push(ReadBatch { start_id, seqs });
         }
-        pipeline.run_streaming(batches, &backend)
+        pipeline.run_streaming(batches, &*backend)
     } else {
         let records = read_fasta(file).map_err(|e| format!("{rf}: {e}"))?;
         let mut seqs = Vec::with_capacity(records.len());
@@ -261,7 +340,7 @@ fn cmd_overlap(opts: &Opts) -> Result<(), String> {
             total += r.seq.len();
             seqs.push(r.seq);
         }
-        pipeline.run(&seqs, &backend)
+        pipeline.run(&seqs, &*backend)
     };
     let mean_len = total / ids.len().max(1);
 
@@ -279,12 +358,13 @@ fn cmd_overlap(opts: &Opts) -> Result<(), String> {
         );
     }
     eprintln!(
-        "{} reads (mean {} bp) -> {} candidates, {} kept; {} DP cells{}",
+        "{} reads (mean {} bp) -> {} candidates, {} kept; {} DP cells on {}{}",
         ids.len(),
         mean_len,
         out.stats.candidates,
         out.stats.kept,
         out.stats.total_cells,
+        backend.name(),
         if opts.stream {
             format!(
                 " [streaming: batch-reads {}, shards {}, inflight {}]",

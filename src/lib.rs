@@ -49,11 +49,12 @@ pub mod prelude {
         banded_sw, ksw2_extend, needleman_wunsch, seed_extend, seed_extend_with, smith_waterman,
         with_thread_workspace, xdrop_extend, xdrop_extend_simd, xdrop_extend_simd_with,
         xdrop_extend_with, AlignWorkspace, CpuBatchAligner, Engine, ExtensionResult, Ksw2Params,
-        SeedExtendResult, XDropExtender,
+        SeedExtendResult, XDropCpuAligner, XDropExtender,
     };
     pub use logan_bella::{BellaConfig, BellaPipeline, OverlapMetrics};
     pub use logan_core::{
-        ExtensionJob, GpuBatchReport, LoganConfig, LoganExecutor, MultiGpu, ThreadPolicy,
+        AlignBackend, BackendReport, ExtensionJob, Fleet, FleetSpec, GpuBackend, GpuBatchReport,
+        LoganConfig, LoganExecutor, MultiGpu, ThreadPolicy,
     };
     pub use logan_gpusim::{Device, DeviceSpec, KernelReport, LaunchConfig};
     pub use logan_roofline::{InstructionRoofline, RooflinePoint};

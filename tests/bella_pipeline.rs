@@ -1,7 +1,7 @@
 //! Integration test: the full BELLA pipeline over simulated reads, CPU
 //! vs GPU vs multi-GPU backends, with ground-truth scoring.
 
-use logan::bella::{AlignerBackend, BellaConfig, BellaPipeline, PipelineBudget};
+use logan::bella::{BellaConfig, BellaPipeline, PipelineBudget};
 use logan::prelude::*;
 use logan::seq::readsim::ReadSimulator;
 
@@ -27,14 +27,13 @@ fn all_backends_agree_and_find_overlaps() {
     let rs = readset();
     let pipeline = BellaPipeline::new(config());
 
-    let cpu_aligner = CpuBatchAligner::new(4);
+    let cpu_aligner = XDropCpuAligner::new(4, Scoring::default(), 50, Engine::Scalar);
     let gpu = LoganExecutor::new(DeviceSpec::v100(), LoganConfig::with_x(50));
     let multi = MultiGpu::new(3, DeviceSpec::v100(), LoganConfig::with_x(50));
 
-    let (cpu_out, cpu_metrics) =
-        pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&cpu_aligner), 600);
-    let (gpu_out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Gpu(&gpu), 600);
-    let (mg_out, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Multi(&multi), 600);
+    let (cpu_out, cpu_metrics) = pipeline.run_on_readset(&rs, &cpu_aligner, 600);
+    let (gpu_out, _) = pipeline.run_on_readset(&rs, &gpu, 600);
+    let (mg_out, _) = pipeline.run_on_readset(&rs, &multi, 600);
 
     assert_eq!(cpu_out.kept_pairs(), gpu_out.kept_pairs());
     assert_eq!(cpu_out.kept_pairs(), mg_out.kept_pairs());
@@ -51,9 +50,9 @@ fn all_backends_agree_and_find_overlaps() {
 fn pipeline_is_deterministic() {
     let rs = readset();
     let pipeline = BellaPipeline::new(config());
-    let aligner = CpuBatchAligner::new(2);
-    let (a, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
-    let (b, _) = pipeline.run_on_readset(&rs, &AlignerBackend::Cpu(&aligner), 600);
+    let aligner = XDropCpuAligner::new(2, Scoring::default(), 50, Engine::Scalar);
+    let (a, _) = pipeline.run_on_readset(&rs, &aligner, 600);
+    let (b, _) = pipeline.run_on_readset(&rs, &aligner, 600);
     assert_eq!(a.kept_pairs(), b.kept_pairs());
     assert_eq!(a.stats.total_cells, b.stats.total_cells);
 }
@@ -66,8 +65,7 @@ fn pipeline_is_deterministic() {
 #[test]
 fn streaming_pipeline_diffs_clean_against_monolithic() {
     let rs = readset();
-    let aligner = CpuBatchAligner::new(4);
-    let backend = AlignerBackend::Cpu(&aligner);
+    let backend = XDropCpuAligner::new(4, Scoring::default(), 50, Engine::Scalar);
 
     let mono = BellaPipeline::new(config());
     let (mono_out, mono_metrics) = mono.run_on_readset(&rs, &backend, 600);
@@ -122,8 +120,7 @@ fn streaming_from_fasta_batches_matches_in_memory_source() {
         ..config()
     };
     let pipeline = BellaPipeline::new(cfg);
-    let aligner = CpuBatchAligner::new(2);
-    let backend = AlignerBackend::Cpu(&aligner);
+    let backend = XDropCpuAligner::new(2, Scoring::default(), 50, Engine::Scalar);
 
     let mut start_id = 0usize;
     let from_fasta = pipeline.run_streaming(

@@ -10,7 +10,7 @@
 //! `alloc_count.rs` does for the zero-allocation contract). One test
 //! function, so nothing runs concurrently with the measurement.
 
-use logan::bella::{AlignerBackend, BellaConfig, BellaPipeline, PipelineBudget};
+use logan::bella::{BellaConfig, BellaPipeline, PipelineBudget};
 use logan::prelude::*;
 use logan::seq::readsim::ReadSimulator;
 use logan_bench::memprobe::{mib, peak_during, PeakAlloc};
@@ -31,8 +31,7 @@ fn streaming_peak_is_bounded_by_batch_not_input() {
     };
     let rs = sim.generate(99);
     let seqs: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
-    let aligner = CpuBatchAligner::new(2);
-    let backend = AlignerBackend::Cpu(&aligner);
+    let backend = XDropCpuAligner::new(2, Scoring::default(), 30, Engine::Scalar);
 
     let config = |budget: PipelineBudget| BellaConfig {
         error_rate: 0.10,
