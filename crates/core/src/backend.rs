@@ -78,6 +78,15 @@ pub trait AlignBackend: Send + Sync {
         None
     }
 
+    /// [`AlignBackend::throughput_hint`] for one specific lane
+    /// (`lane < self.lanes()`). Heterogeneous fleets override this so
+    /// per-lane service-time models (the serving latency harness) charge
+    /// a CPU lane at CPU rate, not at the fleet aggregate. Single-lane
+    /// backends fall back to the whole-backend hint.
+    fn throughput_hint_on(&self, _lane: usize) -> f64 {
+        self.throughput_hint()
+    }
+
     /// Align a block on one specific lane (`lane < self.lanes()`).
     /// Single-lane backends ignore the lane index.
     fn align_block_on(

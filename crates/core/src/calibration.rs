@@ -91,6 +91,16 @@ pub const CUDASW_HYBRID_CPU_GCUPS: f64 = 115.0;
 /// take ~0.4 s; Table II's X=10 row implies ≈ 0.22 s per device).
 pub const BALANCER_SETUP_S_PER_GPU: f64 = 0.22;
 
+/// Host seconds charged per backend submission by the serving latency
+/// model (`logan-serve`): one driver round-trip — argument marshaling,
+/// stream launch, completion callback — per coalesced batch. Scaled
+/// from the §IV-C balancer overhead (0.22 s covers per-device context
+/// switch *plus* buffer split/collect over multi-second batches; a
+/// single resident-context launch is ~two orders cheaper). This is the
+/// constant per-request submission pays once per request and
+/// coalescing pays once per batch.
+pub const SERVE_BATCH_SETUP_S: f64 = 0.003;
+
 /// BELLA host seconds per alignment spent in the overlap-detection
 /// stage (k-mer counting + SpGEMM + binning), identical for CPU and GPU
 /// alignment backends. Calibrated once against Table IV's X=5 CPU row:

@@ -620,6 +620,12 @@ impl AlignBackend for Fleet {
     ) -> (Vec<SeedExtendResult>, BackendReport) {
         self.backends[lane].align_block(block)
     }
+
+    /// Each lane is one member, so its hint is that member's — a CPU
+    /// lane must not be charged at the fleet's aggregate rate.
+    fn throughput_hint_on(&self, lane: usize) -> f64 {
+        self.backends[lane].throughput_hint()
+    }
 }
 
 /// One worker of a parsed [`FleetSpec`].

@@ -199,6 +199,10 @@ impl AlignBackend for MultiGpu {
     ) -> (Vec<SeedExtendResult>, BackendReport) {
         self.fleet.align_block_on(lane, block)
     }
+
+    fn throughput_hint_on(&self, lane: usize) -> f64 {
+        self.fleet.throughput_hint_on(lane)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,197 @@
+//! Service configuration, with hardened parsing: every knob that would
+//! wedge the server at zero is rejected up front with a descriptive
+//! error — no panics deep in the queue machinery, no silent defaults.
+
+use logan_core::calibration::SERVE_BATCH_SETUP_S;
+
+/// Tunables of one [`crate::Server`] (and of the simulated server in
+/// [`crate::sim`] — both run the same coalescer and admission rule).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Cap on pairs per coalesced batch. A free lane drains up to this
+    /// many queued pairs into one backend submission; a request larger
+    /// than the cap is split across batches (its reply still arrives
+    /// once, order-normalized).
+    pub batch_pairs: usize,
+    /// Bounded submission queue, in *requests* awaiting batching. The
+    /// threaded server blocks submitters at the bound (backpressure);
+    /// the open-loop simulator sheds with an explicit
+    /// [`crate::ServeError::QueueFull`] reply instead.
+    pub queue_depth: usize,
+    /// Per-tenant admission quota, in in-flight pairs (queued plus
+    /// being aligned). A request is admitted iff the tenant's in-flight
+    /// pairs plus the request's pairs stay within the quota.
+    pub quota_pairs: usize,
+    /// Simulated host seconds charged per backend submission (driver
+    /// call, launch setup) in the latency model — the constant that
+    /// per-request submission pays once per *request* and coalescing
+    /// pays once per *batch*. Only the simulator reads it; the threaded
+    /// server's wall clock measures the real thing.
+    pub batch_setup_s: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            batch_pairs: 64,
+            queue_depth: 256,
+            quota_pairs: 4096,
+            batch_setup_s: SERVE_BATCH_SETUP_S,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate every knob, returning `self` or a descriptive error.
+    /// Zero is rejected everywhere it would wedge the service: a
+    /// zero-pair batch can never drain the queue, a zero-depth queue
+    /// admits nothing, a zero quota rejects every request, and a
+    /// negative setup charge would let coalescing win by fiat.
+    pub fn validated(self) -> Result<ServeConfig, String> {
+        if self.batch_pairs == 0 {
+            return Err("serve config: batch_pairs must be at least 1 (a zero-pair batch can never drain the queue)".into());
+        }
+        if self.queue_depth == 0 {
+            return Err(
+                "serve config: queue_depth must be at least 1 (a zero-depth queue admits no work)"
+                    .into(),
+            );
+        }
+        if self.quota_pairs == 0 {
+            return Err(
+                "serve config: quota_pairs must be at least 1 (a zero quota rejects every request)"
+                    .into(),
+            );
+        }
+        if !self.batch_setup_s.is_finite() || self.batch_setup_s < 0.0 {
+            return Err(format!(
+                "serve config: batch_setup_s must be finite and non-negative, got {}",
+                self.batch_setup_s
+            ));
+        }
+        Ok(self)
+    }
+}
+
+impl std::str::FromStr for ServeConfig {
+    type Err = String;
+
+    /// Parse a compact `key=value` list over the defaults, e.g.
+    /// `batch=64,queue=256,quota=4096` (keys: `batch`, `queue`,
+    /// `quota`, `setup`; any subset, any order). The result is
+    /// [`ServeConfig::validated`], so `quota=0` and friends are parse
+    /// errors, not latent panics.
+    fn from_str(s: &str) -> Result<ServeConfig, String> {
+        if s.trim().is_empty() {
+            return Err("empty serve config (expected key=value[,key=value...], keys: batch, queue, quota, setup)".into());
+        }
+        let mut cfg = ServeConfig::default();
+        for term in s.split(',') {
+            let term = term.trim();
+            let Some((key, value)) = term.split_once('=') else {
+                return Err(format!("serve config term {term:?}: expected key=value"));
+            };
+            match key.trim() {
+                "batch" => {
+                    cfg.batch_pairs = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("serve config batch: {e}"))?
+                }
+                "queue" => {
+                    cfg.queue_depth = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("serve config queue: {e}"))?
+                }
+                "quota" => {
+                    cfg.quota_pairs = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("serve config quota: {e}"))?
+                }
+                "setup" => {
+                    cfg.batch_setup_s = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("serve config setup: {e}"))?
+                }
+                other => {
+                    return Err(format!(
+                    "serve config: unknown key {other:?} (expected batch, queue, quota or setup)"
+                ))
+                }
+            }
+        }
+        cfg.validated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ServeConfig::default().validated().is_ok());
+    }
+
+    #[test]
+    fn parses_partial_overrides_over_defaults() {
+        let cfg: ServeConfig = "batch=8,quota=100".parse().unwrap();
+        assert_eq!(cfg.batch_pairs, 8);
+        assert_eq!(cfg.quota_pairs, 100);
+        assert_eq!(cfg.queue_depth, ServeConfig::default().queue_depth);
+        let cfg: ServeConfig = " queue=3 , setup=0.5 ".parse().unwrap();
+        assert_eq!(cfg.queue_depth, 3);
+        assert_eq!(cfg.batch_setup_s, 0.5);
+    }
+
+    /// The satellite rejection paths: every zero/degenerate knob fails
+    /// with a message naming the knob, never a panic or silent default.
+    #[test]
+    fn rejects_each_degenerate_knob_with_a_descriptive_error() {
+        let cases: &[(&str, &str)] = &[
+            ("", "empty serve config"),
+            ("batch=0", "batch_pairs must be at least 1"),
+            ("queue=0", "queue_depth must be at least 1"),
+            ("quota=0", "quota_pairs must be at least 1"),
+            ("setup=-1", "batch_setup_s must be finite and non-negative"),
+            ("setup=NaN", "batch_setup_s must be finite"),
+            ("batch", "expected key=value"),
+            ("pairs=9", "unknown key"),
+            ("batch=many", "serve config batch"),
+        ];
+        for (input, want) in cases {
+            let err = input.parse::<ServeConfig>().unwrap_err();
+            assert!(
+                err.contains(want),
+                "{input:?}: error {err:?} should mention {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validated_rejects_programmatic_zeros_too() {
+        for cfg in [
+            ServeConfig {
+                batch_pairs: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_depth: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                quota_pairs: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                batch_setup_s: f64::INFINITY,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(cfg.validated().is_err(), "{cfg:?} must be rejected");
+        }
+    }
+}

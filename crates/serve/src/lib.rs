@@ -1,0 +1,49 @@
+//! `logan-serve`: an always-on overlap/alignment service over any
+//! [`logan_core::AlignBackend`].
+//!
+//! The batch pipeline answers "align this dataset"; this crate answers
+//! "keep answering": many concurrent clients submit small alignment
+//! requests, and the service must batch them well enough to keep the
+//! simulated accelerators saturated while keeping per-request latency
+//! bounded and no tenant starved. Three mechanisms do the work:
+//!
+//! - **Cross-request coalescing** ([`Coalescer`]): a free backend lane
+//!   drains up to `batch_pairs` queued pairs — across as many requests
+//!   as fit — into one submission, recovering device-sized batches from
+//!   client-sized requests. Oversized requests split across batches and
+//!   still get exactly one reply.
+//! - **Admission control** ([`Admission`]): per-tenant in-flight quotas,
+//!   refused with an explicit [`ServeError::OverQuota`] reply — never a
+//!   silent drop.
+//! - **A bounded submission queue**: the threaded [`Server`] blocks
+//!   submitters at the bound (backpressure, the PR 4 idiom); the
+//!   open-loop simulator ([`sim`]) sheds with an explicit outcome.
+//!
+//! Correctness and performance live in different harnesses on purpose.
+//! The threaded [`Server`] proves the concurrent behavior — exactly-once
+//! replies, graceful shutdown draining in-flight work, panic-safe lane
+//! retirement — on real threads. The discrete-event simulator in
+//! [`sim`] makes every *latency and throughput* claim on the simulated
+//! clock, the repo's only performance time domain (the container is
+//! single-core; threaded wall time would measure the host). Both run
+//! the same coalescer and admission code, and the backends are
+//! result-deterministic, so the differential suite can demand
+//! bit-identical results against direct per-request alignment.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod coalesce;
+pub mod config;
+pub mod request;
+pub mod server;
+pub mod sim;
+
+pub use admission::Admission;
+pub use coalesce::{Batch, BatchSpan, Coalescer};
+pub use config::ServeConfig;
+pub use request::{
+    AlignRequest, AlignResponse, Reply, ReplyHandle, RequestId, ServeError, TenantId,
+};
+pub use server::{ServeStats, Server};
+pub use sim::{simulate, ArrivalProcess, SimConfig, SimOutcome, SimReport, SimRequest};

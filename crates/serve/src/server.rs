@@ -1,0 +1,498 @@
+//! The threaded server: a long-running daemon over any
+//! [`AlignBackend`]. One worker thread per backend lane pulls coalesced
+//! batches from a bounded FIFO queue; admission control refuses work
+//! up front; shutdown drains everything admitted; a panicking lane
+//! retires itself and fails only the requests it was carrying.
+//!
+//! ```text
+//! submit() ──admission──▶ [bounded queue / Coalescer] ──▶ lane 0 ──▶
+//!    │  over quota: Err        │ blocks submitters        lane 1 ──▶ scatter ──▶ Reply
+//!    └──────────────▶ Reply    │ when full (PR 4 rule)    ...lanes()
+//! ```
+//!
+//! **Exactly-once replies.** Every submission resolves to exactly one
+//! [`Reply`]: an immediate rejection (over quota, shutting down, all
+//! lanes dead, or a trivially empty request), a success carrying
+//! per-pair results in request order, or a backend failure. The
+//! shutdown and fault suites (`tests/serve_shutdown.rs`) pin this.
+//!
+//! **Bit-identical results.** Pairs are aligned independently by a
+//! result-deterministic backend, so however the coalescer batches or
+//! splits requests — and whichever lane runs each batch — a successful
+//! reply equals aligning the request's pairs directly on the backend
+//! (`tests/serve_equivalence.rs`, premerge step `serve-equivalence`).
+
+use crate::admission::Admission;
+use crate::coalesce::{Batch, Coalescer};
+use crate::config::ServeConfig;
+use crate::request::{AlignResponse, Reply, ReplyHandle, RequestId, ServeError, TenantId};
+use logan_align::SeedExtendResult;
+use logan_core::AlignBackend;
+use logan_seq::readsim::ReadPair;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Lifetime counters of one server, returned by [`Server::shutdown`].
+/// `submitted == completed + failed + over_quota + rejected_shutdown`
+/// once the server has drained — the exactly-once ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests submitted (including refused ones).
+    pub submitted: usize,
+    /// Requests answered with results.
+    pub completed: usize,
+    /// Requests answered with [`ServeError::BackendFailed`].
+    pub failed: usize,
+    /// Requests refused at admission ([`ServeError::OverQuota`]).
+    pub over_quota: usize,
+    /// Requests refused because shutdown had begun.
+    pub rejected_shutdown: usize,
+    /// Backend submissions issued.
+    pub batches: usize,
+    /// Pairs across all submissions.
+    pub batched_pairs: usize,
+    /// Submissions that coalesced more than one request.
+    pub coalesced_batches: usize,
+    /// Largest single submission, in pairs.
+    pub max_batch_pairs: usize,
+    /// Lanes that retired after a backend panic.
+    pub lanes_retired: usize,
+}
+
+struct Assembly {
+    tenant: TenantId,
+    slots: Vec<Option<SeedExtendResult>>,
+    filled: usize,
+    batches: usize,
+    tx: mpsc::Sender<Reply>,
+}
+
+struct QueueState {
+    queue: Coalescer,
+    /// Shutdown has begun: no new admissions, drain what is queued.
+    closed: bool,
+    /// Lanes still serving (decremented on panic retirement).
+    alive: usize,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    backend: Arc<dyn AlignBackend>,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    assemblies: Mutex<HashMap<RequestId, Assembly>>,
+    admission: Admission,
+    stats: Mutex<ServeStats>,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    /// Scatter one successful batch back to its requests; any request
+    /// whose last outstanding pair this fills gets its (single) reply.
+    fn complete_batch(&self, batch: &Batch, results: Vec<SeedExtendResult>) {
+        debug_assert_eq!(results.len(), batch.pairs.len());
+        let mut asm = self.assemblies.lock().expect("assembly table poisoned");
+        let mut off = 0usize;
+        for span in &batch.spans {
+            let chunk = &results[off..off + span.len];
+            off += span.len;
+            // A request that already failed (another batch of it
+            // panicked) has left the table; its surviving slices are
+            // aligned and discarded.
+            let Some(a) = asm.get_mut(&span.req) else {
+                continue;
+            };
+            for (k, r) in chunk.iter().enumerate() {
+                debug_assert!(a.slots[span.offset + k].is_none(), "pair filled twice");
+                a.slots[span.offset + k] = Some(*r);
+            }
+            a.filled += span.len;
+            a.batches += 1;
+            if a.filled == a.slots.len() {
+                let a = asm.remove(&span.req).expect("assembly vanished");
+                let pairs = a.slots.len();
+                let results = a
+                    .slots
+                    .into_iter()
+                    .map(|s| s.expect("slot empty"))
+                    .collect();
+                let _ = a.tx.send(Ok(AlignResponse {
+                    id: span.req,
+                    results,
+                    batches: a.batches,
+                }));
+                self.admission.release(a.tenant, pairs);
+                self.stats.lock().expect("stats poisoned").completed += 1;
+            }
+        }
+    }
+
+    /// Fail one request (if it has not already been replied to):
+    /// explicit error reply, quota released, counted.
+    fn fail_request(&self, id: RequestId, detail: &str) {
+        let mut asm = self.assemblies.lock().expect("assembly table poisoned");
+        if let Some(a) = asm.remove(&id) {
+            let _ = a.tx.send(Err(ServeError::BackendFailed {
+                detail: detail.to_string(),
+            }));
+            self.admission.release(a.tenant, a.slots.len());
+            self.stats.lock().expect("stats poisoned").failed += 1;
+        }
+    }
+
+    fn bump_batch_stats(&self, batch: &Batch) {
+        let mut stats = self.stats.lock().expect("stats poisoned");
+        stats.batches += 1;
+        stats.batched_pairs += batch.pairs.len();
+        stats.coalesced_batches += batch.is_coalesced() as usize;
+        stats.max_batch_pairs = stats.max_batch_pairs.max(batch.pairs.len());
+    }
+
+    /// One lane's serving loop: take a batch, align it, scatter the
+    /// results; on a backend panic, fail the batch's requests, retire
+    /// this lane, and — if it was the last — fail everything queued so
+    /// nothing waits on a server that can no longer serve.
+    fn serve_lane(&self, lane: usize) {
+        loop {
+            let batch = {
+                let mut st = self.state.lock().expect("serve queue poisoned");
+                loop {
+                    if let Some(batch) = st.queue.next_batch() {
+                        // Queue space freed: wake blocked submitters
+                        // (and idle lanes, if pairs remain).
+                        self.cv.notify_all();
+                        break Some(batch);
+                    }
+                    if st.closed {
+                        break None;
+                    }
+                    st = self
+                        .cv
+                        .wait(st)
+                        .expect("serve queue poisoned while waiting");
+                }
+            };
+            let Some(batch) = batch else {
+                return; // drained and closed: graceful exit
+            };
+            self.bump_batch_stats(&batch);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.backend.align_block_on(lane, &batch.pairs)
+            }));
+            match outcome {
+                Ok((results, _report)) => self.complete_batch(&batch, results),
+                Err(payload) => {
+                    let detail = panic_detail(&payload);
+                    for span in &batch.spans {
+                        self.fail_request(span.req, &detail);
+                    }
+                    let orphans = {
+                        let mut st = self.state.lock().expect("serve queue poisoned");
+                        st.alive -= 1;
+                        self.stats.lock().expect("stats poisoned").lanes_retired += 1;
+                        let orphans = if st.alive == 0 {
+                            // Last lane down: nobody is left to drain
+                            // the queue — fail it rather than hang it.
+                            st.queue.drain_requests()
+                        } else {
+                            Vec::new()
+                        };
+                        self.cv.notify_all();
+                        orphans
+                    };
+                    for id in orphans {
+                        self.fail_request(id, "all backend lanes retired after panics");
+                    }
+                    return; // this lane is done
+                }
+            }
+        }
+    }
+}
+
+fn panic_detail(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("backend lane panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("backend lane panicked: {s}")
+    } else {
+        "backend lane panicked".to_string()
+    }
+}
+
+/// The always-on alignment service over one [`AlignBackend`]. Cheap to
+/// share by reference across client threads ([`Server::submit`] takes
+/// `&self`); consumed logically by [`Server::shutdown`], which is also
+/// run by `Drop` so an abandoned server still drains and joins.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Start serving: validates `cfg`, then spawns one worker thread
+    /// per backend lane ([`AlignBackend::lanes`]), each feeding its
+    /// lane via [`AlignBackend::align_block_on`] — a fleet backend gets
+    /// one server lane per member, a single device gets one.
+    pub fn start(backend: Arc<dyn AlignBackend>, cfg: ServeConfig) -> Result<Server, String> {
+        let cfg = cfg.validated()?;
+        let lanes = backend.lanes().max(1);
+        let shared = Arc::new(Shared {
+            admission: Admission::new(cfg.quota_pairs),
+            state: Mutex::new(QueueState {
+                queue: Coalescer::new(cfg.batch_pairs),
+                closed: false,
+                alive: lanes,
+            }),
+            cv: Condvar::new(),
+            assemblies: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ServeStats::default()),
+            next_id: AtomicU64::new(0),
+            cfg,
+            backend,
+        });
+        let workers = (0..lanes)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("logan-serve-lane-{lane}"))
+                    .spawn(move || shared.serve_lane(lane))
+                    .map_err(|e| format!("failed to spawn serve lane {lane}: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Server {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The configuration this server runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Submit a request. Returns immediately with a [`ReplyHandle`]
+    /// that will yield the request's single [`Reply`] — unless the
+    /// bounded submission queue is full, in which case this call
+    /// *blocks* until a lane frees space (the closed-loop backpressure
+    /// rule: clients slow down rather than the queue growing without
+    /// bound).
+    ///
+    /// Refusals are immediate replies: over-quota requests, requests
+    /// after [`Server::shutdown`] began, requests after every lane
+    /// retired. An empty request is answered immediately with empty
+    /// results — there is nothing to align.
+    pub fn submit(&self, tenant: TenantId, pairs: Vec<ReadPair>) -> ReplyHandle {
+        let shared = &self.shared;
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let handle = ReplyHandle { id, rx };
+        shared.stats.lock().expect("stats poisoned").submitted += 1;
+        if pairs.is_empty() {
+            let _ = tx.send(Ok(AlignResponse {
+                id,
+                results: Vec::new(),
+                batches: 0,
+            }));
+            shared.stats.lock().expect("stats poisoned").completed += 1;
+            return handle;
+        }
+        if let Err(refusal) = shared.admission.try_admit(tenant, pairs.len()) {
+            let _ = tx.send(Err(refusal));
+            shared.stats.lock().expect("stats poisoned").over_quota += 1;
+            return handle;
+        }
+        // Admitted: hold quota until the single reply, whatever it is.
+        let mut st = shared.state.lock().expect("serve queue poisoned");
+        while st.queue.pending_requests() >= shared.cfg.queue_depth && !st.closed && st.alive > 0 {
+            st = shared
+                .cv
+                .wait(st)
+                .expect("serve queue poisoned while waiting");
+        }
+        if st.closed || st.alive == 0 {
+            let reply = if st.closed {
+                shared
+                    .stats
+                    .lock()
+                    .expect("stats poisoned")
+                    .rejected_shutdown += 1;
+                Err(ServeError::ShuttingDown)
+            } else {
+                shared.stats.lock().expect("stats poisoned").failed += 1;
+                Err(ServeError::BackendFailed {
+                    detail: "all backend lanes retired after panics".into(),
+                })
+            };
+            drop(st);
+            shared.admission.release(tenant, pairs.len());
+            let _ = tx.send(reply);
+            return handle;
+        }
+        // Register the assembly before the queue sees the request, so a
+        // fast lane cannot complete pairs that have nowhere to land.
+        shared
+            .assemblies
+            .lock()
+            .expect("assembly table poisoned")
+            .insert(
+                id,
+                Assembly {
+                    tenant,
+                    slots: vec![None; pairs.len()],
+                    filled: 0,
+                    batches: 0,
+                    tx,
+                },
+            );
+        st.queue.push(id, pairs);
+        shared.cv.notify_all();
+        drop(st);
+        handle
+    }
+
+    /// A submit taking the request struct (same semantics).
+    pub fn submit_request(&self, request: crate::AlignRequest) -> ReplyHandle {
+        self.submit(request.tenant, request.pairs)
+    }
+
+    /// Graceful shutdown: refuse new submissions, drain every queued
+    /// and in-flight request to its reply, join the lanes, and return
+    /// the lifetime stats. Idempotent — later calls just return the
+    /// (final) stats again.
+    pub fn shutdown(&self) -> ServeStats {
+        {
+            let mut st = self.shared.state.lock().expect("serve queue poisoned");
+            st.closed = true;
+            self.shared.cv.notify_all();
+        }
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker table poisoned")
+            .drain(..)
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+        // Defensive sweep: with the lanes joined, every admitted
+        // request must have been replied to. If one slipped through, a
+        // late error reply still beats a client waiting forever.
+        let leftovers: Vec<RequestId> = {
+            let asm = self
+                .shared
+                .assemblies
+                .lock()
+                .expect("assembly table poisoned");
+            debug_assert!(asm.is_empty(), "shutdown left unreplied assemblies");
+            asm.keys().copied().collect()
+        };
+        for id in leftovers {
+            self.shared
+                .fail_request(id, "server shut down with the request unreplied");
+        }
+        self.shared.stats.lock().expect("stats poisoned").clone()
+    }
+
+    /// Lifetime counters so far (shutdown returns the final ledger).
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.lock().expect("stats poisoned").clone()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logan_align::{Engine, XDropCpuAligner};
+    use logan_seq::readsim::PairSet;
+    use logan_seq::Scoring;
+
+    fn cpu_backend() -> Arc<dyn AlignBackend> {
+        Arc::new(XDropCpuAligner::new(
+            1,
+            Scoring::default(),
+            50,
+            Engine::Scalar,
+        ))
+    }
+
+    fn reqs(sizes: &[usize], seed: u64) -> Vec<Vec<ReadPair>> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| PairSet::generate_with_lengths(n, 0.2, 150, 400, seed + i as u64).pairs)
+            .collect()
+    }
+
+    #[test]
+    fn serves_and_coalesces_under_a_slow_start() {
+        let server = Server::start(
+            cpu_backend(),
+            ServeConfig {
+                batch_pairs: 8,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let requests = reqs(&[2, 3, 1, 4, 2], 11);
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|p| server.submit(0, p.clone()))
+            .collect();
+        for (h, pairs) in handles.into_iter().zip(&requests) {
+            let resp = h.recv().expect("request failed");
+            assert_eq!(resp.results.len(), pairs.len());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.batched_pairs, 12);
+        assert_eq!(stats.submitted, 5);
+    }
+
+    #[test]
+    fn empty_request_replies_immediately() {
+        let server = Server::start(cpu_backend(), ServeConfig::default()).unwrap();
+        let resp = server.submit(3, Vec::new()).recv().unwrap();
+        assert!(resp.results.is_empty());
+        assert_eq!(resp.batches, 0);
+        assert_eq!(server.shutdown().completed, 1);
+    }
+
+    #[test]
+    fn over_quota_is_an_immediate_explicit_reply() {
+        let server = Server::start(
+            cpu_backend(),
+            ServeConfig {
+                quota_pairs: 3,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let pairs = reqs(&[4], 5).remove(0);
+        match server.submit(9, pairs).recv() {
+            Err(ServeError::OverQuota {
+                tenant, requested, ..
+            }) => assert_eq!((tenant, requested), (9, 4)),
+            other => panic!("expected OverQuota, got {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert_eq!((stats.over_quota, stats.completed), (1, 0));
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let server = Server::start(cpu_backend(), ServeConfig::default()).unwrap();
+        server.shutdown();
+        let reply = server.submit(0, reqs(&[1], 3).remove(0)).recv();
+        assert_eq!(reply, Err(ServeError::ShuttingDown));
+        assert_eq!(server.stats().rejected_shutdown, 1);
+    }
+}

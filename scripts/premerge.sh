@@ -40,6 +40,13 @@ if [[ $quick -eq 0 ]]; then
   # bit-identical on a real workload and exercises the probe/steal path
   # end to end (full-sweep speedup assertions run in the full binary).
   cargo run --release -q -p logan-bench --bin fleet_scaling -- --quick >/dev/null
+
+  step "serve_load --quick smoke"
+  # The serving harness in smoke mode: open-loop Poisson sweep on the
+  # simulated clock, asserting the service invariants (exactly-one
+  # outcome per arrival, per-tenant quota never exceeded) and that
+  # coalescing beats per-request submission at overload.
+  cargo run --release -q -p logan-bench --bin serve_load -- --quick >/dev/null
 else
   step "cargo clippy (quick: benches skipped)"
   cargo clippy --workspace --lib --bins --tests --examples -- -D warnings
@@ -53,6 +60,14 @@ step "backend-equivalence: fleet/static/single backends diff clean"
 # static multi-GPU, work-stealing fleet — returns bit-identical results,
 # across seeds and worker interleavings (proptest included).
 cargo test -q --test backend_equivalence
+
+step "serve-equivalence: coalesced serving diffs clean + shutdown/fault drills"
+# The serving contract: whatever the coalescer batches or splits — and
+# whichever lane wins each batch — replies are bit-identical to direct
+# per-request alignment; admission refusals are explicit and quota-true;
+# graceful shutdown drains exactly once; a panicking lane fails only its
+# own requests and a fully-dead server fails fast instead of hanging.
+cargo test -q --test serve_equivalence --test serve_shutdown
 
 step "allocation-count: warm AlignWorkspace is allocation-free"
 # The DESIGN.md §7 contract: zero heap allocations per extension once a

@@ -7,12 +7,25 @@
 //!                                             [-k K] [--min-overlap L]
 //!                                             [--engine scalar|simd] [--stream]
 //!                                             [--batch-reads N] [--shards N] [--inflight N]
+//! logan_cli serve                             [-x N] [--backend B] [--gpus N]
+//!                                             [--serve batch=N,queue=N,quota=N]
+//!                                             [--requests N] [--tenants T]
+//!                                             [--clients C] [--seed S]
 //! ```
 //!
 //! `pairs` aligns record *i* of the first file against record *i* of the
 //! second (seed = first shared canonical 17-mer), printing one TSV row
 //! per pair. `overlap` runs the BELLA pipeline on a read set and prints
 //! kept overlaps in a PAF-like TSV.
+//!
+//! `serve` smoke-runs the always-on alignment service: it starts a
+//! [`Server`] over the selected backend, drives it with `--requests`
+//! seeded synthetic requests from `--clients` concurrent client
+//! threads across `--tenants` tenants, prints one TSV row per request
+//! (outcome, batches, score sum), and reports the coalescing and
+//! admission ledger on exit. Latency *measurements* live in the
+//! simulated-time harness (`serve_load` in `logan-bench`), not here —
+//! this proves the daemon end to end.
 //!
 //! `--backend` selects the alignment backend (all bit-identical):
 //! `cpu[:T]` (host pool of T threads), `gpu` (one simulated V100),
@@ -31,16 +44,20 @@ use logan::prelude::*;
 use logan::seq::fasta::{read_fasta, FastaBatches};
 use logan::seq::kmer::KmerIter;
 use logan::seq::readsim::ReadBatch;
+use logan::serve::Reply;
 use std::collections::HashMap;
 use std::fs::File;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--backend B] [--gpus N] \
          [--engine scalar|simd]\n  \
          logan_cli overlap <reads.fa> [-x N] [--backend B] [--gpus N] [-k K] [--min-overlap L] \
-         [--engine scalar|simd] [--stream] [--batch-reads N] [--shards N] [--inflight N]\n\
+         [--engine scalar|simd] [--stream] [--batch-reads N] [--shards N] [--inflight N]\n  \
+         logan_cli serve [-x N] [--backend B] [--gpus N] [--serve batch=N,queue=N,quota=N] \
+         [--requests N] [--tenants T] [--clients C] [--seed S]\n\
          backends: cpu[:T] | gpu | multi:N (default, N from --gpus) | fleet:SPEC \
          (e.g. fleet:2gpu+cpu:4)"
     );
@@ -56,6 +73,11 @@ struct Opts {
     engine: Engine,
     stream: bool,
     budget: PipelineBudget,
+    serve: ServeConfig,
+    requests: usize,
+    tenants: usize,
+    clients: usize,
+    seed: u64,
     positional: Vec<String>,
 }
 
@@ -71,6 +93,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         engine: Engine::from_env(),
         stream: false,
         budget: PipelineBudget::default(),
+        serve: ServeConfig::default(),
+        requests: 32,
+        tenants: 4,
+        clients: 4,
+        seed: 42,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -115,6 +142,29 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--inflight: {e}"))?
             }
+            // Parsed (and so validated) here with the other options: a
+            // degenerate service config is a usage error, not a panic.
+            "--serve" => opts.serve = grab("--serve")?.parse()?,
+            "--requests" => {
+                opts.requests = grab("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--tenants" => {
+                opts.tenants = grab("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?
+            }
+            "--clients" => {
+                opts.clients = grab("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             _ => opts.positional.push(a.clone()),
         }
     }
@@ -126,6 +176,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     }
     if opts.budget.batch_reads == 0 || opts.budget.shards == 0 || opts.budget.inflight_blocks == 0 {
         return Err("--batch-reads/--shards/--inflight must be at least 1".into());
+    }
+    if opts.tenants == 0 || opts.clients == 0 {
+        return Err("--tenants/--clients must be at least 1".into());
     }
     Ok(opts)
 }
@@ -377,6 +430,94 @@ fn cmd_overlap(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Smoke-run the always-on service end to end: seeded synthetic
+/// requests from concurrent client threads through the threaded
+/// [`Server`], one TSV row per request, ledger on stderr. Measurements
+/// belong to `serve_load` (simulated clock); this proves the daemon.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    if !opts.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let backend: Arc<dyn AlignBackend> = Arc::from(build_backend(opts));
+    let name = backend.name();
+    let server = Server::start(backend, opts.serve)?;
+
+    // The synthetic mix: request i carries 1–4 pairs of 150–450 bp
+    // reads for tenant i % --tenants, all derived from --seed.
+    let requests: Vec<(u32, Vec<ReadPair>)> = (0..opts.requests)
+        .map(|i| {
+            let tenant = (i % opts.tenants) as u32;
+            let n = 1 + i % 4;
+            let pairs =
+                PairSet::generate_with_lengths(n, 0.2, 150, 450, opts.seed ^ ((i as u64) << 8))
+                    .pairs;
+            (tenant, pairs)
+        })
+        .collect();
+
+    // --clients concurrent submitters, requests dealt round-robin; each
+    // client submits its whole share before collecting replies, so the
+    // queue actually sees concurrent pressure.
+    let replies: Mutex<Vec<(usize, Reply)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for client in 0..opts.clients {
+            let server = &server;
+            let requests = &requests;
+            let replies = &replies;
+            scope.spawn(move || {
+                let handles: Vec<(usize, logan::serve::ReplyHandle)> = requests
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % opts.clients == client)
+                    .map(|(i, (tenant, pairs))| (i, server.submit(*tenant, pairs.clone())))
+                    .collect();
+                let mut got: Vec<(usize, Reply)> =
+                    handles.into_iter().map(|(i, h)| (i, h.recv())).collect();
+                replies.lock().expect("reply log poisoned").append(&mut got);
+            });
+        }
+    });
+    let stats = server.shutdown();
+
+    let mut replies = replies.into_inner().expect("reply log poisoned");
+    replies.sort_by_key(|(i, _)| *i);
+    println!("#request\ttenant\tpairs\toutcome\tbatches\tscore_sum");
+    for (i, reply) in &replies {
+        let (tenant, pairs) = &requests[*i];
+        match reply {
+            Ok(resp) => {
+                let score_sum: i64 = resp.results.iter().map(|r| r.score as i64).sum();
+                println!(
+                    "{i}\t{tenant}\t{}\tok\t{}\t{score_sum}",
+                    pairs.len(),
+                    resp.batches
+                );
+            }
+            Err(e) => println!("{i}\t{tenant}\t{}\terr:{e}\t0\t0", pairs.len()),
+        }
+    }
+    eprintln!(
+        "served {} requests on {name} with {} clients: {} ok, {} over quota, {} failed; \
+         {} batches ({} pairs, {} coalesced, largest {})",
+        stats.submitted,
+        opts.clients,
+        stats.completed,
+        stats.over_quota,
+        stats.failed,
+        stats.batches,
+        stats.batched_pairs,
+        stats.coalesced_batches,
+        stats.max_batch_pairs
+    );
+    // The exactly-once ledger, checked on every CLI run.
+    if stats.submitted
+        != stats.completed + stats.failed + stats.over_quota + stats.rejected_shutdown
+    {
+        return Err(format!("reply ledger does not balance: {stats:?}"));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -392,6 +533,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "pairs" => cmd_pairs(&opts),
         "overlap" => cmd_overlap(&opts),
+        "serve" => cmd_serve(&opts),
         _ => return usage(),
     };
     match result {

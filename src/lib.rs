@@ -14,7 +14,10 @@
 //!   comparator kernels and CPU platform models;
 //! * [`bella`] — the BELLA many-to-many overlapper;
 //! * [`roofline`] — the instruction roofline with the paper's adapted
-//!   ceiling.
+//!   ceiling;
+//! * [`serve`] — the always-on alignment service: cross-request
+//!   coalescing, per-tenant admission control, graceful drain, and a
+//!   simulated-time latency harness.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@ pub use logan_core as core;
 pub use logan_gpusim as gpusim;
 pub use logan_roofline as roofline;
 pub use logan_seq as seq;
+pub use logan_serve as serve;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -62,4 +66,5 @@ pub mod prelude {
         DatasetPreset, ErrorModel, ErrorProfile, PairSet, ReadPair, ReadSet, ReadSimulator,
         Scoring, Seed, Seq,
     };
+    pub use logan_serve::{ServeConfig, ServeError, Server};
 }

@@ -1,0 +1,270 @@
+//! Differential suite for the serving seam, run as its own premerge
+//! step (`serve-equivalence`): whatever the coalescer does — merging
+//! requests into shared batches, splitting oversized requests across
+//! batches, racing lanes over the queue — a successful reply must be
+//! **bit-identical** to aligning the request's pairs directly on the
+//! same backend. The backends are result-deterministic (pinned by
+//! `backend_equivalence`), so any divergence here is a serving bug:
+//! a misrouted span, a reordered scatter, a lost pair.
+//!
+//! Also home to the admission property tests (ISSUE 6 satellite): under
+//! adversarial quotas and arrival mixes, no tenant's in-flight pairs
+//! ever exceed the quota, and every refusal is an explicit
+//! [`ServeError::OverQuota`] reply — never a silent drop.
+
+use logan::prelude::*;
+use logan::serve::sim::{seeded_requests, simulate, ArrivalProcess, SimConfig, SimOutcome};
+use logan::serve::{Reply, ServeConfig, ServeError, Server};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+fn fleet_2gpu_cpu(x: i32) -> Arc<dyn AlignBackend> {
+    let cfg = LoganConfig::with_x(x);
+    Arc::new(Fleet::new(vec![
+        Box::new(GpuBackend::new(
+            LoganExecutor::new(DeviceSpec::v100(), cfg),
+            1,
+        )),
+        Box::new(GpuBackend::new(
+            LoganExecutor::new(DeviceSpec::v100(), cfg),
+            1,
+        )),
+        Box::new(XDropCpuAligner::new(
+            2,
+            Scoring::default(),
+            x,
+            Engine::from_env(),
+        )),
+    ]))
+}
+
+/// Drive `server`-shaped requests from `clients` concurrent submitter
+/// threads and hand back the replies in request order.
+fn serve_all(
+    backend: Arc<dyn AlignBackend>,
+    cfg: ServeConfig,
+    requests: &[(u32, Vec<ReadPair>)],
+    clients: usize,
+) -> Vec<Reply> {
+    let server = Server::start(backend, cfg).expect("server start");
+    let log: Mutex<Vec<(usize, Reply)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let server = &server;
+            let log = &log;
+            scope.spawn(move || {
+                // Submit the whole share first so the queue sees real
+                // concurrent pressure, then collect.
+                let handles: Vec<_> = requests
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % clients == client)
+                    .map(|(i, (tenant, pairs))| (i, server.submit(*tenant, pairs.clone())))
+                    .collect();
+                let mut got: Vec<(usize, Reply)> =
+                    handles.into_iter().map(|(i, h)| (i, h.recv())).collect();
+                log.lock().expect("log poisoned").append(&mut got);
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.failed + stats.over_quota + stats.rejected_shutdown,
+        "reply ledger does not balance: {stats:?}"
+    );
+    let mut log = log.into_inner().expect("log poisoned");
+    log.sort_by_key(|(i, _)| *i);
+    assert_eq!(log.len(), requests.len(), "a request went unreplied");
+    log.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The tentpole differential: concurrent clients through a tiny-batch
+/// server (maximal coalescing *and* splitting) against direct
+/// per-request `align_block` on the same `fleet:2gpu+cpu` backend.
+#[test]
+fn coalesced_replies_equal_direct_alignment() {
+    let x = 50;
+    let backend = fleet_2gpu_cpu(x);
+    // 1–9 pairs per request around a 4-pair batch cap: most batches
+    // coalesce several requests, several requests split across batches.
+    let requests: Vec<(u32, Vec<ReadPair>)> = (0..24usize)
+        .map(|i| {
+            let n = 1 + (i * 5) % 9;
+            let pairs = PairSet::generate_with_lengths(n, 0.2, 200, 1200, 900 + i as u64).pairs;
+            ((i % 3) as u32, pairs)
+        })
+        .collect();
+    let cfg = ServeConfig {
+        batch_pairs: 4,
+        queue_depth: 6, // small: submitters hit the backpressure path too
+        quota_pairs: 4096,
+        ..ServeConfig::default()
+    };
+    let replies = serve_all(Arc::clone(&backend), cfg, &requests, 4);
+    for ((tenant, pairs), reply) in requests.iter().zip(replies) {
+        let resp = reply.unwrap_or_else(|e| panic!("tenant {tenant} refused: {e}"));
+        let (want, _) = backend.align_block(pairs);
+        assert_eq!(
+            resp.results, want,
+            "coalesced reply diverged from direct alignment"
+        );
+    }
+}
+
+/// Replies are bit-stable across server runs even though lane
+/// interleaving differs every execution.
+#[test]
+fn serving_is_deterministic_across_runs() {
+    let backend = fleet_2gpu_cpu(30);
+    let requests: Vec<(u32, Vec<ReadPair>)> = (0..12usize)
+        .map(|i| {
+            let pairs = PairSet::generate_with_lengths(1 + i % 5, 0.25, 150, 800, i as u64).pairs;
+            ((i % 2) as u32, pairs)
+        })
+        .collect();
+    let cfg = ServeConfig {
+        batch_pairs: 3,
+        ..ServeConfig::default()
+    };
+    let first = serve_all(Arc::clone(&backend), cfg, &requests, 3);
+    for _ in 0..2 {
+        let again = serve_all(Arc::clone(&backend), cfg, &requests, 3);
+        for (a, b) in first.iter().zip(again) {
+            assert_eq!(
+                a.as_ref().expect("first run refused").results,
+                b.expect("rerun refused").results,
+                "rerun diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Across random batch caps, queue depths, tenant mixes, request
+    /// sizes and client interleavings: every admitted request's reply
+    /// equals direct alignment, bit for bit.
+    #[test]
+    fn server_matches_direct_across_shapes(
+        seed in 0u64..1_000_000,
+        batch_pairs in 1usize..12,
+        queue_depth in 1usize..10,
+        clients in 1usize..5,
+        tenants in 1u32..4,
+        n_requests in 1usize..16,
+    ) {
+        let backend = fleet_2gpu_cpu(40);
+        let requests: Vec<(u32, Vec<ReadPair>)> = (0..n_requests)
+            .map(|i| {
+                let n = 1 + (seed as usize + i * 3) % 7;
+                let pairs = PairSet::generate_with_lengths(
+                    n, 0.2, 150, 900, seed ^ ((i as u64) << 16),
+                ).pairs;
+                ((i as u32) % tenants, pairs)
+            })
+            .collect();
+        let cfg = ServeConfig {
+            batch_pairs,
+            queue_depth,
+            quota_pairs: 4096, // admission out of the way: this property is about batching
+            ..ServeConfig::default()
+        };
+        let replies = serve_all(Arc::clone(&backend), cfg, &requests, clients);
+        for ((_, pairs), reply) in requests.iter().zip(replies) {
+            let resp = reply.expect("admission-unconstrained request refused");
+            let (want, _) = backend.align_block(pairs);
+            prop_assert_eq!(resp.results, want);
+        }
+    }
+
+    /// The admission property, on the threaded server: with a tight
+    /// quota and concurrent clients, every request resolves to exactly
+    /// one reply — Ok or an explicit `OverQuota` naming the tenant and
+    /// the arithmetic — and the refusal arithmetic is consistent.
+    #[test]
+    fn threaded_admission_refusals_are_explicit_and_consistent(
+        seed in 0u64..1_000_000,
+        quota in 1usize..8,
+        clients in 1usize..4,
+    ) {
+        let backend: Arc<dyn AlignBackend> = Arc::new(XDropCpuAligner::new(
+            1, Scoring::default(), 30, Engine::Scalar,
+        ));
+        let requests: Vec<(u32, Vec<ReadPair>)> = (0..10usize)
+            .map(|i| {
+                let n = 1 + (seed as usize + i) % 5;
+                let pairs = PairSet::generate_with_lengths(
+                    n, 0.2, 120, 300, seed ^ (i as u64),
+                ).pairs;
+                ((i % 2) as u32, pairs)
+            })
+            .collect();
+        let cfg = ServeConfig {
+            batch_pairs: 2,
+            queue_depth: 4,
+            quota_pairs: quota,
+            ..ServeConfig::default()
+        };
+        let replies = serve_all(backend, cfg, &requests, clients);
+        for ((tenant, pairs), reply) in requests.iter().zip(replies) {
+            match reply {
+                Ok(resp) => prop_assert_eq!(resp.results.len(), pairs.len()),
+                Err(ServeError::OverQuota { tenant: t, quota: q, in_flight, requested }) => {
+                    prop_assert_eq!(t, *tenant);
+                    prop_assert_eq!(q, quota);
+                    prop_assert_eq!(requested, pairs.len());
+                    prop_assert!(in_flight + requested > q, "refusal arithmetic inconsistent");
+                }
+                Err(other) => prop_assert!(false, "unexpected refusal: {other}"),
+            }
+        }
+    }
+
+    /// The admission property, on the open-loop harness in assert mode
+    /// (`simulate` panics internally on any invariant breach): across
+    /// random quotas, rates and burstiness, no tenant's in-flight pairs
+    /// ever exceed the quota, refusals are explicit outcomes, and the
+    /// outcome ledger balances.
+    #[test]
+    fn simulated_admission_never_exceeds_quota(
+        seed in 0u64..1_000_000,
+        quota in 1usize..24,
+        rate_rps in 20u32..2000,
+        burst in 1usize..9,
+        coalesce_bit in 0u32..2,
+    ) {
+        let (rate, coalesce) = (rate_rps as f64, coalesce_bit == 1);
+        let backend = LoganExecutor::new(DeviceSpec::tiny(), LoganConfig::with_x(30));
+        let arrivals = if burst == 1 {
+            ArrivalProcess::Poisson { rate_rps: rate }
+        } else {
+            ArrivalProcess::Bursty { rate_rps: rate, burst }
+        };
+        let requests = seeded_requests(40, 3, 4, &arrivals, seed);
+        let cfg = SimConfig {
+            serve: ServeConfig {
+                batch_pairs: 8,
+                queue_depth: 6,
+                quota_pairs: quota,
+                ..ServeConfig::default()
+            },
+            coalesce,
+        };
+        let rep = simulate(&backend, &cfg, &requests);
+        prop_assert!(rep.peak_tenant_in_flight <= quota);
+        prop_assert_eq!(rep.completed + rep.over_quota + rep.shed, requests.len());
+        // A request wider than the whole quota can never be served
+        // (shed at a full queue is the only other legal outcome — the
+        // queue bound is checked before admission).
+        for (req, outcome) in requests.iter().zip(&rep.outcomes) {
+            if req.pairs.len() > quota {
+                prop_assert!(
+                    !matches!(outcome, SimOutcome::Completed { .. }),
+                    "over-wide request served: {} pairs vs quota {}", req.pairs.len(), quota
+                );
+            }
+        }
+    }
+}

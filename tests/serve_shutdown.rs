@@ -1,0 +1,277 @@
+//! Deterministic shutdown and fault-injection suite for the serving
+//! daemon, run under the `serve-equivalence` premerge step (ISSUE 6
+//! satellite):
+//!
+//! * graceful shutdown answers every queued *and* in-flight request
+//!   exactly once — drained, not dropped;
+//! * a backend lane that panics retires itself (extending PR 5's
+//!   panic-safe worker retirement) and fails only the requests whose
+//!   pairs it was carrying — everything else completes;
+//! * when *every* lane has retired, queued requests fail with an
+//!   explicit error and later submissions are refused immediately —
+//!   nothing ever hangs on a dead server.
+//!
+//! The fault injector is a poison-pair backend: any [`ReadPair`] whose
+//! `template_len` equals [`POISON`] panics the lane that aligns it, so
+//! tests decide *which* request dies while the lane race stays free.
+
+use logan::prelude::*;
+use logan::serve::{Reply, ReplyHandle, ServeConfig, ServeError, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sentinel `template_len` that detonates [`PoisonBackend`].
+const POISON: usize = 777_777;
+
+/// A multi-lane CPU backend that panics on poison pairs and can dawdle
+/// (to let queues build) — the deterministic fault injector.
+struct PoisonBackend {
+    inner: XDropCpuAligner,
+    lanes: usize,
+    delay: Duration,
+}
+
+impl PoisonBackend {
+    fn new(lanes: usize, delay: Duration) -> PoisonBackend {
+        PoisonBackend {
+            inner: XDropCpuAligner::new(1, Scoring::default(), 30, Engine::Scalar),
+            lanes,
+            delay,
+        }
+    }
+}
+
+impl AlignBackend for PoisonBackend {
+    fn name(&self) -> String {
+        format!("poison:{}", self.lanes)
+    }
+    fn throughput_hint(&self) -> f64 {
+        1.0
+    }
+    fn max_block(&self) -> usize {
+        usize::MAX
+    }
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+    fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        for p in block {
+            assert!(p.template_len != POISON, "poison pair aligned");
+        }
+        self.inner.align_block(block)
+    }
+}
+
+fn good_requests(n: usize, pairs_each: usize, seed: u64) -> Vec<Vec<ReadPair>> {
+    (0..n)
+        .map(|i| PairSet::generate_with_lengths(pairs_each, 0.2, 120, 300, seed + i as u64).pairs)
+        .collect()
+}
+
+fn poison_request(seed: u64) -> Vec<ReadPair> {
+    let mut pairs = PairSet::generate_with_lengths(1, 0.2, 120, 300, seed).pairs;
+    pairs[0].template_len = POISON;
+    pairs
+}
+
+/// Graceful shutdown is a drain: every request admitted before
+/// `shutdown()` — still queued or mid-batch — gets its one successful
+/// reply, and the ledger accounts for each exactly once.
+#[test]
+fn shutdown_drains_queued_and_in_flight_exactly_once() {
+    let backend = Arc::new(PoisonBackend::new(2, Duration::from_millis(2)));
+    let server = Server::start(
+        backend,
+        ServeConfig {
+            batch_pairs: 2, // many small batches: shutdown lands mid-queue
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let requests = good_requests(12, 3, 77);
+    let handles: Vec<ReplyHandle> = requests
+        .iter()
+        .map(|pairs| server.submit(0, pairs.clone()))
+        .collect();
+    // Shut down while the queue is still full of unserved batches.
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 12);
+    assert_eq!(stats.completed, 12, "a drained request was dropped");
+    assert_eq!(stats.failed + stats.rejected_shutdown, 0);
+    for (h, pairs) in handles.into_iter().zip(&requests) {
+        let resp = h.recv().expect("drained request must succeed");
+        assert_eq!(resp.results.len(), pairs.len());
+    }
+    // Idempotent: a second shutdown returns the same final ledger.
+    assert_eq!(server.shutdown(), stats);
+}
+
+/// Dropping the server without calling `shutdown()` still drains: the
+/// `Drop` impl runs the same path, so abandoned handles resolve.
+#[test]
+fn dropping_the_server_still_drains() {
+    let requests = good_requests(6, 2, 5);
+    let handles: Vec<ReplyHandle> = {
+        let backend = Arc::new(PoisonBackend::new(2, Duration::from_millis(1)));
+        let server = Server::start(
+            backend,
+            ServeConfig {
+                batch_pairs: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        requests
+            .iter()
+            .map(|pairs| server.submit(1, pairs.clone()))
+            .collect()
+        // `server` dropped here with work still queued.
+    };
+    for (h, pairs) in handles.into_iter().zip(&requests) {
+        assert_eq!(
+            h.recv().expect("drop must drain").results.len(),
+            pairs.len()
+        );
+    }
+}
+
+/// A panicking lane fails *only* the requests in its batch: the poison
+/// request gets an explicit `BackendFailed`, every good request —
+/// before and after the panic — completes on the surviving lane, and
+/// the server keeps serving new work.
+#[test]
+fn lane_panic_fails_only_the_affected_request() {
+    let backend = Arc::new(PoisonBackend::new(2, Duration::ZERO));
+    let server = Server::start(
+        backend,
+        ServeConfig {
+            batch_pairs: 1, // one request per batch: the blast radius is one
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let before = good_requests(4, 1, 11);
+    let h_before: Vec<ReplyHandle> = before
+        .iter()
+        .map(|pairs| server.submit(0, pairs.clone()))
+        .collect();
+    let h_poison = server.submit(0, poison_request(99));
+    let after = good_requests(4, 1, 22);
+    let h_after: Vec<ReplyHandle> = after
+        .iter()
+        .map(|pairs| server.submit(0, pairs.clone()))
+        .collect();
+
+    match h_poison.recv() {
+        Err(ServeError::BackendFailed { detail }) => {
+            assert!(detail.contains("poison"), "unexpected detail: {detail}")
+        }
+        other => panic!("poison request must fail with BackendFailed, got {other:?}"),
+    }
+    for h in h_before.into_iter().chain(h_after) {
+        assert!(h.recv().is_ok(), "an unaffected request was failed");
+    }
+    // The server is degraded (one lane retired) but still serving.
+    let late = server.submit(0, good_requests(1, 2, 33).remove(0));
+    assert_eq!(
+        late.recv()
+            .expect("degraded server must serve")
+            .results
+            .len(),
+        2
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.lanes_retired, 1);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 9);
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.failed + stats.over_quota + stats.rejected_shutdown
+    );
+}
+
+/// When every lane has retired, nothing hangs: queued requests fail
+/// with an explicit error naming the cause, and later submissions are
+/// refused immediately.
+#[test]
+fn all_lanes_dead_fails_fast_instead_of_hanging() {
+    let backend = Arc::new(PoisonBackend::new(2, Duration::ZERO));
+    let server = Server::start(
+        backend,
+        ServeConfig {
+            batch_pairs: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    // Two poisons, two lanes: each panic retires one lane, so after both
+    // resolve no lane survives (a retired lane takes no more batches).
+    let poisons = [
+        server.submit(0, poison_request(1)),
+        server.submit(0, poison_request(2)),
+    ];
+    let goods: Vec<ReplyHandle> = good_requests(5, 1, 44)
+        .into_iter()
+        .map(|pairs| server.submit(0, pairs))
+        .collect();
+    for h in poisons {
+        assert!(matches!(h.recv(), Err(ServeError::BackendFailed { .. })));
+    }
+    // Every good request resolves — served before the collapse or failed
+    // by the orphan sweep — but none hangs.
+    let mut outcomes: Vec<Reply> = goods.into_iter().map(|h| h.recv()).collect();
+    for r in &outcomes {
+        if let Err(e) = r {
+            assert!(
+                matches!(e, ServeError::BackendFailed { .. }),
+                "orphans must fail with BackendFailed, got {e}"
+            );
+        }
+    }
+    // A fresh submission after the collapse is refused immediately.
+    outcomes.push(server.submit(0, good_requests(1, 1, 55).remove(0)).recv());
+    match outcomes.last().unwrap() {
+        Err(ServeError::BackendFailed { detail }) => {
+            assert!(detail.contains("retired"), "unexpected detail: {detail}")
+        }
+        Ok(_) => panic!("a dead server served a request"),
+        Err(e) => panic!("unexpected refusal: {e}"),
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.lanes_retired, 2);
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.failed + stats.over_quota + stats.rejected_shutdown,
+        "ledger must balance after total collapse: {stats:?}"
+    );
+}
+
+/// Submissions racing shutdown: admitted-before-shutdown work drains,
+/// everything after gets `ShuttingDown` — and the ledger still balances.
+#[test]
+fn submissions_after_shutdown_are_refused_not_dropped() {
+    let backend = Arc::new(PoisonBackend::new(1, Duration::ZERO));
+    let server = Server::start(backend, ServeConfig::default()).unwrap();
+    let early = server.submit(0, good_requests(1, 2, 66).remove(0));
+    let stats_mid = server.shutdown();
+    let late = server.submit(0, good_requests(1, 1, 67).remove(0));
+    assert_eq!(
+        early
+            .recv()
+            .expect("pre-shutdown work drains")
+            .results
+            .len(),
+        2
+    );
+    assert_eq!(late.recv(), Err(ServeError::ShuttingDown));
+    assert_eq!(stats_mid.completed, 1);
+    let stats = server.stats();
+    assert_eq!(stats.rejected_shutdown, 1);
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.failed + stats.over_quota + stats.rejected_shutdown
+    );
+}
