@@ -17,7 +17,7 @@
 
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::prune::ReliableBounds;
-use logan_seq::{KmerIter, Seq};
+use logan_seq::{CanonicalKmerIter, Seq};
 use rayon::prelude::*;
 
 /// Count canonical k-mers over all reads. Multiple occurrences within
@@ -30,8 +30,8 @@ pub fn count_kmers(reads: &[Seq], k: usize) -> FxHashMap<u64, u32> {
     let total: usize = reads.iter().map(|r| r.len()).sum();
     counts.reserve(total.min(1 << 24));
     for read in reads {
-        for (_, km) in KmerIter::new(read, k) {
-            *counts.entry(km.canonical().code).or_insert(0) += 1;
+        for (_, km, _) in CanonicalKmerIter::new(read, k) {
+            *counts.entry(km.code).or_insert(0) += 1;
         }
     }
     counts
@@ -60,10 +60,9 @@ fn count_shard(reads: &[Seq], k: usize, shard: usize, shards: usize) -> FxHashMa
             let hi = (lo + CHUNK_READS).min(reads.len());
             let mut codes = Vec::new();
             for read in &reads[lo..hi] {
-                for (_, km) in KmerIter::new(read, k) {
-                    let code = km.canonical().code;
-                    if shard_of(code, shards) == shard {
-                        codes.push(code);
+                for (_, km, _) in CanonicalKmerIter::new(read, k) {
+                    if shard_of(km.code, shards) == shard {
+                        codes.push(km.code);
                     }
                 }
             }

@@ -18,6 +18,11 @@
 //!    nonzero of `A·Aᵀ` is a candidate pair with shared-k-mer witnesses;
 //! 4. **binning** ([`binning`]) — witness positions estimate the overlap
 //!    and pick the seed to extend from;
+//!    *or, behind [`pipeline::Seeder::Minimizer`],* stages 3–4 are
+//!    replaced by **minimizer seeding + colinear chaining** ([`chain`]):
+//!    (w,k) sketches, anchor chaining with gap costs, and admission of
+//!    only the pairs whose best chain supports the `min_overlap` floor —
+//!    minimap2's recipe for an order of magnitude fewer candidates;
 //! 5. **X-drop alignment** — through any [`logan_core::AlignBackend`]
 //!    trait object: the CPU batch aligner (SeqAn-style), LOGAN on one
 //!    or many simulated GPUs, or a work-stealing heterogeneous fleet;
@@ -39,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod binning;
+pub mod chain;
 pub mod fxhash;
 pub mod kmer_count;
 pub mod matrix;
@@ -48,6 +54,7 @@ pub mod prune;
 pub mod spgemm;
 pub mod threshold;
 
+pub use chain::{ChainConfig, ChainedCandidate, MinimizerIndex};
 pub use logan_core::{AlignBackend, BackendReport};
 pub use metrics::OverlapMetrics;
-pub use pipeline::{BellaConfig, BellaOutput, BellaPipeline, Overlap, PipelineBudget};
+pub use pipeline::{BellaConfig, BellaOutput, BellaPipeline, Overlap, PipelineBudget, Seeder};

@@ -6,7 +6,7 @@
 //! which is what the binning stage needs to estimate offsets.
 
 use crate::fxhash::{FxHashMap, FxHashSet};
-use logan_seq::{KmerIter, Seq};
+use logan_seq::{CanonicalKmerIter, Seq};
 
 /// CSR matrix of reads over reliable k-mer columns.
 #[derive(Debug, Clone)]
@@ -106,8 +106,8 @@ impl<'a> KmerMatrixBuilder<'a> {
     pub fn push_batch(&mut self, reads: &[Seq]) {
         for read in reads {
             self.seen_in_read.clear();
-            for (p, km) in KmerIter::new(read, self.k) {
-                let code = km.canonical().code;
+            for (p, km, _) in CanonicalKmerIter::new(read, self.k) {
+                let code = km.code;
                 if !self.reliable.contains(&code) {
                     continue;
                 }

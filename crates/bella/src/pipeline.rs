@@ -24,6 +24,7 @@
 //!   reassembled in order, so lane interleaving is unobservable.
 
 use crate::binning::choose_seed;
+use crate::chain::{chain_candidates, chain_tiles, ChainConfig, ChainedCandidate, MinimizerIndex};
 use crate::kmer_count::{count_kmers, count_reliable_sharded};
 use crate::matrix::{KmerMatrix, KmerMatrixBuilder};
 use crate::metrics::OverlapMetrics;
@@ -80,6 +81,20 @@ impl PipelineBudget {
     }
 }
 
+/// Which candidate generator feeds the X-drop extender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Seeder {
+    /// BELLA's SpGEMM over all reliable k-mers: every pair sharing at
+    /// least one reliable k-mer is aligned (binning picks the seed).
+    #[default]
+    SpGemm,
+    /// Minimap2-style (w,k) minimizer sketches + colinear chaining
+    /// ([`crate::chain`]): only pairs whose best chain supports the
+    /// `min_overlap` floor are aligned — a strict subset of the SpGEMM
+    /// candidates at a fraction of the alignment work.
+    Minimizer,
+}
+
 /// Pipeline configuration (BELLA defaults with the paper's parameters).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BellaConfig {
@@ -105,6 +120,11 @@ pub struct BellaConfig {
     pub reliable_override: Option<ReliableBounds>,
     /// Streaming budget (ignored by the monolithic [`BellaPipeline::run`]).
     pub budget: PipelineBudget,
+    /// Candidate generator: SpGEMM (BELLA) or minimizer chaining.
+    pub seeder: Seeder,
+    /// Minimizer window size `w` (used by [`Seeder::Minimizer`] only;
+    /// the sketch keeps ~`2/(w+1)` of the k-mer positions).
+    pub minimizer_w: usize,
 }
 
 impl BellaConfig {
@@ -121,6 +141,8 @@ impl BellaConfig {
             min_overlap: 2000,
             reliable_override: None,
             budget: PipelineBudget::default(),
+            seeder: Seeder::SpGemm,
+            minimizer_w: 8,
         }
     }
 }
@@ -204,9 +226,11 @@ impl BellaPipeline {
         BellaPipeline { config }
     }
 
-    /// Stages 1–4: k-mer counting, pruning, SpGEMM and binning. Returns
-    /// the to-be-aligned pairs (with seeds and overlap estimates) plus
-    /// partially filled stats.
+    /// Stages 1–4: k-mer counting, pruning, then candidate generation
+    /// under the configured [`Seeder`] — SpGEMM + binning, or minimizer
+    /// sketching + chaining (where only pairs whose best chain supports
+    /// `min_overlap` are admitted). Returns the to-be-aligned pairs
+    /// (with seeds and overlap estimates) plus partially filled stats.
     pub fn candidates(
         &self,
         reads: &[Seq],
@@ -217,29 +241,55 @@ impl BellaPipeline {
             .reliable_override
             .unwrap_or_else(|| reliable_bounds(cfg.depth, cfg.error_rate, cfg.k, cfg.tail));
         let reliable = reliable_kmers(&counts, bounds);
-        let matrix = KmerMatrix::build(reads, cfg.k, &reliable);
-        let cands = spgemm_candidates(&matrix);
 
-        let mut pairs = Vec::with_capacity(cands.len());
-        let mut meta = Vec::with_capacity(cands.len());
-        for c in &cands {
-            let (r1, r2) = (c.r1 as usize, c.r2 as usize);
-            let (seed, est) = choose_seed(reads[r1].len(), reads[r2].len(), c, cfg.k);
-            pairs.push(ReadPair {
-                query: reads[r1].clone(),
-                target: reads[r2].clone(),
-                seed,
-                template_len: est,
-            });
-            meta.push((r1, r2, est));
+        let mut pairs = Vec::new();
+        let mut meta = Vec::new();
+        let nnz;
+        match cfg.seeder {
+            Seeder::SpGemm => {
+                let matrix = KmerMatrix::build(reads, cfg.k, &reliable);
+                nnz = matrix.nnz();
+                let cands = spgemm_candidates(&matrix);
+                pairs.reserve(cands.len());
+                meta.reserve(cands.len());
+                for c in &cands {
+                    let (r1, r2) = (c.r1 as usize, c.r2 as usize);
+                    let (seed, est) = choose_seed(reads[r1].len(), reads[r2].len(), c, cfg.k);
+                    pairs.push(ReadPair {
+                        query: reads[r1].clone(),
+                        target: reads[r2].clone(),
+                        seed,
+                        template_len: est,
+                    });
+                    meta.push((r1, r2, est));
+                }
+            }
+            Seeder::Minimizer => {
+                let mut index = MinimizerIndex::new(cfg.minimizer_w, cfg.k);
+                index.push_batch(reads, &reliable);
+                nnz = index.nnz();
+                for c in chain_candidates(&index, ChainConfig::default()) {
+                    if c.est < cfg.min_overlap {
+                        continue; // chain geometry rules the pair out
+                    }
+                    let (r1, r2) = (c.r1 as usize, c.r2 as usize);
+                    pairs.push(ReadPair {
+                        query: reads[r1].clone(),
+                        target: reads[r2].clone(),
+                        seed: c.seed,
+                        template_len: c.est,
+                    });
+                    meta.push((r1, r2, c.est));
+                }
+            }
         }
         let stats = StageStats {
             reads: reads.len(),
             distinct_kmers: counts.len(),
             reliable_kmers: reliable.len(),
             bounds,
-            matrix_nnz: matrix.nnz(),
-            candidates: cands.len(),
+            matrix_nnz: nnz,
+            candidates: meta.len(),
             kept: 0,
             total_cells: 0,
         };
@@ -357,19 +407,36 @@ impl BellaPipeline {
             .unwrap_or_else(|| reliable_bounds(cfg.depth, cfg.error_rate, cfg.k, cfg.tail));
         let (distinct, reliable) = count_reliable_sharded(&reads, cfg.k, budget.shards, bounds);
 
-        // Stage 3: incremental index construction.
-        let mut builder = KmerMatrixBuilder::new(cfg.k, &reliable);
-        for chunk in reads.chunks(budget.batch_reads) {
-            builder.push_batch(chunk);
-        }
-        let matrix = builder.finish();
+        // Stage 3: incremental index construction — the CSR k-mer
+        // matrix or the minimizer sketch index, per the configured
+        // seeder. Both builders are batching-invariant, so any chunking
+        // equals the monolithic one-shot build.
+        let index = match cfg.seeder {
+            Seeder::SpGemm => {
+                let mut builder = KmerMatrixBuilder::new(cfg.k, &reliable);
+                for chunk in reads.chunks(budget.batch_reads) {
+                    builder.push_batch(chunk);
+                }
+                SeedIndex::SpGemm(builder.finish())
+            }
+            Seeder::Minimizer => {
+                let mut index = MinimizerIndex::new(cfg.minimizer_w, cfg.k);
+                for chunk in reads.chunks(budget.batch_reads) {
+                    index.push_batch(chunk, &reliable);
+                }
+                SeedIndex::Minimizer(index)
+            }
+        };
 
         let mut stats = StageStats {
             reads: reads.len(),
             distinct_kmers: distinct,
             reliable_kmers: reliable.len(),
             bounds,
-            matrix_nnz: matrix.nnz(),
+            matrix_nnz: match &index {
+                SeedIndex::SpGemm(m) => m.nnz(),
+                SeedIndex::Minimizer(i) => i.nnz(),
+            },
             candidates: 0,
             kept: 0,
             total_cells: 0,
@@ -385,19 +452,43 @@ impl BellaPipeline {
         // gone and a producer blocked in `send` gets an Err instead of
         // deadlocking the scope join.
         let rx = Arc::new(Mutex::new(rx));
-        let (reads_ref, matrix_ref) = (&reads, &matrix);
+        let (reads_ref, index_ref) = (&reads, &index);
         let k = cfg.k;
+        let min_overlap = cfg.min_overlap;
         let mut done: Vec<(usize, AlignedBlock)> = Vec::new();
         let mut lane_reports: Vec<BackendReport> = Vec::new();
         std::thread::scope(|scope| {
             scope.spawn(move || {
-                for (seq_no, tile) in spgemm_tiles(matrix_ref, budget.batch_reads)
-                    .filter(|t| !t.is_empty())
-                    .enumerate()
-                {
-                    let block = CandidateBlock::build(&tile, reads_ref, k);
-                    if tx.send((seq_no, block)).is_err() {
-                        return; // all consumers gone; stop producing
+                match index_ref {
+                    SeedIndex::SpGemm(matrix) => {
+                        for (seq_no, tile) in spgemm_tiles(matrix, budget.batch_reads)
+                            .filter(|t| !t.is_empty())
+                            .enumerate()
+                        {
+                            let block = CandidateBlock::build(&tile, reads_ref, k);
+                            if tx.send((seq_no, block)).is_err() {
+                                return; // all consumers gone; stop producing
+                            }
+                        }
+                    }
+                    SeedIndex::Minimizer(mindex) => {
+                        // Tiles whose every candidate fails the
+                        // min_overlap admission shrink to empty blocks
+                        // and are skipped, mirroring the empty-tile
+                        // filter above; the per-candidate filter equals
+                        // the monolithic path's by construction.
+                        for (seq_no, block) in
+                            chain_tiles(mindex, budget.batch_reads, ChainConfig::default())
+                                .map(|tile| {
+                                    CandidateBlock::from_chained(&tile, reads_ref, min_overlap)
+                                })
+                                .filter(|b| !b.meta.is_empty())
+                                .enumerate()
+                        {
+                            if tx.send((seq_no, block)).is_err() {
+                                return;
+                            }
+                        }
                     }
                 }
                 // tx drops here, closing the channel.
@@ -521,7 +612,42 @@ struct CandidateBlock {
     pairs: Vec<ReadPair>,
 }
 
+/// The seeder-specific candidate index of the streaming pipeline: the
+/// CSR reads × k-mers matrix (SpGEMM path) or the minimizer sketch
+/// index (chaining path). Built once in stage 3, walked tile by tile by
+/// the stage-4 producer.
+enum SeedIndex {
+    SpGemm(KmerMatrix),
+    Minimizer(MinimizerIndex),
+}
+
 impl CandidateBlock {
+    /// Block from chained candidates, admitting only pairs whose chain
+    /// supports at least `min_overlap` — the minimizer path's
+    /// candidate-volume win over the align-everything SpGEMM path.
+    fn from_chained(
+        tile: &[ChainedCandidate],
+        reads: &[Seq],
+        min_overlap: usize,
+    ) -> CandidateBlock {
+        let mut meta = Vec::new();
+        let mut pairs = Vec::new();
+        for c in tile {
+            if c.est < min_overlap {
+                continue;
+            }
+            let (r1, r2) = (c.r1 as usize, c.r2 as usize);
+            pairs.push(ReadPair {
+                query: reads[r1].clone(),
+                target: reads[r2].clone(),
+                seed: c.seed,
+                template_len: c.est,
+            });
+            meta.push((r1, r2, c.est));
+        }
+        CandidateBlock { meta, pairs }
+    }
+
     fn build(tile: &[CandidatePair], reads: &[Seq], k: usize) -> CandidateBlock {
         let mut meta = Vec::with_capacity(tile.len());
         let mut pairs = Vec::with_capacity(tile.len());
@@ -764,6 +890,66 @@ mod tests {
                 assert_eq!(stream.stats, mono.stats, "stats must match ({budget:?})");
                 assert_eq!(metrics, mono_metrics);
             }
+        }
+    }
+
+    #[test]
+    fn minimizer_seeder_finds_true_overlaps() {
+        let rs = small_readset();
+        let mut cfg = test_config(50);
+        cfg.seeder = Seeder::Minimizer;
+        let pipeline = BellaPipeline::new(cfg);
+        let aligner = cpu_backend(4, 50);
+        let (out, _) = pipeline.run_on_readset(&rs, &aligner, 700);
+        assert!(out.stats.candidates > 0, "chaining must admit candidates");
+        assert!(out.stats.kept > 0);
+        // Every admitted pair carries a chain-supported estimate.
+        for o in &out.overlaps {
+            assert!(o.est_overlap >= 700);
+            assert!(o.seed.qpos + o.seed.len <= rs.reads[o.r1].seq.len());
+            assert!(o.seed.tpos + o.seed.len <= rs.reads[o.r2].seq.len());
+        }
+        // The sketch admits far fewer pairs than the SpGEMM path...
+        let spg = BellaPipeline::new(test_config(50));
+        let (spg_out, spg_metrics) = spg.run_on_readset(&rs, &aligner, 700);
+        assert!(out.stats.candidates < spg_out.stats.candidates);
+        // ...at comparable recall.
+        let metrics = out.metrics(&rs.true_overlaps(700));
+        assert!(
+            metrics.recall >= 0.90 * spg_metrics.recall,
+            "minimizer recall {:.3} vs spgemm {:.3}",
+            metrics.recall,
+            spg_metrics.recall
+        );
+    }
+
+    #[test]
+    fn minimizer_streaming_is_bit_identical_to_monolithic() {
+        let rs = small_readset();
+        let aligner = cpu_backend(4, 50);
+        let mut base = test_config(50);
+        base.seeder = Seeder::Minimizer;
+        let (mono, mono_metrics) = BellaPipeline::new(base).run_on_readset(&rs, &aligner, 700);
+        for budget in [
+            PipelineBudget::default(),
+            PipelineBudget {
+                batch_reads: 1,
+                shards: 1,
+                inflight_blocks: 1,
+            },
+            PipelineBudget {
+                batch_reads: 7,
+                shards: 13,
+                inflight_blocks: 4,
+            },
+        ] {
+            let mut cfg = base;
+            cfg.budget = budget;
+            let pipeline = BellaPipeline::new(cfg);
+            let (stream, metrics) = pipeline.run_streaming_on_readset(&rs, &aligner, 700);
+            assert_eq!(stream.overlaps, mono.overlaps, "({budget:?})");
+            assert_eq!(stream.stats, mono.stats, "({budget:?})");
+            assert_eq!(metrics, mono_metrics);
         }
     }
 

@@ -1,0 +1,228 @@
+//! `minimizer_bench` — recall/cost of the minimizer + chaining seeder
+//! against the SpGEMM path (ISSUE 7's tentpole numbers; not a paper
+//! artifact).
+//!
+//! On a seeded `readsim` data set with ground truth, both seeders run
+//! the full BELLA pipeline at the default `min_overlap` (2000 bp); the
+//! sweep varies the sketch parameters (w,k) and records, per
+//! configuration: candidate pairs aligned, DP cells spent, and
+//! recall/precision against the simulator's true overlaps. The SpGEMM
+//! path aligns every pair sharing one reliable k-mer; the minimizer
+//! path aligns only pairs whose best colinear chain supports the
+//! `min_overlap` floor — the "fewer, better seeds" claim, quantified.
+//!
+//! Asserted at the bottom (the PR's acceptance bar): at the default
+//! (w=8, k=17), the minimizer seeder reaches ≥ 95% of the SpGEMM
+//! path's recall while aligning ≤ 50% of its candidate pairs.
+//!
+//! ```sh
+//! cargo run --release -p logan-bench --bin minimizer_bench            # full
+//! cargo run --release -p logan-bench --bin minimizer_bench -- --quick # smoke
+//! ```
+//!
+//! Results land in `results/minimizer_bench.json` (or
+//! `LOGAN_RESULTS_DIR`).
+
+use logan_align::{Engine, XDropCpuAligner};
+use logan_bella::{BellaConfig, BellaPipeline, Seeder};
+use logan_bench::{heading, write_json, BenchScale, Table};
+use logan_seq::readsim::{ReadSet, ReadSimulator};
+use logan_seq::{ErrorProfile, Scoring};
+use serde::Serialize;
+
+const X: i32 = 50;
+const MIN_OVERLAP: usize = 2000;
+const DEFAULT_W: usize = 8;
+const DEFAULT_K: usize = 17;
+
+#[derive(Serialize, Clone)]
+struct Row {
+    seeder: String,
+    w: usize,
+    k: usize,
+    candidates: usize,
+    kept: usize,
+    aligned_cells: u64,
+    recall: f64,
+    precision: f64,
+    f1: f64,
+    /// Candidates relative to the SpGEMM baseline at the same k.
+    candidate_ratio: f64,
+    /// Recall relative to the SpGEMM baseline at the same k.
+    recall_ratio: f64,
+}
+
+fn dataset(quick: bool, seed: u64) -> ReadSet {
+    // Reads average 3.5 kb so the 2 kb overlap floor sits at a
+    // realistic ~57% of the read length; 10% error is the error regime
+    // the in-repo pipeline tests run at (k=17 anchors survive at
+    // usable density).
+    let genome_len = if quick { 40_000 } else { 100_000 };
+    let sim = ReadSimulator {
+        read_len: (2_500, 4_500),
+        errors: ErrorProfile::pacbio(0.10),
+        ..ReadSimulator::uniform(genome_len, 10.0)
+    };
+    sim.generate(seed)
+}
+
+fn run(rs: &ReadSet, seeder: Seeder, w: usize, k: usize) -> (usize, usize, u64, f64, f64, f64) {
+    let cfg = BellaConfig {
+        k,
+        min_overlap: MIN_OVERLAP,
+        seeder,
+        minimizer_w: w,
+        ..BellaConfig::with_x(X)
+    };
+    let backend = XDropCpuAligner::new(4, Scoring::default(), X, Engine::from_env());
+    let (out, metrics) = BellaPipeline::new(cfg).run_on_readset(rs, &backend, MIN_OVERLAP);
+    (
+        out.stats.candidates,
+        out.stats.kept,
+        out.stats.total_cells,
+        metrics.recall,
+        metrics.precision,
+        metrics.f1(),
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = BenchScale::from_env();
+    let rs = dataset(quick, scale.seed);
+    let truth = rs.true_overlaps(MIN_OVERLAP).len();
+    eprintln!(
+        "[minimizer_bench] {} reads, {} true overlaps >= {} bp{}",
+        rs.reads.len(),
+        truth,
+        MIN_OVERLAP,
+        if quick { " (quick)" } else { "" }
+    );
+
+    heading(format!(
+        "Minimizer seeding vs SpGEMM ({} reads, min_overlap {})",
+        rs.reads.len(),
+        MIN_OVERLAP
+    ));
+
+    let sweep: &[(usize, usize)] = if quick {
+        &[(DEFAULT_W, DEFAULT_K)]
+    } else {
+        &[
+            (4, DEFAULT_K),
+            (DEFAULT_W, DEFAULT_K),
+            (12, DEFAULT_K),
+            (DEFAULT_W, 15),
+            (DEFAULT_W, 19),
+        ]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Table::new(&[
+        "seeder",
+        "w",
+        "k",
+        "candidates",
+        "kept",
+        "cells",
+        "recall",
+        "precision",
+        "cand ratio",
+    ]);
+
+    // One SpGEMM baseline per distinct k in the sweep.
+    let mut ks: Vec<usize> = sweep.iter().map(|&(_, k)| k).collect();
+    ks.sort_unstable();
+    ks.dedup();
+    let mut baselines = std::collections::HashMap::new();
+    for &k in &ks {
+        eprintln!("[minimizer_bench] spgemm baseline k={k}");
+        let (cands, kept, cells, recall, precision, f1) = run(&rs, Seeder::SpGemm, 0, k);
+        rows.push(Row {
+            seeder: "spgemm".into(),
+            w: 0,
+            k,
+            candidates: cands,
+            kept,
+            aligned_cells: cells,
+            recall,
+            precision,
+            f1,
+            candidate_ratio: 1.0,
+            recall_ratio: 1.0,
+        });
+        table.row(vec![
+            "spgemm".into(),
+            "-".into(),
+            k.to_string(),
+            cands.to_string(),
+            kept.to_string(),
+            cells.to_string(),
+            format!("{recall:.3}"),
+            format!("{precision:.3}"),
+            "1.00".into(),
+        ]);
+        baselines.insert(k, (cands, recall));
+    }
+
+    let mut default_ratios = None;
+    for &(w, k) in sweep {
+        eprintln!("[minimizer_bench] minimizer w={w} k={k}");
+        let (cands, kept, cells, recall, precision, f1) = run(&rs, Seeder::Minimizer, w, k);
+        let &(base_cands, base_recall) = &baselines[&k];
+        let candidate_ratio = cands as f64 / base_cands.max(1) as f64;
+        let recall_ratio = if base_recall > 0.0 {
+            recall / base_recall
+        } else {
+            1.0
+        };
+        rows.push(Row {
+            seeder: "minimizer".into(),
+            w,
+            k,
+            candidates: cands,
+            kept,
+            aligned_cells: cells,
+            recall,
+            precision,
+            f1,
+            candidate_ratio,
+            recall_ratio,
+        });
+        table.row(vec![
+            "minimizer".into(),
+            w.to_string(),
+            k.to_string(),
+            cands.to_string(),
+            kept.to_string(),
+            cells.to_string(),
+            format!("{recall:.3}"),
+            format!("{precision:.3}"),
+            format!("{candidate_ratio:.2}"),
+        ]);
+        if (w, k) == (DEFAULT_W, DEFAULT_K) {
+            default_ratios = Some((candidate_ratio, recall_ratio));
+        }
+    }
+    println!("{}", table.render());
+
+    // The acceptance bar, asserted on every run (quick included — the
+    // premerge smoke re-checks it).
+    let (candidate_ratio, recall_ratio) =
+        default_ratios.expect("sweep always contains the default (w, k)");
+    println!(
+        "default (w={DEFAULT_W}, k={DEFAULT_K}): {:.1}% of SpGEMM candidates at {:.1}% of its recall",
+        100.0 * candidate_ratio,
+        100.0 * recall_ratio
+    );
+    assert!(
+        recall_ratio >= 0.95,
+        "minimizer recall ratio {recall_ratio:.3} < 0.95 of SpGEMM"
+    );
+    assert!(
+        candidate_ratio <= 0.50,
+        "minimizer candidate ratio {candidate_ratio:.3} > 0.50 of SpGEMM"
+    );
+
+    write_json("minimizer_bench", &rows);
+}

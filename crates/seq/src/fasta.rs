@@ -50,12 +50,25 @@ impl From<io::Error> for FastaError {
     }
 }
 
-fn parse_id(header: &str) -> String {
-    header
-        .split_whitespace()
-        .next()
-        .unwrap_or_default()
-        .to_string()
+/// First whitespace-delimited token of a header body, or `None` when
+/// the header is bare (`>` / `@` alone) or whitespace-only. Anonymous
+/// records used to silently collapse to the id `""` and collide
+/// downstream; callers now surface a [`FastaError::Parse`] instead.
+///
+/// Duplicate ids across *distinct, named* records are deliberately
+/// allowed — real FASTA files (resequenced runs, concatenated inputs)
+/// contain them, and every downstream consumer addresses reads by
+/// ordinal, not id. Only the empty id is an error, because it is never
+/// intentional.
+fn parse_id(header: &str) -> Option<String> {
+    header.split_whitespace().next().map(str::to_string)
+}
+
+fn empty_header_error(line: usize) -> FastaError {
+    FastaError::Parse {
+        line,
+        message: "empty header: record has no id".into(),
+    }
 }
 
 /// Read all records from FASTA text. Sequences may span multiple lines;
@@ -148,7 +161,14 @@ impl<R: Read> Iterator for FastaBatches<R> {
                     self.done = true;
                     return if out.is_empty() { None } else { Some(Ok(out)) };
                 }
-                self.current = Some((parse_id(&trimmed[1..]), Vec::new()));
+                let id = match parse_id(&trimmed[1..]) {
+                    Some(id) => id,
+                    None => {
+                        let line = self.lineno;
+                        return self.fail(empty_header_error(line));
+                    }
+                };
+                self.current = Some((id, Vec::new()));
                 if out.len() >= self.batch_reads {
                     // The next record's header is already stashed in
                     // `current`; resume from it on the next call.
@@ -209,7 +229,7 @@ pub fn read_fastq<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
                 message: format!("expected '@' header, found {header:?}"),
             });
         }
-        let id = parse_id(&header[1..]);
+        let id = parse_id(&header[1..]).ok_or_else(|| empty_header_error(lineno))?;
 
         line.clear();
         br.read_line(&mut line)?;
@@ -316,6 +336,57 @@ mod tests {
     fn empty_inputs() {
         assert!(read_fasta(&b""[..]).unwrap().is_empty());
         assert!(read_fastq(&b""[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fasta_rejects_bare_header() {
+        // A bare `>` used to yield an anonymous record with id "";
+        // two of them would silently collide. Now it's a parse error
+        // with the 1-based line number of the offending header.
+        let err = read_fasta(&b">a\nACGT\n>\nGGGG\n"[..]).unwrap_err();
+        match err {
+            FastaError::Parse { line, ref message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("empty header"), "{message}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fasta_rejects_whitespace_only_header() {
+        let err = read_fasta(&b">   \t \nACGT\n"[..]).unwrap_err();
+        match err {
+            FastaError::Parse { line, ref message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("empty header"), "{message}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fastq_rejects_bare_header() {
+        let err = read_fastq(&b"@\nACGT\n+\nIIII\n"[..]).unwrap_err();
+        match err {
+            FastaError::Parse { line, ref message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("empty header"), "{message}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_are_allowed() {
+        // Policy: duplicate ids across named records are legal (readers
+        // address records by ordinal, and concatenated real-world files
+        // contain repeats); only the *empty* id is rejected.
+        let recs = read_fasta(&b">r1\nACGT\n>r1\nGGGG\n"[..]).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "r1");
+        assert_eq!(recs[1].id, "r1");
+        assert_ne!(recs[0].seq, recs[1].seq);
     }
 
     #[test]

@@ -69,17 +69,29 @@ impl Kmer {
 }
 
 /// Canonical form of the k-mer starting at `pos` in `seq`.
+///
+/// This is the naive per-position computation (`from_bases` +
+/// `canonical`, O(k)); loops over every position of a read should use
+/// [`CanonicalKmerIter`], which rolls the same value in O(1) per step.
+/// The two are pinned bit-identical by differential tests.
 pub fn canonical_kmer(seq: &Seq, pos: usize, k: usize) -> Kmer {
     Kmer::from_bases(&seq.as_slice()[pos..pos + k]).canonical()
 }
 
 /// Iterator over all (position, k-mer) pairs of a sequence, using a
-/// rolling 2-bit encoding (O(1) per step).
+/// rolling 2-bit encoding (O(1) per step). The reverse-complement code
+/// is rolled alongside the forward code, so [`CanonicalKmerIter`] (the
+/// `canonical()` adapter) emits canonical k-mers in O(1) per position
+/// instead of rebuilding the reverse complement base by base.
 pub struct KmerIter<'a> {
     seq: &'a Seq,
     k: usize,
     pos: usize,
     code: u64,
+    /// Reverse-complement code of the current window, rolled in lockstep
+    /// with `code`: the new base's complement enters at the top while
+    /// the dropped base's complement shifts out at the bottom.
+    rc_code: u64,
     mask: u64,
 }
 
@@ -93,17 +105,28 @@ impl<'a> KmerIter<'a> {
             (1u64 << (2 * k)) - 1
         };
         let mut code = 0u64;
+        let mut rc_code = 0u64;
+        let top = 2 * (k - 1);
         // Pre-roll the first k-1 bases.
         for i in 0..k.saturating_sub(1).min(seq.len()) {
-            code = (code << 2) | seq[i] as u64;
+            let b = seq[i];
+            code = (code << 2) | b as u64;
+            rc_code = (rc_code >> 2) | ((b.complement() as u64) << top);
         }
         KmerIter {
             seq,
             k,
             pos: 0,
             code,
+            rc_code,
             mask,
         }
+    }
+
+    /// Adapt into an iterator of canonical k-mers (plus strand flags);
+    /// see [`CanonicalKmerIter`].
+    pub fn canonical(self) -> CanonicalKmerIter<'a> {
+        CanonicalKmerIter { inner: self }
     }
 }
 
@@ -115,7 +138,9 @@ impl<'a> Iterator for KmerIter<'a> {
         if end > self.seq.len() {
             return None;
         }
-        self.code = ((self.code << 2) | self.seq[end - 1] as u64) & self.mask;
+        let b = self.seq[end - 1];
+        self.code = ((self.code << 2) | b as u64) & self.mask;
+        self.rc_code = (self.rc_code >> 2) | ((b.complement() as u64) << (2 * (self.k - 1)));
         let item = (
             self.pos,
             Kmer {
@@ -134,6 +159,47 @@ impl<'a> Iterator for KmerIter<'a> {
 }
 
 impl<'a> ExactSizeIterator for KmerIter<'a> {}
+
+/// Iterator over `(position, canonical k-mer, is_forward)` triples of a
+/// sequence in O(1) per step — the rolling replacement for calling
+/// [`Kmer::canonical`] (O(k)) at every position, which made the
+/// counting path O(k·n) per read.
+///
+/// `is_forward` is `true` when the forward-strand code is the canonical
+/// one (ties — possible only for even `k` palindromes — count as
+/// forward). Bit-identical to the naive
+/// `Kmer::from_bases(..).canonical()` per position, pinned by a
+/// differential proptest.
+pub struct CanonicalKmerIter<'a> {
+    inner: KmerIter<'a>,
+}
+
+impl<'a> CanonicalKmerIter<'a> {
+    /// Create an iterator over the canonical k-mers of `seq`.
+    pub fn new(seq: &'a Seq, k: usize) -> CanonicalKmerIter<'a> {
+        KmerIter::new(seq, k).canonical()
+    }
+}
+
+impl<'a> Iterator for CanonicalKmerIter<'a> {
+    type Item = (usize, Kmer, bool);
+
+    fn next(&mut self) -> Option<(usize, Kmer, bool)> {
+        let (pos, fwd) = self.inner.next()?;
+        let rc = self.inner.rc_code;
+        if rc < fwd.code {
+            Some((pos, Kmer { code: rc, k: fwd.k }, false))
+        } else {
+            Some((pos, fwd, true))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for CanonicalKmerIter<'a> {}
 
 #[cfg(test)]
 mod tests {
@@ -217,5 +283,50 @@ mod tests {
     fn k_zero_panics() {
         let s = seq("ACGT");
         let _ = KmerIter::new(&s, 0);
+    }
+
+    #[test]
+    fn canonical_rolling_matches_naive() {
+        // Differential check across every k, including k=32 (full mask)
+        // and k=1 (top shift of zero).
+        let s: Seq = (0..80)
+            .map(|i| Base::from_code(((i * 7 + i / 5) % 4) as u8))
+            .collect();
+        for k in 1..=MAX_K {
+            let rolled: Vec<_> = CanonicalKmerIter::new(&s, k).collect();
+            assert_eq!(rolled.len(), s.len() - k + 1);
+            for &(pos, km, fwd) in &rolled {
+                let naive = canonical_kmer(&s, pos, k);
+                assert_eq!(km, naive, "k={k} pos={pos}");
+                let direct = Kmer::from_bases(&s.as_slice()[pos..pos + k]);
+                assert_eq!(fwd, naive.code == direct.code, "k={k} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_rolling_palindrome_counts_as_forward() {
+        // ACGT is its own reverse complement: strand flag must be true.
+        let s = seq("ACGTACGT");
+        let triples: Vec<_> = CanonicalKmerIter::new(&s, 4).collect();
+        let (pos, km, fwd) = triples[0];
+        assert_eq!(pos, 0);
+        assert_eq!(km, Kmer::from_bases(seq("ACGT").as_slice()));
+        assert!(fwd);
+    }
+
+    #[test]
+    fn canonical_rolling_strand_invariant() {
+        let s = seq("ACGTTGCAACGTTGCAATTGC");
+        let rc = s.reverse_complement();
+        let mut a: Vec<u64> = CanonicalKmerIter::new(&s, 5)
+            .map(|(_, km, _)| km.code)
+            .collect();
+        let mut b: Vec<u64> = CanonicalKmerIter::new(&rc, 5)
+            .map(|(_, km, _)| km.code)
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 }

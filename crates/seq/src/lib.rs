@@ -17,6 +17,8 @@
 //!   truth, including the paper's 100 K read-pair benchmark set and
 //!   E. coli / C. elegans-like data sets;
 //! * [`kmer`] — k-mer extraction and canonicalization for seeding;
+//! * [`minimizer`] — (w,k)-window minimizer sketching for the chaining
+//!   seeder front-end;
 //! * [`fasta`] — minimal FASTA/FASTQ I/O;
 //! * [`stats`] — summary statistics over read sets.
 //!
@@ -37,6 +39,7 @@ pub mod alphabet;
 pub mod error;
 pub mod fasta;
 pub mod kmer;
+pub mod minimizer;
 pub mod readsim;
 pub mod scoring;
 pub mod seq;
@@ -44,7 +47,8 @@ pub mod stats;
 
 pub use alphabet::{Base, PackedSeq};
 pub use error::{ErrorModel, ErrorProfile};
-pub use kmer::{canonical_kmer, Kmer, KmerIter};
+pub use kmer::{canonical_kmer, CanonicalKmerIter, Kmer, KmerIter};
+pub use minimizer::{minimizer_hash, minimizers, Minimizer};
 pub use readsim::{
     seq_batches, DatasetPreset, PairSet, ReadBatch, ReadPair, ReadSet, ReadSimulator, Seed,
     SimulatedRead,

@@ -1,0 +1,238 @@
+//! (w,k)-window minimizer sketching, minimap2-style.
+//!
+//! A minimizer is the k-mer of lowest *rank* among the `w` consecutive
+//! k-mers of a window; collecting the minimizers of every window
+//! sketches a read down to roughly `2/(w+1)` of its k-mer positions
+//! while guaranteeing that any two sequences sharing a `w + k - 1`-long
+//! exact match share a minimizer. Ranks are an invertible hash of the
+//! *canonical* k-mer code (never the raw code — low-complexity k-mers
+//! like poly-A would otherwise dominate every window and wreck the
+//! sketch's spread).
+//!
+//! Ties inside a window keep the **rightmost** occurrence, which is the
+//! robust choice under single-base edits (minimap2 §2.1.1): an edit
+//! upstream of the tied pair cannot flip which copy is selected.
+
+use crate::kmer::CanonicalKmerIter;
+use crate::seq::Seq;
+use std::collections::VecDeque;
+
+/// A selected minimizer: position of the k-mer in the read, its
+/// canonical code, and which strand the canonical form came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Minimizer {
+    /// Start position of the k-mer in the read.
+    pub pos: u32,
+    /// Canonical 2-bit packed code.
+    pub code: u64,
+    /// True if the forward-strand k-mer equals the canonical form.
+    pub fwd: bool,
+}
+
+/// Invertible finalizer (splitmix64 tail) used to rank k-mers.
+///
+/// Invertibility means distinct codes get distinct ranks, so the
+/// minimum of a window is unique per code and the deque tie-break below
+/// only ever fires for *equal codes at different positions*.
+#[inline]
+pub fn minimizer_hash(code: u64) -> u64 {
+    let mut z = code.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Extract the (w,k) minimizers of `seq`, deduplicated and in
+/// ascending position order.
+///
+/// `w = 1` degenerates to "every canonical k-mer". A read with fewer
+/// than `w` k-mers (but at least one) yields its single overall
+/// minimum, so short reads are never sketched down to nothing.
+pub fn minimizers(seq: &Seq, w: usize, k: usize) -> Vec<Minimizer> {
+    assert!(w >= 1, "window size must be >= 1");
+    let n_kmers = (seq.len() + 1).saturating_sub(k);
+    let mut out: Vec<Minimizer> = Vec::with_capacity(2 * n_kmers / (w + 1) + 1);
+    // Monotone deque of (rank, minimizer), increasing rank front to
+    // back. `>=` when popping keeps the rightmost of equal-rank k-mers.
+    let mut deque: VecDeque<(u64, Minimizer)> = VecDeque::new();
+    for (pos, km, fwd) in CanonicalKmerIter::new(seq, k) {
+        let m = Minimizer {
+            pos: pos as u32,
+            code: km.code,
+            fwd,
+        };
+        let rank = minimizer_hash(km.code);
+        while deque.back().is_some_and(|&(r, _)| r >= rank) {
+            deque.pop_back();
+        }
+        deque.push_back((rank, m));
+        // Drop the front once it falls out of the current window
+        // [pos + 1 - w, pos].
+        if pos + 1 >= w {
+            while deque
+                .front()
+                .is_some_and(|&(_, f)| (f.pos as usize) + w <= pos)
+            {
+                deque.pop_front();
+            }
+            let front = deque.front().expect("deque holds current k-mer").1;
+            if out.last() != Some(&front) {
+                out.push(front);
+            }
+        }
+    }
+    // Fewer than w k-mers in total: no full window ever formed, emit
+    // the overall minimum so the read still has a sketch.
+    if out.is_empty() {
+        if let Some(&(_, front)) = deque.front() {
+            out.push(front);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Base;
+    use crate::kmer::canonical_kmer;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    /// Brute-force reference: for every window, scan all w k-mers and
+    /// keep the rightmost one of minimum rank.
+    fn brute_force(s: &Seq, w: usize, k: usize) -> Vec<Minimizer> {
+        let n_kmers = (s.len() + 1).saturating_sub(k);
+        let mins: Vec<Minimizer> = (0..n_kmers)
+            .map(|pos| {
+                let km = canonical_kmer(s, pos, k);
+                let direct = crate::kmer::Kmer::from_bases(&s.as_slice()[pos..pos + k]);
+                Minimizer {
+                    pos: pos as u32,
+                    code: km.code,
+                    fwd: km.code == direct.code,
+                }
+            })
+            .collect();
+        let mut out: Vec<Minimizer> = Vec::new();
+        if n_kmers == 0 {
+            return out;
+        }
+        if n_kmers < w {
+            let best = mins
+                .iter()
+                .copied()
+                .max_by(|a, b| {
+                    minimizer_hash(b.code)
+                        .cmp(&minimizer_hash(a.code))
+                        .then(a.pos.cmp(&b.pos))
+                })
+                .unwrap();
+            return vec![best];
+        }
+        for start in 0..=(n_kmers - w) {
+            let best = mins[start..start + w]
+                .iter()
+                .copied()
+                .max_by(|a, b| {
+                    minimizer_hash(b.code)
+                        .cmp(&minimizer_hash(a.code))
+                        .then(a.pos.cmp(&b.pos))
+                })
+                .unwrap();
+            if out.last() != Some(&best) {
+                out.push(best);
+            }
+        }
+        out
+    }
+
+    fn pseudo_seq(len: usize, salt: u64) -> Seq {
+        let mut state = salt.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Base::from_code((state % 4) as u8)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for salt in 0..6u64 {
+            let s = pseudo_seq(120 + 17 * salt as usize, salt + 1);
+            for (w, k) in [(1, 5), (4, 5), (8, 11), (11, 17), (5, 1)] {
+                assert_eq!(
+                    minimizers(&s, w, k),
+                    brute_force(&s, w, k),
+                    "salt={salt} w={w} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn w1_selects_every_kmer() {
+        let s = pseudo_seq(60, 9);
+        let ms = minimizers(&s, 1, 7);
+        assert_eq!(ms.len(), s.len() - 7 + 1);
+        for (i, m) in ms.iter().enumerate() {
+            assert_eq!(m.pos as usize, i);
+            assert_eq!(m.code, canonical_kmer(&s, i, 7).code);
+        }
+    }
+
+    #[test]
+    fn density_is_near_two_over_w_plus_one() {
+        let s = pseudo_seq(20_000, 3);
+        let w = 8usize;
+        let ms = minimizers(&s, w, 15);
+        let density = ms.len() as f64 / (s.len() - 15 + 1) as f64;
+        let expected = 2.0 / (w as f64 + 1.0);
+        assert!(
+            (density - expected).abs() < 0.05,
+            "density {density:.3} vs expected {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn strand_invariant_sketch() {
+        // Minimizer codes of a read and its reverse complement are the
+        // same multiset: canonical codes are strand-free and window
+        // minima mirror.
+        let s = pseudo_seq(300, 5);
+        let rc = s.reverse_complement();
+        let mut a: Vec<u64> = minimizers(&s, 6, 9).iter().map(|m| m.code).collect();
+        let mut b: Vec<u64> = minimizers(&rc, 6, 9).iter().map(|m| m.code).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn short_read_yields_single_minimum() {
+        let s = seq("ACGTACG"); // 3 k-mers at k=5, window 8 never fills
+        let ms = minimizers(&s, 8, 5);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms, brute_force(&s, 8, 5));
+    }
+
+    #[test]
+    fn read_shorter_than_k_is_empty() {
+        let s = seq("ACG");
+        assert!(minimizers(&s, 4, 5).is_empty());
+    }
+
+    #[test]
+    fn positions_strictly_increase() {
+        let s = pseudo_seq(500, 11);
+        let ms = minimizers(&s, 10, 13);
+        for pair in ms.windows(2) {
+            assert!(pair[0].pos < pair[1].pos);
+        }
+    }
+}

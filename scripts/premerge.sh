@@ -47,6 +47,13 @@ if [[ $quick -eq 0 ]]; then
   # outcome per arrival, per-tenant quota never exceeded) and that
   # coalescing beats per-request submission at overload.
   cargo run --release -q -p logan-bench --bin serve_load -- --quick >/dev/null
+
+  step "minimizer_bench --quick smoke"
+  # The seeding front-end's acceptance bar on a small seeded read set:
+  # at the default (w=8, k=17) the minimizer + chaining seeder must
+  # reach >= 95% of the SpGEMM path's recall while aligning <= 50% of
+  # its candidate pairs (asserted inside the binary).
+  cargo run --release -q -p logan-bench --bin minimizer_bench -- --quick >/dev/null
 else
   step "cargo clippy (quick: benches skipped)"
   cargo clippy --workspace --lib --bins --tests --examples -- -D warnings
@@ -68,6 +75,14 @@ step "serve-equivalence: coalesced serving diffs clean + shutdown/fault drills"
 # graceful shutdown drains exactly once; a panicking lane fails only its
 # own requests and a fully-dead server fails fast instead of hanging.
 cargo test -q --test serve_equivalence --test serve_shutdown
+
+step "minimizer-equivalence: rolling canonical + chaining subset diff clean"
+# The seeding contract: the rolling canonical k-mer iterator is
+# bit-identical to the naive reverse complement; every minimizer-path
+# candidate pair is a SpGEMM candidate pair (proptest over read sets and
+# window sizes); the streaming minimizer pipeline matches the monolithic
+# one under adversarial budgets.
+cargo test -q --test minimizer_equivalence
 
 step "allocation-count: warm AlignWorkspace is allocation-free"
 # The DESIGN.md §7 contract: zero heap allocations per extension once a

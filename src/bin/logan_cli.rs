@@ -5,6 +5,7 @@
 //!                                             [--engine scalar|simd]
 //! logan_cli overlap <reads.fa>                [-x N] [--backend B] [--gpus N]
 //!                                             [-k K] [--min-overlap L]
+//!                                             [--seeder spgemm|minimizer[:W]]
 //!                                             [--engine scalar|simd] [--stream]
 //!                                             [--batch-reads N] [--shards N] [--inflight N]
 //! logan_cli serve                             [-x N] [--backend B] [--gpus N]
@@ -38,11 +39,17 @@
 //! `--batch-reads`, the k-mer table is counted in `--shards` waves, and
 //! at most `--inflight` candidate blocks sit between the SpGEMM
 //! producer and the alignment backend.
+//!
+//! `--seeder` picks the candidate generator for `overlap`: `spgemm`
+//! (BELLA's align-everything default) or `minimizer[:W]` (minimap2-style
+//! (W,k) sketches + colinear chaining; W defaults to 8). The minimizer
+//! seeder aligns a strict subset of the SpGEMM candidates — the pairs
+//! whose best chain supports `--min-overlap`.
 
-use logan::bella::{BellaConfig, BellaPipeline, PipelineBudget};
+use logan::bella::{BellaConfig, BellaPipeline, PipelineBudget, Seeder};
 use logan::prelude::*;
 use logan::seq::fasta::{read_fasta, FastaBatches};
-use logan::seq::kmer::KmerIter;
+use logan::seq::kmer::CanonicalKmerIter;
 use logan::seq::readsim::ReadBatch;
 use logan::serve::Reply;
 use std::collections::HashMap;
@@ -55,7 +62,8 @@ fn usage() -> ExitCode {
         "usage:\n  logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--backend B] [--gpus N] \
          [--engine scalar|simd]\n  \
          logan_cli overlap <reads.fa> [-x N] [--backend B] [--gpus N] [-k K] [--min-overlap L] \
-         [--engine scalar|simd] [--stream] [--batch-reads N] [--shards N] [--inflight N]\n  \
+         [--seeder spgemm|minimizer[:W]] [--engine scalar|simd] [--stream] [--batch-reads N] \
+         [--shards N] [--inflight N]\n  \
          logan_cli serve [-x N] [--backend B] [--gpus N] [--serve batch=N,queue=N,quota=N] \
          [--requests N] [--tenants T] [--clients C] [--seed S]\n\
          backends: cpu[:T] | gpu | multi:N (default, N from --gpus) | fleet:SPEC \
@@ -72,6 +80,8 @@ struct Opts {
     min_overlap: usize,
     engine: Engine,
     stream: bool,
+    seeder: Seeder,
+    minimizer_w: usize,
     budget: PipelineBudget,
     serve: ServeConfig,
     requests: usize,
@@ -92,6 +102,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         // only picks how fast the host computes them.
         engine: Engine::from_env(),
         stream: false,
+        seeder: Seeder::SpGemm,
+        minimizer_w: 8,
         budget: PipelineBudget::default(),
         serve: ServeConfig::default(),
         requests: 32,
@@ -127,6 +139,27 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|e| format!("--engine: {e}"))?
             }
             "--stream" => opts.stream = true,
+            "--seeder" => {
+                let v = grab("--seeder")?;
+                match v.as_str() {
+                    "spgemm" => opts.seeder = Seeder::SpGemm,
+                    "minimizer" => opts.seeder = Seeder::Minimizer,
+                    other => {
+                        if let Some(w) = other.strip_prefix("minimizer:") {
+                            opts.seeder = Seeder::Minimizer;
+                            opts.minimizer_w =
+                                w.parse().map_err(|e| format!("--seeder minimizer: {e}"))?;
+                            if opts.minimizer_w == 0 {
+                                return Err("--seeder minimizer: window must be at least 1".into());
+                            }
+                        } else {
+                            return Err(format!(
+                                "--seeder {other:?}: expected spgemm or minimizer[:W]"
+                            ));
+                        }
+                    }
+                }
+            }
             "--batch-reads" => {
                 opts.budget.batch_reads = grab("--batch-reads")?
                     .parse()
@@ -258,15 +291,17 @@ fn find_seed(q: &Seq, t: &Seq, k: usize) -> Option<Seed> {
     if q.len() < k || t.len() < k {
         return None;
     }
-    let mut index: HashMap<u64, usize> = HashMap::new();
-    for (pos, km) in KmerIter::new(q, k) {
-        index.entry(km.canonical().code).or_insert(pos);
+    let mut index: HashMap<u64, (usize, bool)> = HashMap::new();
+    for (pos, km, fwd) in CanonicalKmerIter::new(q, k) {
+        index.entry(km.code).or_insert((pos, fwd));
     }
-    for (pos, km) in KmerIter::new(t, k) {
-        if let Some(&qpos) = index.get(&km.canonical().code) {
+    for (pos, km, fwd) in CanonicalKmerIter::new(t, k) {
+        if let Some(&(qpos, qfwd)) = index.get(&km.code) {
             // Only accept forward-strand exact matches (the aligners are
-            // strand-naive; reverse-complement hits need an RC pass).
-            if q.subseq(qpos, qpos + k) == t.subseq(pos, pos + k) {
+            // strand-naive; reverse-complement hits need an RC pass):
+            // equal canonical codes chosen from the same strand mean the
+            // forward k-mers themselves are equal.
+            if qfwd == fwd {
                 return Some(Seed {
                     qpos,
                     tpos: pos,
@@ -355,6 +390,8 @@ fn cmd_overlap(opts: &Opts) -> Result<(), String> {
         k: opts.k,
         min_overlap: opts.min_overlap,
         budget: opts.budget,
+        seeder: opts.seeder,
+        minimizer_w: opts.minimizer_w,
         // Depth is unknown for arbitrary input; a neutral default keeps
         // the reliable window sane and can be refined by the caller.
         depth: 20.0,
@@ -411,13 +448,17 @@ fn cmd_overlap(opts: &Opts) -> Result<(), String> {
         );
     }
     eprintln!(
-        "{} reads (mean {} bp) -> {} candidates, {} kept; {} DP cells on {}{}",
+        "{} reads (mean {} bp) -> {} candidates, {} kept; {} DP cells on {}{}{}",
         ids.len(),
         mean_len,
         out.stats.candidates,
         out.stats.kept,
         out.stats.total_cells,
         backend.name(),
+        match opts.seeder {
+            Seeder::SpGemm => String::new(),
+            Seeder::Minimizer => format!(" [seeder: minimizer w={}]", opts.minimizer_w),
+        },
         if opts.stream {
             format!(
                 " [streaming: batch-reads {}, shards {}, inflight {}]",

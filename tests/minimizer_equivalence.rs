@@ -1,0 +1,211 @@
+//! Differential tests for the minimizer seeding front-end, run as its
+//! own premerge step (`minimizer-equivalence`):
+//!
+//! 1. the rolling canonical k-mer iterator is bit-identical to the
+//!    naive per-position reverse complement it replaced;
+//! 2. every candidate pair the minimizer + chaining path produces is
+//!    also a SpGEMM candidate pair — minimizers are reliable k-mers, so
+//!    a minimizer hit *is* a shared-k-mer witness (the subset property
+//!    the "fewer candidates at equal recall" claim rests on);
+//! 3. the full pipeline under [`Seeder::Minimizer`] aligns only pairs
+//!    the SpGEMM path would also align, and its streaming execution is
+//!    bit-identical to the monolithic one under adversarial budgets.
+
+use logan::bella::chain::{chain_candidates, ChainConfig, MinimizerIndex};
+use logan::bella::fxhash::FxHashSet;
+use logan::bella::kmer_count::count_kmers;
+use logan::bella::matrix::KmerMatrix;
+use logan::bella::pipeline::Seeder;
+use logan::bella::prune::{reliable_bounds, reliable_kmers};
+use logan::bella::spgemm::spgemm_candidates;
+use logan::bella::{BellaConfig, BellaPipeline, PipelineBudget};
+use logan::prelude::*;
+use logan::seq::kmer::{CanonicalKmerIter, Kmer, KmerIter};
+use logan::seq::readsim::ReadSimulator;
+use logan::seq::ErrorProfile;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_seq(min_len: usize, max_len: usize) -> impl Strategy<Value = Seq> {
+    proptest::collection::vec(0u8..4, min_len..max_len)
+        .prop_map(|codes| codes.into_iter().map(logan::seq::Base::from_code).collect())
+}
+
+/// Naive per-position canonical k-mer: build the forward k-mer, then
+/// its reverse complement from scratch (O(k) per position).
+fn naive_canonical(seq: &Seq, pos: usize, k: usize) -> (Kmer, bool) {
+    let fwd = KmerIter::new(seq, k)
+        .nth(pos)
+        .map(|(_, km)| km)
+        .expect("position in range");
+    let rc = fwd.reverse_complement();
+    if rc.code < fwd.code {
+        (rc, false)
+    } else {
+        (fwd, true)
+    }
+}
+
+fn cpu(x: i32) -> XDropCpuAligner {
+    XDropCpuAligner::new(2, Scoring::default(), x, Engine::from_env())
+}
+
+type Pairs = BTreeSet<(u32, u32)>;
+
+/// The candidate pair sets of both seeders, computed from the *same*
+/// reliable-k-mer set (the pipeline's own pruning window).
+fn pair_sets(reads: &[Seq], k: usize, w: usize) -> (Pairs, Pairs) {
+    let counts = count_kmers(reads, k);
+    let reliable: FxHashSet<u64> = reliable_kmers(&counts, reliable_bounds(8.0, 0.10, k, 1e-4));
+
+    let matrix = KmerMatrix::build(reads, k, &reliable);
+    let spgemm: Pairs = spgemm_candidates(&matrix)
+        .into_iter()
+        .map(|c| (c.r1, c.r2))
+        .collect();
+
+    let mut index = MinimizerIndex::new(w, k);
+    index.push_batch(reads, &reliable);
+    let minimizer: Pairs = chain_candidates(&index, ChainConfig::default())
+        .into_iter()
+        .map(|c| (c.r1, c.r2))
+        .collect();
+
+    (minimizer, spgemm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Satellite 1: the incrementally rolled reverse complement in
+    /// `CanonicalKmerIter` is bit-identical — code, position, and
+    /// strand flag — to recomputing the canonical k-mer naively at
+    /// every position, for every k.
+    #[test]
+    fn rolling_canonical_matches_naive(seq in arb_seq(0, 200), k in 1usize..=32) {
+        let rolled: Vec<_> = CanonicalKmerIter::new(&seq, k).collect();
+        prop_assert_eq!(rolled.len(), if seq.len() >= k { seq.len() - k + 1 } else { 0 });
+        for (pos, km, fwd) in rolled {
+            let (naive, naive_fwd) = naive_canonical(&seq, pos, k);
+            prop_assert_eq!(km.code, naive.code, "code at pos {} (k={})", pos, k);
+            prop_assert_eq!(fwd, naive_fwd, "strand flag at pos {} (k={})", pos, k);
+        }
+    }
+
+    /// Tentpole invariant: minimizer-path candidate pairs are a subset
+    /// of SpGEMM candidate pairs, for any (w, k) and any read set —
+    /// the sketch is post-filtered by the same reliable set the matrix
+    /// is built from, so a minimizer match implies a shared reliable
+    /// k-mer.
+    #[test]
+    fn minimizer_pairs_subset_of_spgemm(
+        seed in 0u64..1_000,
+        w in 1usize..12,
+        genome_len in 2_000usize..6_000,
+    ) {
+        let sim = ReadSimulator {
+            read_len: (400, 900),
+            errors: ErrorProfile::pacbio(0.10),
+            ..ReadSimulator::uniform(genome_len, 6.0)
+        };
+        let rs = sim.generate(seed);
+        let reads: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
+        let (minimizer, spgemm) = pair_sets(&reads, 15, w);
+        for pair in &minimizer {
+            prop_assert!(
+                spgemm.contains(pair),
+                "minimizer pair {:?} not a SpGEMM candidate (w={})", pair, w
+            );
+        }
+    }
+}
+
+/// End-to-end version of the subset property: with the same config, the
+/// pairs the minimizer pipeline aligns are a subset of the pairs the
+/// SpGEMM pipeline aligns — and every *kept* overlap it reports is kept
+/// by the SpGEMM path too (same aligner, same threshold, same seeds'
+/// pair, so losing a true overlap could only come from chaining).
+#[test]
+fn minimizer_pipeline_aligns_subset_of_spgemm() {
+    let sim = ReadSimulator {
+        read_len: (900, 1400),
+        errors: ErrorProfile::pacbio(0.10),
+        ..ReadSimulator::uniform(25_000, 8.0)
+    };
+    let rs = sim.generate(99);
+    let backend = cpu(50);
+
+    let mut cfg = BellaConfig {
+        error_rate: 0.10,
+        min_overlap: 700,
+        ..BellaConfig::with_x(50)
+    };
+    let (sp_out, _) = BellaPipeline::new(cfg).run_on_readset(&rs, &backend, 700);
+    cfg.seeder = Seeder::Minimizer;
+    let (mn_out, _) = BellaPipeline::new(cfg).run_on_readset(&rs, &backend, 700);
+
+    let sp_pairs: BTreeSet<(usize, usize)> = sp_out.overlaps.iter().map(|o| (o.r1, o.r2)).collect();
+    assert!(
+        !mn_out.overlaps.is_empty(),
+        "minimizer path found no overlaps"
+    );
+    for o in &mn_out.overlaps {
+        assert!(
+            sp_pairs.contains(&(o.r1, o.r2)),
+            "minimizer aligned ({}, {}) which SpGEMM never considered",
+            o.r1,
+            o.r2
+        );
+    }
+    assert!(
+        mn_out.overlaps.len() < sp_out.overlaps.len(),
+        "minimizer path should align strictly fewer pairs ({} vs {})",
+        mn_out.overlaps.len(),
+        sp_out.overlaps.len()
+    );
+}
+
+/// The streaming minimizer pipeline is bit-identical to the monolithic
+/// one, including under adversarial budgets (one-read batches, odd
+/// co-prime knobs) — tiling and admission filtering commute.
+#[test]
+fn minimizer_streaming_matches_monolithic() {
+    let sim = ReadSimulator {
+        read_len: (900, 1400),
+        errors: ErrorProfile::pacbio(0.10),
+        ..ReadSimulator::uniform(20_000, 7.0)
+    };
+    let rs = sim.generate(7);
+    let reads: Vec<Seq> = rs.reads.iter().map(|r| r.seq.clone()).collect();
+    let backend = cpu(50);
+
+    for budget in [
+        PipelineBudget::default(),
+        PipelineBudget {
+            batch_reads: 1,
+            shards: 1,
+            inflight_blocks: 1,
+        },
+        PipelineBudget {
+            batch_reads: 7,
+            shards: 13,
+            inflight_blocks: 4,
+        },
+    ] {
+        let cfg = BellaConfig {
+            error_rate: 0.10,
+            min_overlap: 700,
+            seeder: Seeder::Minimizer,
+            budget,
+            ..BellaConfig::with_x(50)
+        };
+        let pipeline = BellaPipeline::new(cfg);
+        let mono = pipeline.run(&reads, &backend);
+        let streamed = pipeline.run_streaming(
+            logan::seq::readsim::seq_batches(&reads, budget.batch_reads.max(1)),
+            &backend,
+        );
+        assert_eq!(mono.overlaps, streamed.overlaps, "budget {budget:?}");
+        assert_eq!(mono.stats, streamed.stats, "budget {budget:?}");
+    }
+}
