@@ -152,7 +152,12 @@ fn main() {
                 // Both disciplines see the *identical* request schedule.
                 let requests = seeded_requests(n_requests, tenants, 4, &arrivals, seed);
                 for coalesce in [true, false] {
-                    let rep = simulate(backend.as_ref(), &SimConfig { serve, coalesce }, &requests);
+                    let cfg = SimConfig {
+                        serve,
+                        coalesce,
+                        ..SimConfig::default()
+                    };
+                    let rep = simulate(backend.as_ref(), &cfg, &requests);
                     // Always-on: whatever the load, the service answered
                     // every request and served real work.
                     assert_eq!(rep.completed + rep.over_quota + rep.shed, n_requests);

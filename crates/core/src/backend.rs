@@ -96,6 +96,87 @@ pub trait AlignBackend: Send + Sync {
     ) -> (Vec<SeedExtendResult>, BackendReport) {
         self.align_block(block)
     }
+
+    /// Fallible [`AlignBackend::align_block`]: faults surface as
+    /// [`crate::faults::BackendError`] values instead of unwinds. The
+    /// default wraps the infallible path and never fails; fault
+    /// injectors ([`crate::faults::ChaosBackend`]) and supervisors
+    /// ([`crate::faults::Supervised`], [`crate::fleet::Fleet`])
+    /// override it. Panics are *not* caught here — that happens once,
+    /// at the supervision boundary ([`crate::faults::catch_align`]).
+    fn try_align_block(
+        &self,
+        block: &[ReadPair],
+    ) -> Result<(Vec<SeedExtendResult>, BackendReport), crate::faults::BackendError> {
+        Ok(self.align_block(block))
+    }
+
+    /// Fallible [`AlignBackend::align_block_on`]; same contract as
+    /// [`AlignBackend::try_align_block`].
+    fn try_align_block_on(
+        &self,
+        lane: usize,
+        block: &[ReadPair],
+    ) -> Result<(Vec<SeedExtendResult>, BackendReport), crate::faults::BackendError> {
+        Ok(self.align_block_on(lane, block))
+    }
+}
+
+/// Boxed backends are backends: forwarding keeps wrapper stacks
+/// (`Supervised<Box<dyn AlignBackend>>`, chaos over a boxed fleet)
+/// composable without re-borrowing gymnastics. Every method forwards —
+/// including the fallible pair, so a box never hides an override.
+impl<T: AlignBackend + ?Sized> AlignBackend for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn throughput_hint(&self) -> f64 {
+        (**self).throughput_hint()
+    }
+
+    fn max_block(&self) -> usize {
+        (**self).max_block()
+    }
+
+    fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
+        (**self).align_block(block)
+    }
+
+    fn lanes(&self) -> usize {
+        (**self).lanes()
+    }
+
+    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
+        (**self).xdrop_params()
+    }
+
+    fn throughput_hint_on(&self, lane: usize) -> f64 {
+        (**self).throughput_hint_on(lane)
+    }
+
+    fn align_block_on(
+        &self,
+        lane: usize,
+        block: &[ReadPair],
+    ) -> (Vec<SeedExtendResult>, BackendReport) {
+        (**self).align_block_on(lane, block)
+    }
+
+    fn try_align_block(
+        &self,
+        block: &[ReadPair],
+    ) -> Result<(Vec<SeedExtendResult>, BackendReport), crate::faults::BackendError> {
+        (**self).try_align_block(block)
+    }
+
+    fn try_align_block_on(
+        &self,
+        lane: usize,
+        block: &[ReadPair],
+    ) -> Result<(Vec<SeedExtendResult>, BackendReport), crate::faults::BackendError> {
+        (**self).try_align_block_on(lane, block)
+    }
 }
 
 /// What one backend did for one or more blocks — a single mergeable

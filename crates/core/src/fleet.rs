@@ -36,12 +36,22 @@
 use crate::backend::{AlignBackend, BackendReport, GpuBackend};
 use crate::calibration::BALANCER_SETUP_S_PER_GPU;
 use crate::executor::{LoganConfig, LoganExecutor};
+use crate::faults::{catch_align, BackendError, TraceEvent};
 use logan_align::{SeedExtendResult, XDropCpuAligner};
 use logan_gpusim::DeviceSpec;
 use logan_seq::readsim::ReadPair;
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked —
+/// the scheduler's bookkeeping is plain counters and index ranges,
+/// valid after any unwind point (every mutation completes under one
+/// guard), so recovery cannot observe a torn invariant.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Guided self-scheduling divisor: each steal is quota-limited to the
 /// worker's hint share of a *quarter* of the remaining weight, so the
@@ -101,6 +111,48 @@ pub(crate) fn lpt_partition(pairs: &[ReadPair], hints: &[f64]) -> Vec<Vec<usize>
     bins
 }
 
+/// Health/recovery knobs for [`Fleet::align_pairs`]'s supervision: the
+/// per-worker scoreboard that upgrades one-way panic retirement into
+/// quarantine → probation → reinstatement, plus poison-block detection
+/// and opt-in tail hedging. `Copy` so fleet configs stay literal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSupervision {
+    /// Consecutive errors on one worker before it is quarantined.
+    pub quarantine_after: usize,
+    /// Virtual device seconds a quarantined worker sits out before its
+    /// probation probe (charged to its virtual clock, so the existing
+    /// pacing gate defers it — no new wait machinery).
+    pub probation_delay_s: f64,
+    /// Failed probation probes before a quarantined worker is retired
+    /// for good (the PR 5 behavior, now the *last* resort).
+    pub max_probe_failures: usize,
+    /// A chunk failing on this many distinct workers is declared poison
+    /// and fails alone instead of wedging the fleet.
+    pub poison_lanes: usize,
+    /// Tail hedging: a worker with nothing left to steal re-issues the
+    /// last in-flight chunk; first result wins via the completion set,
+    /// so output stays bit-identical. Off by default — duplicated DP
+    /// work makes `total_cells` nondeterministic, which the
+    /// equivalence suites assert against.
+    pub hedge: bool,
+    /// Virtual device seconds charged to a worker's clock per failed
+    /// attempt, so erroring lanes do not steal at infinite speed.
+    pub error_clock_s: f64,
+}
+
+impl Default for FleetSupervision {
+    fn default() -> FleetSupervision {
+        FleetSupervision {
+            quarantine_after: 2,
+            probation_delay_s: 0.5,
+            max_probe_failures: 2,
+            poison_lanes: 2,
+            hedge: false,
+            error_clock_s: 0.05,
+        }
+    }
+}
+
 /// Report of a fleet run: per-worker detail plus deployment aggregates.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -118,8 +170,23 @@ pub struct FleetReport {
     pub sim_time_s: f64,
     /// Measured host wall-clock of the whole call, seconds.
     pub wall_s: f64,
-    /// Total DP cells across workers.
+    /// Total DP cells across workers (hedged duplicate work included —
+    /// cells are what the devices actually burned).
     pub total_cells: u64,
+    /// Failed attempts per worker, in worker order.
+    pub errors: Vec<usize>,
+    /// Chunks re-issued by tail hedging.
+    pub hedges: usize,
+    /// Workers quarantined at least once during the run.
+    pub quarantines: usize,
+    /// Probation probes that succeeded and reinstated their worker.
+    pub reinstatements: usize,
+    /// Workers permanently retired during the run, in worker order.
+    pub retired: Vec<usize>,
+    /// Pairs that failed (poison blocks, or everything left when the
+    /// last live worker died) — these come back as `None` from
+    /// [`Fleet::align_pairs_outcome`].
+    pub poison_pairs: usize,
 }
 
 impl FleetReport {
@@ -132,6 +199,12 @@ impl FleetReport {
             sim_time_s: 0.0,
             wall_s: 0.0,
             total_cells: 0,
+            errors: vec![0; workers],
+            hedges: 0,
+            quarantines: 0,
+            reinstatements: 0,
+            retired: Vec::new(),
+            poison_pairs: 0,
         }
     }
 
@@ -168,6 +241,22 @@ impl FleetReport {
                 None => self.chunks.push(n),
             }
         }
+        for (i, n) in other.errors.into_iter().enumerate() {
+            match self.errors.get_mut(i) {
+                Some(mine) => *mine += n,
+                None => self.errors.push(n),
+            }
+        }
+        self.hedges += other.hedges;
+        self.quarantines += other.quarantines;
+        self.reinstatements += other.reinstatements;
+        for w in other.retired {
+            if !self.retired.contains(&w) {
+                self.retired.push(w);
+            }
+        }
+        self.retired.sort_unstable();
+        self.poison_pairs += other.poison_pairs;
     }
 }
 
@@ -180,6 +269,14 @@ pub struct Fleet {
     /// Serial host seconds charged per worker in the simulated makespan
     /// (the balancer setup charge of paper §IV-C).
     pub setup_s_per_worker: f64,
+    /// Health scoreboard / recovery knobs (see [`FleetSupervision`]).
+    pub supervision: FleetSupervision,
+    /// Supervision trace of the most recent dynamic run. Interleaving
+    /// under the threaded scheduler is timing-dependent, so this trace
+    /// is diagnostic (which lanes erred/quarantined/recovered), not a
+    /// determinism witness — that is [`crate::faults::Supervised`]'s
+    /// and the serve simulator's job.
+    last_trace: Mutex<Vec<TraceEvent>>,
 }
 
 impl Fleet {
@@ -196,7 +293,15 @@ impl Fleet {
             backends,
             min_chunk: 1,
             setup_s_per_worker: BALANCER_SETUP_S_PER_GPU,
+            supervision: FleetSupervision::default(),
+            last_trace: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The supervision trace of the most recent [`Fleet::align_pairs`]
+    /// run (empty before the first run).
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        lock_recover(&self.last_trace).clone()
     }
 
     /// A homogeneous fleet of `n` simulated GPUs of the given spec, each
@@ -326,7 +431,57 @@ impl Fleet {
     /// [`FleetReport::assignment_sizes`]) can still vary run to run;
     /// results never do.
     pub fn align_pairs(&self, pairs: &[ReadPair]) -> (Vec<SeedExtendResult>, FleetReport) {
+        let (slots, report) = self.align_pairs_outcome(pairs);
+        let failed = slots.iter().filter(|s| s.is_none()).count();
+        let results = slots
+            .into_iter()
+            .map(|s| {
+                s.unwrap_or_else(|| {
+                    panic!(
+                        "fleet failed {failed} of {} pairs (poison blocks or all lanes dead)",
+                        pairs.len()
+                    )
+                })
+            })
+            .collect();
+        (results, report)
+    }
+
+    /// [`Fleet::align_pairs`] with partial-failure reporting: every
+    /// pair comes back `Some` (bit-identical to any other schedule) or
+    /// `None` (its chunk was declared poison after failing on
+    /// [`FleetSupervision::poison_lanes`] distinct workers, or every
+    /// worker died first). The report's scoreboard fields say what the
+    /// supervision machinery did; [`Fleet::trace`] has the step log.
+    ///
+    /// Supervision (all under [`Fleet::supervision`]):
+    ///
+    /// * Worker errors are *values* — each steal runs through
+    ///   [`AlignBackend::try_align_block`] behind
+    ///   [`crate::faults::catch_align`], so a panic or an injected
+    ///   fault requeues the chunk for another worker instead of
+    ///   unwinding the fleet (requeued chunks bypass the pacing gate:
+    ///   recovery is latency-sensitive retry, not fresh load).
+    /// * A worker whose errors hit `quarantine_after` consecutively is
+    ///   quarantined: its virtual clock is pushed `probation_delay_s`
+    ///   into the future (the pacing gate thus defers it), then its
+    ///   next steal is a probation probe (`min_chunk`, like the
+    ///   calibration probe). Success reinstates it; `max_probe_failures`
+    ///   failures retire it for good — PR 5's one-way retirement is now
+    ///   the degenerate last resort.
+    /// * Fail-stop errors retire the worker immediately; when the last
+    ///   live worker dies, the remaining work fails explicitly instead
+    ///   of hanging.
+    /// * With `hedge` on, a worker that finds the queue drained
+    ///   re-issues the last chunk still in flight elsewhere; the first
+    ///   finisher wins via the completion set and the loser's results
+    ///   are discarded, so output order and content stay bit-identical.
+    pub fn align_pairs_outcome(
+        &self,
+        pairs: &[ReadPair],
+    ) -> (Vec<Option<SeedExtendResult>>, FleetReport) {
         let start = Instant::now();
+        let sup = self.supervision;
         let order = lpt_order(pairs);
         // prefix[j] = total weight of order[..j]; the chunk quota works
         // on remaining weight, not remaining count.
@@ -336,6 +491,7 @@ impl Fleet {
             prefix.push(prefix.last().unwrap() + weight(&pairs[i]) as u64);
         }
         let n_workers = self.backends.len();
+        type Span = (usize, usize);
         struct QueueState {
             /// Heavy frontier: next unstolen index in `order`.
             lo: usize,
@@ -344,18 +500,74 @@ impl Fleet {
             observed: Vec<Option<f64>>,
             /// Virtual device clock per worker, seconds.
             clock: Vec<f64>,
-            /// Worker is currently executing a chunk.
-            busy: Vec<bool>,
-            /// Worker has exited (queue drained when it looked).
+            /// The span a worker is currently executing.
+            in_flight: Vec<Option<Span>>,
+            /// Worker thread has exited its loop.
             done: Vec<bool>,
+            /// Health scoreboard.
+            quarantined: Vec<bool>,
+            retired: Vec<bool>,
+            consecutive: Vec<usize>,
+            errors: Vec<usize>,
+            probe_failures: Vec<usize>,
+            /// Failed spans awaiting re-dispatch.
+            requeued: Vec<Span>,
+            /// Which workers each span has failed on (distinct lanes —
+            /// the poison-block counter).
+            span_failed: BTreeMap<Span, BTreeSet<usize>>,
+            /// First-result-wins set for hedged spans.
+            completed: BTreeSet<Span>,
+            /// Spans already hedged once (one extra attempt each).
+            hedged: BTreeSet<Span>,
+            /// Pairs not yet completed or failed.
+            outstanding: usize,
+            poison_pairs: usize,
+            quarantines: usize,
+            reinstatements: usize,
+            hedges: usize,
+            trace: Vec<TraceEvent>,
+        }
+        /// May worker `w` take requeued span `s`? Not one it already
+        /// failed — unless every other live worker failed it too, in
+        /// which case refusing would deadlock the tail (fault windows
+        /// are per-attempt, so a retake can still clear).
+        fn eligible(q: &QueueState, w: usize, s: (usize, usize)) -> bool {
+            match q.span_failed.get(&s) {
+                Some(f) if f.contains(&w) => {
+                    (0..q.done.len()).all(|g| g == w || q.done[g] || q.retired[g] || f.contains(&g))
+                }
+                _ => true,
+            }
+        }
+        #[derive(Clone, Copy, PartialEq)]
+        enum Work {
+            Fresh,
+            Probe,
+            Requeued,
+            Hedge,
         }
         let queue = Mutex::new(QueueState {
             lo: 0,
             hi: order.len(),
             observed: vec![None; n_workers],
             clock: vec![0.0; n_workers],
-            busy: vec![false; n_workers],
+            in_flight: vec![None; n_workers],
             done: vec![false; n_workers],
+            quarantined: vec![false; n_workers],
+            retired: vec![false; n_workers],
+            consecutive: vec![0; n_workers],
+            errors: vec![0; n_workers],
+            probe_failures: vec![0; n_workers],
+            requeued: Vec::new(),
+            span_failed: BTreeMap::new(),
+            completed: BTreeSet::new(),
+            hedged: BTreeSet::new(),
+            outstanding: order.len(),
+            poison_pairs: 0,
+            quarantines: 0,
+            reinstatements: 0,
+            hedges: 0,
+            trace: Vec::new(),
         });
         let turnstile = std::sync::Condvar::new();
         let worker_out = self.run_workers(|w, backend| {
@@ -363,120 +575,246 @@ impl Fleet {
             let mut placed: Vec<(usize, SeedExtendResult)> = Vec::new();
             let mut chunks = 0usize;
             loop {
-                let (lo, hi) = {
-                    let mut q = queue.lock().expect("fleet queue poisoned");
+                let work: Option<(Work, Span)> = {
+                    let mut q = lock_recover(&queue);
                     loop {
-                        if q.lo >= q.hi {
+                        if q.outstanding == 0 {
                             q.done[w] = true;
                             turnstile.notify_all();
-                            break;
+                            break None;
                         }
-                        // Steal when this worker is first in virtual
-                        // time: lexicographic minimum among the free
-                        // workers (exactly one qualifies), and no busy
-                        // worker is running *behind* this clock — a busy
-                        // worker's clock lower-bounds the virtual time
-                        // of its next steal, so stealing past it would
-                        // let a host-fast worker outrun a device-slow
-                        // one.
-                        let may_steal = (0..n_workers).filter(|&g| g != w && !q.done[g]).all(|g| {
-                            if q.busy[g] {
-                                q.clock[w] <= q.clock[g]
-                            } else {
-                                (q.clock[w], w) < (q.clock[g], g)
+                        if q.retired[w] {
+                            q.done[w] = true;
+                            // Last live worker dying strands the rest of
+                            // the queue: fail it now instead of hanging.
+                            if (0..n_workers).all(|g| q.done[g] || q.retired[g]) {
+                                let stranded = (q.hi - q.lo)
+                                    + q.requeued.iter().map(|s| s.1 - s.0).sum::<usize>();
+                                q.poison_pairs += stranded;
+                                q.outstanding = q.outstanding.saturating_sub(stranded);
+                                q.lo = q.hi;
+                                q.requeued.clear();
                             }
-                        });
-                        if may_steal {
-                            break;
+                            turnstile.notify_all();
+                            break None;
                         }
-                        q = turnstile
-                            .wait(q)
-                            .expect("fleet queue poisoned while waiting");
-                    }
-                    if q.done[w] {
-                        break;
-                    }
-                    let span = if q.observed[w].is_none() {
-                        // Calibration probe off the light tail.
-                        let take = self.min_chunk.max(1).min(q.hi - q.lo);
-                        q.hi -= take;
-                        (q.hi, q.hi + take)
-                    } else {
-                        let take = self.chunk_len(w, &prefix, q.lo, q.hi, &q.observed, &q.done);
-                        let lo = q.lo;
-                        q.lo += take;
-                        (lo, lo + take)
-                    };
-                    q.busy[w] = true;
-                    // The frontier moved and this worker left the free
-                    // set: wake waiters so the next-lowest clock steals.
-                    turnstile.notify_all();
-                    span
-                };
-                // If align_block panics, this worker's thread unwinds
-                // past the clock update below — without cleanup, its
-                // `busy` flag would gate every other worker onto the
-                // condvar forever and turn the panic into a process
-                // hang. The guard retires the worker and wakes the rest
-                // on any exit path; the panic itself then propagates
-                // through the scope join.
-                struct PanicRetire<'a, Q> {
-                    queue: &'a Mutex<Q>,
-                    turnstile: &'a std::sync::Condvar,
-                    w: usize,
-                    retire: fn(&mut Q, usize),
-                    armed: bool,
-                }
-                impl<Q> Drop for PanicRetire<'_, Q> {
-                    fn drop(&mut self) {
-                        if self.armed {
-                            if let Ok(mut q) = self.queue.lock() {
-                                (self.retire)(&mut q, self.w);
+                        // Re-dispatch first: requeued spans are recovery
+                        // work and bypass the pacing gate.
+                        if let Some(i) = (0..q.requeued.len()).find(|&i| {
+                            let s = q.requeued[i];
+                            eligible(&q, w, s)
+                        }) {
+                            let s = q.requeued.remove(i);
+                            let from = q
+                                .span_failed
+                                .get(&s)
+                                .and_then(|f| f.iter().next_back().copied())
+                                .unwrap_or(w);
+                            q.trace.push(TraceEvent::Redispatch {
+                                block: s.0 as u64,
+                                from,
+                                to: w,
+                            });
+                            if q.quarantined[w] {
+                                q.trace.push(TraceEvent::Probation { lane: w });
                             }
-                            self.turnstile.notify_all();
+                            q.in_flight[w] = Some(s);
+                            turnstile.notify_all();
+                            break Some((Work::Requeued, s));
                         }
+                        if q.lo < q.hi {
+                            // Steal fresh work when this worker is first
+                            // in virtual time: lexicographic minimum
+                            // among the free workers (exactly one
+                            // qualifies), and no busy worker is running
+                            // *behind* this clock — a busy worker's
+                            // clock lower-bounds the virtual time of its
+                            // next steal, so stealing past it would let
+                            // a host-fast worker outrun a device-slow
+                            // one.
+                            let may_steal = (0..n_workers)
+                                .filter(|&g| g != w && !q.done[g] && !q.retired[g])
+                                .all(|g| {
+                                    if q.in_flight[g].is_some() {
+                                        q.clock[w] <= q.clock[g]
+                                    } else {
+                                        (q.clock[w], w) < (q.clock[g], g)
+                                    }
+                                });
+                            if may_steal {
+                                // Calibration and probation probes both
+                                // take `min_chunk` off the light tail —
+                                // a cheap, makespan-safe test drive.
+                                let probing = q.observed[w].is_none() || q.quarantined[w];
+                                let span = if probing {
+                                    let take = self.min_chunk.max(1).min(q.hi - q.lo);
+                                    q.hi -= take;
+                                    (q.hi, q.hi + take)
+                                } else {
+                                    let exited: Vec<bool> =
+                                        (0..n_workers).map(|g| q.done[g] || q.retired[g]).collect();
+                                    let take = self.chunk_len(
+                                        w,
+                                        &prefix,
+                                        q.lo,
+                                        q.hi,
+                                        &q.observed,
+                                        &exited,
+                                    );
+                                    let lo = q.lo;
+                                    q.lo += take;
+                                    (lo, lo + take)
+                                };
+                                if q.quarantined[w] {
+                                    q.trace.push(TraceEvent::Probation { lane: w });
+                                }
+                                q.in_flight[w] = Some(span);
+                                turnstile.notify_all();
+                                break Some((
+                                    if probing { Work::Probe } else { Work::Fresh },
+                                    span,
+                                ));
+                            }
+                        }
+                        // Tail hedging: queue drained, nothing requeued
+                        // for us, but a chunk is still in flight on a
+                        // possibly-slow worker — re-issue it here.
+                        if sup.hedge && q.lo >= q.hi {
+                            let candidate = (0..n_workers).filter(|&g| g != w).find_map(|g| {
+                                q.in_flight[g].filter(|s| {
+                                    !q.hedged.contains(s)
+                                        && !q.completed.contains(s)
+                                        && q.span_failed.get(s).is_none_or(|f| !f.contains(&w))
+                                })
+                            });
+                            if let Some(s) = candidate {
+                                q.hedged.insert(s);
+                                q.hedges += 1;
+                                q.in_flight[w] = Some(s);
+                                turnstile.notify_all();
+                                break Some((Work::Hedge, s));
+                            }
+                        }
+                        q = turnstile.wait(q).unwrap_or_else(PoisonError::into_inner);
                     }
-                }
-                let mut guard = PanicRetire {
-                    queue: &queue,
-                    turnstile: &turnstile,
-                    w,
-                    retire: |q: &mut QueueState, w| {
-                        q.busy[w] = false;
-                        q.done[w] = true;
-                    },
-                    armed: true,
                 };
-                let idxs = &order[lo..hi];
+                let Some((_, span)) = work else { break };
+                let idxs = &order[span.0..span.1];
                 let block: Vec<ReadPair> = idxs.iter().map(|&i| pairs[i].clone()).collect();
-                let (results, rep) = backend.align_block(&block);
-                guard.armed = false;
-                let chunk_device_s = if rep.sim_time_s > 0.0 {
-                    rep.sim_time_s
-                } else {
-                    rep.wall_s
-                };
-                report.merge(rep);
-                chunks += 1;
-                placed.extend(idxs.iter().copied().zip(results));
-                // Advance the virtual clock and publish the observed
-                // lifetime rate for quota sizing.
-                let mut q = queue.lock().expect("fleet queue poisoned");
-                q.busy[w] = false;
-                q.clock[w] += chunk_device_s;
-                let elapsed = if report.sim_time_s > 0.0 {
-                    report.sim_time_s
-                } else {
-                    report.wall_s
-                };
-                if report.total_cells > 0 && elapsed > 0.0 {
-                    q.observed[w] = Some(report.total_cells as f64 / elapsed);
+                // The supervision boundary: panics become values here,
+                // injected faults arrive as values already.
+                let outcome =
+                    catch_align(|| backend.try_align_block(&block)).and_then(|inner| inner);
+                match outcome {
+                    Ok((results, rep)) => {
+                        let chunk_device_s = if rep.sim_time_s > 0.0 {
+                            rep.sim_time_s
+                        } else {
+                            rep.wall_s
+                        };
+                        report.merge(rep);
+                        chunks += 1;
+                        let mut q = lock_recover(&queue);
+                        q.in_flight[w] = None;
+                        q.clock[w] += chunk_device_s;
+                        q.consecutive[w] = 0;
+                        if q.quarantined[w] {
+                            q.quarantined[w] = false;
+                            q.probe_failures[w] = 0;
+                            q.reinstatements += 1;
+                            q.trace.push(TraceEvent::Reinstated { lane: w });
+                        }
+                        // First result wins; a hedge loser's output is
+                        // discarded so every slot fills exactly once.
+                        let first = q.completed.insert(span);
+                        if first {
+                            q.outstanding -= span.1 - span.0;
+                        }
+                        // Publish the observed lifetime rate for quota
+                        // sizing.
+                        let elapsed = if report.sim_time_s > 0.0 {
+                            report.sim_time_s
+                        } else {
+                            report.wall_s
+                        };
+                        if report.total_cells > 0 && elapsed > 0.0 {
+                            q.observed[w] = Some(report.total_cells as f64 / elapsed);
+                        }
+                        turnstile.notify_all();
+                        drop(q);
+                        if first {
+                            placed.extend(idxs.iter().copied().zip(results));
+                        }
+                    }
+                    Err(e) => {
+                        let mut q = lock_recover(&queue);
+                        q.in_flight[w] = None;
+                        q.clock[w] += sup.error_clock_s;
+                        q.errors[w] += 1;
+                        q.consecutive[w] += 1;
+                        q.trace.push(TraceEvent::Fault {
+                            lane: w,
+                            block: span.0 as u64,
+                            kind: e.kind(),
+                        });
+                        // Resolve the span unless its hedge twin is
+                        // still in flight (that attempt decides) or it
+                        // already completed elsewhere.
+                        let elsewhere =
+                            (0..n_workers).any(|g| g != w && q.in_flight[g] == Some(span));
+                        if !q.completed.contains(&span) && !elsewhere {
+                            let distinct = {
+                                let fails = q.span_failed.entry(span).or_default();
+                                fails.insert(w);
+                                fails.len()
+                            };
+                            if distinct >= sup.poison_lanes {
+                                q.trace.push(TraceEvent::Poisoned {
+                                    block: span.0 as u64,
+                                    lanes: distinct,
+                                });
+                                q.outstanding -= span.1 - span.0;
+                                q.poison_pairs += span.1 - span.0;
+                            } else {
+                                q.requeued.push(span);
+                            }
+                        }
+                        // Health scoreboard: fail-stop retires at once;
+                        // repeat offenders go quarantine → probation →
+                        // reinstated-or-retired.
+                        if e.retires_lane() {
+                            q.retired[w] = true;
+                            q.trace.push(TraceEvent::LaneDead { lane: w });
+                        } else if q.quarantined[w] {
+                            q.probe_failures[w] += 1;
+                            if q.probe_failures[w] >= sup.max_probe_failures {
+                                q.retired[w] = true;
+                                q.trace.push(TraceEvent::LaneDead { lane: w });
+                            } else {
+                                q.clock[w] += sup.probation_delay_s;
+                            }
+                        } else if q.consecutive[w] >= sup.quarantine_after {
+                            q.quarantined[w] = true;
+                            q.quarantines += 1;
+                            q.clock[w] += sup.probation_delay_s;
+                            q.trace.push(TraceEvent::Quarantined { lane: w });
+                        }
+                        turnstile.notify_all();
+                    }
                 }
-                turnstile.notify_all();
             }
             (report, placed, chunks)
         });
-        self.assemble(pairs.len(), worker_out, start)
+        let q = queue.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let (slots, mut fr) = self.assemble(pairs.len(), worker_out, start);
+        fr.errors = q.errors;
+        fr.hedges = q.hedges;
+        fr.quarantines = q.quarantines;
+        fr.reinstatements = q.reinstatements;
+        fr.retired = (0..n_workers).filter(|&g| q.retired[g]).collect();
+        fr.poison_pairs = q.poison_pairs;
+        *lock_recover(&self.last_trace) = q.trace;
+        (slots, fr)
     }
 
     /// Align `pairs` under the static LPT partition — the reference
@@ -494,7 +832,12 @@ impl Fleet {
             let placed: Vec<(usize, SeedExtendResult)> = bin.iter().copied().zip(results).collect();
             (rep, placed, 1)
         });
-        self.assemble(pairs.len(), worker_out, start)
+        let (slots, report) = self.assemble(pairs.len(), worker_out, start);
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("static schedule aligned every pair"))
+            .collect();
+        (results, report)
     }
 
     /// Run `work(worker_index, backend)` on one scoped thread per
@@ -520,14 +863,15 @@ impl Fleet {
         })
     }
 
-    /// Order-normalize per-worker outputs into input-order results and a
-    /// deployment report.
+    /// Order-normalize per-worker outputs into input-order slots (a
+    /// slot stays `None` when its pair failed) and a deployment report;
+    /// the caller fills in the scoreboard fields.
     fn assemble(
         &self,
         n_pairs: usize,
         worker_out: Vec<WorkerOutput>,
         start: Instant,
-    ) -> (Vec<SeedExtendResult>, FleetReport) {
+    ) -> (Vec<Option<SeedExtendResult>>, FleetReport) {
         let mut slots: Vec<Option<SeedExtendResult>> = vec![None; n_pairs];
         let mut per_worker = Vec::with_capacity(worker_out.len());
         let mut assignment_sizes = Vec::with_capacity(worker_out.len());
@@ -545,13 +889,9 @@ impl Fleet {
             }
             per_worker.push(report);
         }
-        let results = slots
-            .into_iter()
-            .map(|s| s.expect("every pair stolen by exactly one worker"))
-            .collect();
         let sim_time_s = max_sim + self.setup_s_per_worker * self.backends.len() as f64;
         (
-            results,
+            slots,
             FleetReport {
                 per_worker,
                 assignment_sizes,
@@ -559,8 +899,30 @@ impl Fleet {
                 sim_time_s,
                 wall_s: start.elapsed().as_secs_f64(),
                 total_cells,
+                errors: vec![0; self.backends.len()],
+                hedges: 0,
+                quarantines: 0,
+                reinstatements: 0,
+                retired: Vec::new(),
+                poison_pairs: 0,
             },
         )
+    }
+
+    /// Collapse a [`FleetReport`] into the single-block
+    /// [`BackendReport`] shape the [`AlignBackend`] impl returns:
+    /// workers ran concurrently, and the simulated time is the
+    /// makespan-plus-setup, not the per-worker max.
+    fn block_report(&self, fr: FleetReport) -> BackendReport {
+        let mut merged = BackendReport::empty();
+        let (sim_time_s, wall_s) = (fr.sim_time_s, fr.wall_s);
+        for rep in fr.per_worker {
+            merged.merge_concurrent(rep);
+        }
+        merged.blocks = 1; // one align_block call, however many chunks inside
+        merged.sim_time_s = sim_time_s;
+        merged.wall_s = wall_s;
+        merged
     }
 }
 
@@ -580,14 +942,46 @@ impl AlignBackend for Fleet {
 
     fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
         let (results, fr) = self.align_pairs(block);
-        let mut merged = BackendReport::empty();
-        for rep in fr.per_worker {
-            merged.merge_concurrent(rep);
+        (results, self.block_report(fr))
+    }
+
+    /// The fleet's own supervision applied to one block: `Ok` when
+    /// every pair completed (on whichever workers survived), an
+    /// explicit [`BackendError`] when poison pairs remain or the whole
+    /// fleet died — instead of the infallible path's panic.
+    fn try_align_block(
+        &self,
+        block: &[ReadPair],
+    ) -> Result<(Vec<SeedExtendResult>, BackendReport), BackendError> {
+        let (slots, fr) = self.align_pairs_outcome(block);
+        let failed = slots.iter().filter(|s| s.is_none()).count();
+        if failed > 0 {
+            if fr.retired.len() == self.workers() {
+                return Err(BackendError::FailStop {
+                    detail: format!(
+                        "all {} fleet lanes dead ({failed} pairs stranded)",
+                        self.workers()
+                    ),
+                });
+            }
+            return Err(BackendError::Poison {
+                detail: format!("{failed} poison pairs in block of {}", block.len()),
+                lanes: self.supervision.poison_lanes,
+            });
         }
-        merged.blocks = 1; // one align_block call, however many chunks inside
-        merged.sim_time_s = fr.sim_time_s; // makespan + setup, not per-worker max
-        merged.wall_s = fr.wall_s;
-        (results, merged)
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("no pair failed"))
+            .collect();
+        Ok((results, self.block_report(fr)))
+    }
+
+    fn try_align_block_on(
+        &self,
+        lane: usize,
+        block: &[ReadPair],
+    ) -> Result<(Vec<SeedExtendResult>, BackendReport), BackendError> {
+        self.backends[lane].try_align_block(block)
     }
 
     /// The fleet's X-drop parameters when every member agrees (the only
@@ -947,13 +1341,33 @@ mod tests {
         }
     }
 
+    /// A backend that panics on every block.
+    struct AlwaysPanic;
+
+    impl AlignBackend for AlwaysPanic {
+        fn name(&self) -> String {
+            "always-panic".into()
+        }
+        fn throughput_hint(&self) -> f64 {
+            1.0
+        }
+        fn max_block(&self) -> usize {
+            usize::MAX
+        }
+        fn align_block(&self, _block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
+            panic!("injected permanent failure");
+        }
+    }
+
     #[test]
-    fn worker_panic_propagates_instead_of_hanging() {
-        // A panic inside align_block must unwind out of align_pairs —
-        // before the retire guard, the dead worker's `busy` flag gated
-        // every other worker onto the condvar forever and the scope
-        // join hung the process.
+    fn worker_panic_is_contained_and_work_completes() {
+        // PR 5 turned a worker panic from a process hang into an
+        // unwind; supervision turns it into a requeued chunk — the
+        // fleet completes every pair on the surviving attempts and the
+        // scoreboard records the fault.
         let ps = pairs(30);
+        let reference = XDropCpuAligner::new(1, Scoring::default(), 30, Engine::Scalar);
+        let (want, _) = reference.align_block(&ps);
         for fail_at in [0usize, 2] {
             let fleet = Fleet::new(vec![
                 Box::new(PanicOnBlock {
@@ -967,10 +1381,122 @@ mod tests {
                     Engine::Scalar,
                 )),
             ]);
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fleet.align_pairs(&ps)));
-            assert!(outcome.is_err(), "panic must propagate (fail_at={fail_at})");
+            let (results, rep) = fleet.align_pairs(&ps);
+            assert_eq!(results, want, "fail_at={fail_at}");
+            assert_eq!(rep.errors.iter().sum::<usize>(), 1, "fail_at={fail_at}");
+            assert_eq!(rep.poison_pairs, 0);
+            assert!(fleet
+                .trace()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Fault { kind: "panic", .. })));
         }
+    }
+
+    #[test]
+    fn always_failing_worker_is_quarantined_then_retired() {
+        let ps = pairs(30);
+        let mut fleet = Fleet::new(vec![
+            Box::new(AlwaysPanic),
+            Box::new(XDropCpuAligner::new(
+                1,
+                Scoring::default(),
+                30,
+                Engine::Scalar,
+            )),
+        ]);
+        // Zero delays so the whole quarantine → probation → retired
+        // arc fits inside one short run: with the default probation
+        // delay the healthy worker drains the queue long before the
+        // sick one's virtual clock readmits it (which is the point of
+        // the delay, but not of this test).
+        fleet.supervision.probation_delay_s = 0.0;
+        fleet.supervision.error_clock_s = 0.0;
+        let reference = XDropCpuAligner::new(1, Scoring::default(), 30, Engine::Scalar);
+        let (want, _) = reference.align_block(&ps);
+        let (results, rep) = fleet.align_pairs(&ps);
+        assert_eq!(results, want, "healthy worker absorbs the requeues");
+        assert!(rep.errors[0] >= 2, "{:?}", rep.errors);
+        assert_eq!(rep.quarantines, 1);
+        assert_eq!(rep.reinstatements, 0);
+        assert_eq!(rep.retired, vec![0], "probation must not resurrect it");
+        let trace = fleet.trace();
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Quarantined { lane: 0 })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::LaneDead { lane: 0 })));
+    }
+
+    #[test]
+    fn all_workers_dead_fails_work_not_process() {
+        let ps = pairs(12);
+        let fleet = Fleet::new(vec![Box::new(AlwaysPanic), Box::new(AlwaysPanic)]);
+        let (slots, rep) = fleet.align_pairs_outcome(&ps);
+        assert!(slots.iter().all(Option::is_none));
+        assert_eq!(rep.poison_pairs, ps.len());
+        assert_eq!(rep.retired, vec![0, 1]);
+        // The fallible block path maps this to an explicit error…
+        let err = fleet.try_align_block(&ps).unwrap_err();
+        assert_eq!(err.kind(), "failstop");
+        // …and the infallible path panics instead of hanging.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fleet.align_pairs(&ps)));
+        assert!(outcome.is_err());
+    }
+
+    /// A healthy backend that sleeps before answering — a straggler.
+    struct Straggler {
+        inner: XDropCpuAligner,
+        delay: std::time::Duration,
+    }
+
+    impl AlignBackend for Straggler {
+        fn name(&self) -> String {
+            "straggler".into()
+        }
+        fn throughput_hint(&self) -> f64 {
+            0.05
+        }
+        fn max_block(&self) -> usize {
+            usize::MAX
+        }
+        fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
+            std::thread::sleep(self.delay);
+            self.inner.align_block(block)
+        }
+    }
+
+    #[test]
+    fn tail_hedging_keeps_results_bit_identical() {
+        // Two pairs force the schedule: worker 0 (the tie-break
+        // minimum) probes pair A and sleeps on it; worker 1 probes
+        // pair B, finds the queue drained with A still in flight, and
+        // hedges it — first result wins, so the straggler's late copy
+        // is discarded.
+        let ps = pairs(2);
+        let reference = XDropCpuAligner::new(1, Scoring::default(), 30, Engine::Scalar);
+        let (want, _) = reference.align_block(&ps);
+        let mut fleet = Fleet::new(vec![
+            Box::new(Straggler {
+                inner: XDropCpuAligner::new(1, Scoring::default(), 30, Engine::Scalar),
+                delay: std::time::Duration::from_millis(500),
+            }),
+            Box::new(XDropCpuAligner::new(
+                1,
+                Scoring::default(),
+                30,
+                Engine::Scalar,
+            )),
+        ]);
+        fleet.supervision.hedge = true;
+        let (results, rep) = fleet.align_pairs(&ps);
+        assert_eq!(results, want, "first-result-wins must not change output");
+        assert_eq!(
+            rep.hedges, 1,
+            "fast worker must hedge the straggler's chunk: {rep:?}"
+        );
+        assert_eq!(rep.poison_pairs, 0);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`backend`] — the [`backend::AlignBackend`] trait every extension
 //!   engine implements (CPU pool, single GPU, multi-GPU, fleet), plus
 //!   the unified mergeable [`backend::BackendReport`].
+//! * [`faults`] — deterministic fault injection ([`faults::ChaosBackend`]
+//!   over a seeded [`faults::FaultPlan`]) and self-healing supervision
+//!   ([`faults::Supervised`]: bounded retry, re-dispatch, poison-block
+//!   detection) shared by the fleet scoreboard and the serve simulator.
 //! * [`multi_gpu`] — the multi-GPU load balancer (paper §IV-C, Fig. 7),
 //!   now the static schedule of a homogeneous fleet.
 //! * [`fleet`] — the work-stealing heterogeneous scheduler: one worker
@@ -44,6 +48,7 @@ pub mod backend;
 pub mod calibration;
 pub mod comparators;
 pub mod executor;
+pub mod faults;
 pub mod fleet;
 pub mod kernel;
 pub mod multi_gpu;
@@ -51,6 +56,10 @@ pub mod platform;
 
 pub use backend::{AlignBackend, BackendReport, GpuBackend};
 pub use executor::{GpuBatchReport, LoganConfig, LoganExecutor, ThreadPolicy};
+pub use faults::{
+    BackendError, ChaosBackend, ChaosSpec, Fault, FaultPlan, SupervisePolicy, Supervised,
+    TraceEvent,
+};
 pub use fleet::{Fleet, FleetReport, FleetSpec, FleetWorker};
 pub use kernel::{ExtensionJob, KernelPolicy, LoganKernel};
 pub use multi_gpu::{MultiGpu, MultiGpuReport};

@@ -9,6 +9,7 @@
 //! one, so the admission property tests exercise exactly the code the
 //! daemon runs.
 
+use crate::lock::lock_recover;
 use crate::request::{ServeError, TenantId};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -52,7 +53,7 @@ impl Admission {
     /// Admit `pairs` for `tenant`, or explain the refusal. On success
     /// the pairs count against the tenant until [`Admission::release`].
     pub fn try_admit(&self, tenant: TenantId, pairs: usize) -> Result<(), ServeError> {
-        let mut st = self.state.lock().expect("admission state poisoned");
+        let mut st = lock_recover(&self.state);
         let in_flight = st.in_flight.get(&tenant).copied().unwrap_or(0);
         if in_flight + pairs > self.quota_pairs {
             return Err(ServeError::OverQuota {
@@ -73,7 +74,7 @@ impl Admission {
     /// admitted request, when its single reply is sent (success *or*
     /// failure), so refused work never leaks quota.
     pub fn release(&self, tenant: TenantId, pairs: usize) {
-        let mut st = self.state.lock().expect("admission state poisoned");
+        let mut st = lock_recover(&self.state);
         let in_flight = st.in_flight.entry(tenant).or_insert(0);
         debug_assert!(*in_flight >= pairs, "released more pairs than admitted");
         *in_flight = in_flight.saturating_sub(pairs);
@@ -81,9 +82,7 @@ impl Admission {
 
     /// Current in-flight pairs for `tenant`.
     pub fn in_flight(&self, tenant: TenantId) -> usize {
-        self.state
-            .lock()
-            .expect("admission state poisoned")
+        lock_recover(&self.state)
             .in_flight
             .get(&tenant)
             .copied()
@@ -94,9 +93,7 @@ impl Admission {
     /// the invariant witness: it must never exceed
     /// [`Admission::quota_pairs`].
     pub fn peak_in_flight(&self) -> usize {
-        self.state
-            .lock()
-            .expect("admission state poisoned")
+        lock_recover(&self.state)
             .peak
             .values()
             .copied()

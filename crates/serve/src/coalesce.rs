@@ -54,6 +54,11 @@ struct PendingRequest {
     pairs: Vec<ReadPair>,
     /// First pair not yet handed to a batch.
     cursor: usize,
+    /// When the request was queued, in the caller's clock domain
+    /// (simulated seconds for the simulator, seconds since server
+    /// start for the threaded server). Only read by
+    /// [`Coalescer::purge_expired`].
+    arrival_s: f64,
 }
 
 /// The FIFO coalescing queue.
@@ -80,20 +85,51 @@ impl Coalescer {
         }
     }
 
-    /// Enqueue an admitted request's pairs.
+    /// Enqueue an admitted request's pairs (arrival time 0 — use
+    /// [`Coalescer::push_at`] when deadlines matter).
     ///
     /// # Panics
     ///
     /// Panics on an empty request — the server replies to those
     /// directly without queueing (nothing to align).
     pub fn push(&mut self, id: RequestId, pairs: Vec<ReadPair>) {
+        self.push_at(id, pairs, 0.0);
+    }
+
+    /// Enqueue an admitted request's pairs, stamped with its arrival
+    /// time so [`Coalescer::purge_expired`] can age it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty request — the server replies to those
+    /// directly without queueing (nothing to align).
+    pub fn push_at(&mut self, id: RequestId, pairs: Vec<ReadPair>, arrival_s: f64) {
         assert!(!pairs.is_empty(), "empty requests are not queued");
         self.pending_pairs += pairs.len();
         self.pending.push_back(PendingRequest {
             id,
             pairs,
             cursor: 0,
+            arrival_s,
         });
+    }
+
+    /// Evict every request that is older than `deadline_s` at time
+    /// `now_s` *and* has no pair dispatched yet (`cursor == 0`),
+    /// returning their ids in FIFO order. Requests with pairs already
+    /// in flight are kept: their device time is spent either way, so
+    /// they run to a normal reply rather than wasting the work.
+    pub fn purge_expired(&mut self, now_s: f64, deadline_s: f64) -> Vec<RequestId> {
+        let mut expired = Vec::new();
+        self.pending.retain(|r| {
+            let keep = r.cursor > 0 || now_s - r.arrival_s <= deadline_s;
+            if !keep {
+                expired.push(r.id);
+            }
+            keep
+        });
+        self.pending_pairs = self.pending.iter().map(|r| r.pairs.len() - r.cursor).sum();
+        expired
     }
 
     /// Requests with at least one unbatched pair — what the bounded
@@ -273,6 +309,28 @@ mod tests {
         assert_eq!((b2.spans.len(), b2.pairs.len()), (1, 5));
         assert!(!b2.is_coalesced());
         assert!(c.next_request_batch().is_none());
+    }
+
+    #[test]
+    fn purge_expires_only_undispatched_requests() {
+        let mut c = Coalescer::new(2);
+        c.push_at(1, pairs(3, 11), 0.0); // will be split: cursor > 0
+        c.push_at(2, pairs(2, 12), 0.1); // untouched, old
+        c.push_at(3, pairs(1, 13), 0.9); // untouched, fresh
+        let _ = c.next_batch(); // takes 2 of request 1's pairs
+        let expired = c.purge_expired(1.0, 0.5);
+        assert_eq!(expired, vec![2], "in-flight and fresh requests stay");
+        assert_eq!(c.pending_pairs(), 2, "request 1's tail + request 3");
+        // The survivors still drain normally.
+        let mut served = 0;
+        while let Some(b) = c.next_batch() {
+            served += b.pairs.len();
+        }
+        assert_eq!(served, 2);
+        // No deadline pressure: nothing expires.
+        let mut c = Coalescer::new(4);
+        c.push_at(9, pairs(2, 14), 0.0);
+        assert!(c.purge_expired(0.1, 10.0).is_empty());
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub struct ServeConfig {
     /// pays once per *batch*. Only the simulator reads it; the threaded
     /// server's wall clock measures the real thing.
     pub batch_setup_s: f64,
+    /// Optional per-request deadline in seconds from arrival. A request
+    /// still *fully queued* (no pair dispatched yet) past this age is
+    /// evicted at batch formation with an explicit
+    /// [`crate::ServeError::DeadlineExceeded`] reply instead of
+    /// occupying the queue; a request with pairs already in flight runs
+    /// to a normal reply. `None` (the default) disables expiry. The
+    /// threaded server ages requests on its wall clock; the simulator
+    /// on the simulated clock.
+    pub deadline_s: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -37,6 +46,7 @@ impl Default for ServeConfig {
             queue_depth: 256,
             quota_pairs: 4096,
             batch_setup_s: SERVE_BATCH_SETUP_S,
+            deadline_s: None,
         }
     }
 }
@@ -69,6 +79,13 @@ impl ServeConfig {
                 self.batch_setup_s
             ));
         }
+        if let Some(d) = self.deadline_s {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(format!(
+                    "serve config: deadline_s must be finite and positive, got {d} (omit the key to disable deadlines)"
+                ));
+            }
+        }
         Ok(self)
     }
 }
@@ -77,13 +94,13 @@ impl std::str::FromStr for ServeConfig {
     type Err = String;
 
     /// Parse a compact `key=value` list over the defaults, e.g.
-    /// `batch=64,queue=256,quota=4096` (keys: `batch`, `queue`,
-    /// `quota`, `setup`; any subset, any order). The result is
-    /// [`ServeConfig::validated`], so `quota=0` and friends are parse
-    /// errors, not latent panics.
+    /// `batch=64,queue=256,quota=4096,deadline=0.5` (keys: `batch`,
+    /// `queue`, `quota`, `setup`, `deadline`; any subset, any order).
+    /// The result is [`ServeConfig::validated`], so `quota=0` and
+    /// friends are parse errors, not latent panics.
     fn from_str(s: &str) -> Result<ServeConfig, String> {
         if s.trim().is_empty() {
-            return Err("empty serve config (expected key=value[,key=value...], keys: batch, queue, quota, setup)".into());
+            return Err("empty serve config (expected key=value[,key=value...], keys: batch, queue, quota, setup, deadline)".into());
         }
         let mut cfg = ServeConfig::default();
         for term in s.split(',') {
@@ -116,9 +133,17 @@ impl std::str::FromStr for ServeConfig {
                         .parse()
                         .map_err(|e| format!("serve config setup: {e}"))?
                 }
+                "deadline" => {
+                    cfg.deadline_s = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|e| format!("serve config deadline: {e}"))?,
+                    )
+                }
                 other => {
                     return Err(format!(
-                    "serve config: unknown key {other:?} (expected batch, queue, quota or setup)"
+                    "serve config: unknown key {other:?} (expected batch, queue, quota, setup or deadline)"
                 ))
                 }
             }
@@ -145,6 +170,9 @@ mod tests {
         let cfg: ServeConfig = " queue=3 , setup=0.5 ".parse().unwrap();
         assert_eq!(cfg.queue_depth, 3);
         assert_eq!(cfg.batch_setup_s, 0.5);
+        assert_eq!(cfg.deadline_s, None, "deadlines default off");
+        let cfg: ServeConfig = "deadline=0.25".parse().unwrap();
+        assert_eq!(cfg.deadline_s, Some(0.25));
     }
 
     /// The satellite rejection paths: every zero/degenerate knob fails
@@ -158,6 +186,9 @@ mod tests {
             ("quota=0", "quota_pairs must be at least 1"),
             ("setup=-1", "batch_setup_s must be finite and non-negative"),
             ("setup=NaN", "batch_setup_s must be finite"),
+            ("deadline=0", "deadline_s must be finite and positive"),
+            ("deadline=NaN", "deadline_s must be finite"),
+            ("deadline=soon", "serve config deadline"),
             ("batch", "expected key=value"),
             ("pairs=9", "unknown key"),
             ("batch=many", "serve config batch"),
@@ -188,6 +219,10 @@ mod tests {
             },
             ServeConfig {
                 batch_setup_s: f64::INFINITY,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                deadline_s: Some(-0.5),
                 ..ServeConfig::default()
             },
         ] {

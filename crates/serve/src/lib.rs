@@ -35,6 +35,7 @@
 pub mod admission;
 pub mod coalesce;
 pub mod config;
+mod lock;
 pub mod request;
 pub mod server;
 pub mod sim;

@@ -80,6 +80,15 @@ pub enum ServeError {
     /// The request arrived after shutdown began. Requests admitted
     /// *before* shutdown are drained, not rejected.
     ShuttingDown,
+    /// The request sat queued past the configured per-request deadline
+    /// ([`crate::ServeConfig::deadline_s`]) without any of its pairs
+    /// being dispatched, and was evicted at batch formation. A late
+    /// explicit reply beats occupying the queue: the client already
+    /// gave up, and the slot goes to a request that can still make its
+    /// deadline. Requests with pairs already in flight are *not*
+    /// expired — their device time is spent either way, so they run to
+    /// a normal reply.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -99,6 +108,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::BackendFailed { detail } => write!(f, "backend failed: {detail}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request expired in queue past its deadline")
+            }
         }
     }
 }

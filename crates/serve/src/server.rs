@@ -25,18 +25,22 @@
 use crate::admission::Admission;
 use crate::coalesce::{Batch, Coalescer};
 use crate::config::ServeConfig;
+use crate::lock::{lock_recover, wait_recover};
 use crate::request::{AlignResponse, Reply, ReplyHandle, RequestId, ServeError, TenantId};
 use logan_align::SeedExtendResult;
+use logan_core::faults::{catch_align, BackendError};
 use logan_core::AlignBackend;
 use logan_seq::readsim::ReadPair;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Lifetime counters of one server, returned by [`Server::shutdown`].
-/// `submitted == completed + failed + over_quota + rejected_shutdown`
-/// once the server has drained — the exactly-once ledger.
+/// `submitted == completed + failed + over_quota + rejected_shutdown +
+/// deadline_exceeded` once the server has drained — the exactly-once
+/// ledger.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests submitted (including refused ones).
@@ -49,6 +53,9 @@ pub struct ServeStats {
     pub over_quota: usize,
     /// Requests refused because shutdown had begun.
     pub rejected_shutdown: usize,
+    /// Requests evicted from the queue past their deadline
+    /// ([`ServeError::DeadlineExceeded`]).
+    pub deadline_exceeded: usize,
     /// Backend submissions issued.
     pub batches: usize,
     /// Pairs across all submissions.
@@ -86,6 +93,8 @@ struct Shared {
     admission: Admission,
     stats: Mutex<ServeStats>,
     next_id: AtomicU64,
+    /// Wall-clock origin for request ages (deadline accounting).
+    epoch: Instant,
 }
 
 impl Shared {
@@ -93,7 +102,7 @@ impl Shared {
     /// whose last outstanding pair this fills gets its (single) reply.
     fn complete_batch(&self, batch: &Batch, results: Vec<SeedExtendResult>) {
         debug_assert_eq!(results.len(), batch.pairs.len());
-        let mut asm = self.assemblies.lock().expect("assembly table poisoned");
+        let mut asm = lock_recover(&self.assemblies);
         let mut off = 0usize;
         for span in &batch.spans {
             let chunk = &results[off..off + span.len];
@@ -124,7 +133,7 @@ impl Shared {
                     batches: a.batches,
                 }));
                 self.admission.release(a.tenant, pairs);
-                self.stats.lock().expect("stats poisoned").completed += 1;
+                lock_recover(&self.stats).completed += 1;
             }
         }
     }
@@ -132,93 +141,125 @@ impl Shared {
     /// Fail one request (if it has not already been replied to):
     /// explicit error reply, quota released, counted.
     fn fail_request(&self, id: RequestId, detail: &str) {
-        let mut asm = self.assemblies.lock().expect("assembly table poisoned");
+        let mut asm = lock_recover(&self.assemblies);
         if let Some(a) = asm.remove(&id) {
             let _ = a.tx.send(Err(ServeError::BackendFailed {
                 detail: detail.to_string(),
             }));
             self.admission.release(a.tenant, a.slots.len());
-            self.stats.lock().expect("stats poisoned").failed += 1;
+            lock_recover(&self.stats).failed += 1;
+        }
+    }
+
+    /// Expire one queued request past its deadline: explicit
+    /// [`ServeError::DeadlineExceeded`] reply, quota released, counted.
+    fn expire_request(&self, id: RequestId) {
+        let mut asm = lock_recover(&self.assemblies);
+        if let Some(a) = asm.remove(&id) {
+            let _ = a.tx.send(Err(ServeError::DeadlineExceeded));
+            self.admission.release(a.tenant, a.slots.len());
+            lock_recover(&self.stats).deadline_exceeded += 1;
         }
     }
 
     fn bump_batch_stats(&self, batch: &Batch) {
-        let mut stats = self.stats.lock().expect("stats poisoned");
+        let mut stats = lock_recover(&self.stats);
         stats.batches += 1;
         stats.batched_pairs += batch.pairs.len();
         stats.coalesced_batches += batch.is_coalesced() as usize;
         stats.max_batch_pairs = stats.max_batch_pairs.max(batch.pairs.len());
     }
 
-    /// One lane's serving loop: take a batch, align it, scatter the
-    /// results; on a backend panic, fail the batch's requests, retire
-    /// this lane, and — if it was the last — fail everything queued so
+    /// Retire this lane; if it was the last, fail everything queued so
     /// nothing waits on a server that can no longer serve.
+    fn retire_lane(&self) {
+        let orphans = {
+            let mut st = lock_recover(&self.state);
+            st.alive -= 1;
+            lock_recover(&self.stats).lanes_retired += 1;
+            let orphans = if st.alive == 0 {
+                // Last lane down: nobody is left to drain the queue —
+                // fail it rather than hang it.
+                st.queue.drain_requests()
+            } else {
+                Vec::new()
+            };
+            self.cv.notify_all();
+            orphans
+        };
+        for id in orphans {
+            self.fail_request(id, "all backend lanes retired after panics");
+        }
+    }
+
+    /// One lane's serving loop: evict deadline-expired requests, take a
+    /// batch, align it on the fallible path ([`AlignBackend::try_align_block_on`]
+    /// with panics caught as [`BackendError::Panic`]), scatter the
+    /// results. A transient or poison error fails only that batch's
+    /// requests — the lane keeps serving; a fail-stop or panic retires
+    /// the lane (PR 5's one-way retirement, now the degenerate case).
     fn serve_lane(&self, lane: usize) {
         loop {
-            let batch = {
-                let mut st = self.state.lock().expect("serve queue poisoned");
+            let (batch, expired) = {
+                let mut st = lock_recover(&self.state);
                 loop {
+                    let expired = match self.cfg.deadline_s {
+                        Some(d) => st
+                            .queue
+                            .purge_expired(self.epoch.elapsed().as_secs_f64(), d),
+                        None => Vec::new(),
+                    };
                     if let Some(batch) = st.queue.next_batch() {
                         // Queue space freed: wake blocked submitters
                         // (and idle lanes, if pairs remain).
                         self.cv.notify_all();
-                        break Some(batch);
+                        break (Some(batch), expired);
                     }
                     if st.closed {
-                        break None;
+                        break (None, expired);
                     }
-                    st = self
-                        .cv
-                        .wait(st)
-                        .expect("serve queue poisoned while waiting");
+                    if !expired.is_empty() {
+                        // Evictions freed queue space too.
+                        self.cv.notify_all();
+                        break (None, expired);
+                    }
+                    st = wait_recover(&self.cv, st);
                 }
             };
+            for id in expired {
+                self.expire_request(id);
+            }
             let Some(batch) = batch else {
-                return; // drained and closed: graceful exit
+                let closed = lock_recover(&self.state).closed;
+                if closed {
+                    return; // drained and closed: graceful exit
+                }
+                continue; // only evictions this round: keep serving
             };
             self.bump_batch_stats(&batch);
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.backend.align_block_on(lane, &batch.pairs)
-            }));
+            let outcome = catch_align(|| self.backend.try_align_block_on(lane, &batch.pairs))
+                .and_then(|inner| inner);
             match outcome {
                 Ok((results, _report)) => self.complete_batch(&batch, results),
-                Err(payload) => {
-                    let detail = panic_detail(&payload);
+                Err(err) => {
+                    let detail = err.to_string();
                     for span in &batch.spans {
                         self.fail_request(span.req, &detail);
                     }
-                    let orphans = {
-                        let mut st = self.state.lock().expect("serve queue poisoned");
-                        st.alive -= 1;
-                        self.stats.lock().expect("stats poisoned").lanes_retired += 1;
-                        let orphans = if st.alive == 0 {
-                            // Last lane down: nobody is left to drain
-                            // the queue — fail it rather than hang it.
-                            st.queue.drain_requests()
-                        } else {
-                            Vec::new()
-                        };
-                        self.cv.notify_all();
-                        orphans
-                    };
-                    for id in orphans {
-                        self.fail_request(id, "all backend lanes retired after panics");
+                    match err {
+                        // Recoverable or data-bound: the batch failed,
+                        // the lane is fine.
+                        BackendError::Transient { .. } | BackendError::Poison { .. } => continue,
+                        // The lane is gone (device off the bus) or in
+                        // an unknown state (unwound mid-kernel): retire.
+                        BackendError::FailStop { .. } | BackendError::Panic { .. } => {
+                            self.retire_lane();
+                            return; // this lane is done
+                        }
                     }
-                    return; // this lane is done
                 }
             }
         }
-    }
-}
-
-fn panic_detail(payload: &Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        format!("backend lane panicked: {s}")
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        format!("backend lane panicked: {s}")
-    } else {
-        "backend lane panicked".to_string()
     }
 }
 
@@ -250,6 +291,7 @@ impl Server {
             assemblies: Mutex::new(HashMap::new()),
             stats: Mutex::new(ServeStats::default()),
             next_id: AtomicU64::new(0),
+            epoch: Instant::now(),
             cfg,
             backend,
         });
@@ -289,39 +331,32 @@ impl Server {
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let handle = ReplyHandle { id, rx };
-        shared.stats.lock().expect("stats poisoned").submitted += 1;
+        lock_recover(&shared.stats).submitted += 1;
         if pairs.is_empty() {
             let _ = tx.send(Ok(AlignResponse {
                 id,
                 results: Vec::new(),
                 batches: 0,
             }));
-            shared.stats.lock().expect("stats poisoned").completed += 1;
+            lock_recover(&shared.stats).completed += 1;
             return handle;
         }
         if let Err(refusal) = shared.admission.try_admit(tenant, pairs.len()) {
             let _ = tx.send(Err(refusal));
-            shared.stats.lock().expect("stats poisoned").over_quota += 1;
+            lock_recover(&shared.stats).over_quota += 1;
             return handle;
         }
         // Admitted: hold quota until the single reply, whatever it is.
-        let mut st = shared.state.lock().expect("serve queue poisoned");
+        let mut st = lock_recover(&shared.state);
         while st.queue.pending_requests() >= shared.cfg.queue_depth && !st.closed && st.alive > 0 {
-            st = shared
-                .cv
-                .wait(st)
-                .expect("serve queue poisoned while waiting");
+            st = wait_recover(&shared.cv, st);
         }
         if st.closed || st.alive == 0 {
             let reply = if st.closed {
-                shared
-                    .stats
-                    .lock()
-                    .expect("stats poisoned")
-                    .rejected_shutdown += 1;
+                lock_recover(&shared.stats).rejected_shutdown += 1;
                 Err(ServeError::ShuttingDown)
             } else {
-                shared.stats.lock().expect("stats poisoned").failed += 1;
+                lock_recover(&shared.stats).failed += 1;
                 Err(ServeError::BackendFailed {
                     detail: "all backend lanes retired after panics".into(),
                 })
@@ -333,21 +368,18 @@ impl Server {
         }
         // Register the assembly before the queue sees the request, so a
         // fast lane cannot complete pairs that have nowhere to land.
-        shared
-            .assemblies
-            .lock()
-            .expect("assembly table poisoned")
-            .insert(
-                id,
-                Assembly {
-                    tenant,
-                    slots: vec![None; pairs.len()],
-                    filled: 0,
-                    batches: 0,
-                    tx,
-                },
-            );
-        st.queue.push(id, pairs);
+        lock_recover(&shared.assemblies).insert(
+            id,
+            Assembly {
+                tenant,
+                slots: vec![None; pairs.len()],
+                filled: 0,
+                batches: 0,
+                tx,
+            },
+        );
+        st.queue
+            .push_at(id, pairs, shared.epoch.elapsed().as_secs_f64());
         shared.cv.notify_all();
         drop(st);
         handle
@@ -364,41 +396,32 @@ impl Server {
     /// (final) stats again.
     pub fn shutdown(&self) -> ServeStats {
         {
-            let mut st = self.shared.state.lock().expect("serve queue poisoned");
+            let mut st = lock_recover(&self.shared.state);
             st.closed = true;
             self.shared.cv.notify_all();
         }
-        let workers: Vec<_> = self
-            .workers
-            .lock()
-            .expect("worker table poisoned")
-            .drain(..)
-            .collect();
+        let workers: Vec<_> = lock_recover(&self.workers).drain(..).collect();
         for w in workers {
             let _ = w.join();
         }
         // Defensive sweep: with the lanes joined, every admitted
-        // request must have been replied to. If one slipped through, a
-        // late error reply still beats a client waiting forever.
-        let leftovers: Vec<RequestId> = {
-            let asm = self
-                .shared
-                .assemblies
-                .lock()
-                .expect("assembly table poisoned");
-            debug_assert!(asm.is_empty(), "shutdown left unreplied assemblies");
-            asm.keys().copied().collect()
-        };
+        // request must have been replied to. If one slipped through
+        // (e.g. a lane died with a lock poisoned mid-scatter), a late
+        // error reply still beats a client waiting forever.
+        let leftovers: Vec<RequestId> = lock_recover(&self.shared.assemblies)
+            .keys()
+            .copied()
+            .collect();
         for id in leftovers {
             self.shared
                 .fail_request(id, "server shut down with the request unreplied");
         }
-        self.shared.stats.lock().expect("stats poisoned").clone()
+        lock_recover(&self.shared.stats).clone()
     }
 
     /// Lifetime counters so far (shutdown returns the final ledger).
     pub fn stats(&self) -> ServeStats {
-        self.shared.stats.lock().expect("stats poisoned").clone()
+        lock_recover(&self.shared.stats).clone()
     }
 }
 
@@ -494,5 +517,166 @@ mod tests {
         let reply = server.submit(0, reqs(&[1], 3).remove(0)).recv();
         assert_eq!(reply, Err(ServeError::ShuttingDown));
         assert_eq!(server.stats().rejected_shutdown, 1);
+    }
+
+    /// The satellite regression: a lane dying while it holds the stats
+    /// mutex used to poison it, and every later `.expect("stats
+    /// poisoned")` turned unrelated submissions into panics. With the
+    /// recovering lock discipline the server keeps serving.
+    #[test]
+    fn poisoned_stats_lock_does_not_cascade() {
+        let server = Server::start(cpu_backend(), ServeConfig::default()).unwrap();
+        // Panic mid-stats-update, exactly as a dying lane would.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = server.shared.stats.lock().unwrap();
+            panic!("injected: lane died mid-stats-update");
+        }));
+        assert!(server.shared.stats.is_poisoned(), "the lock is poisoned");
+        // Unrelated requests still complete, and the ledger still adds up.
+        let pairs = reqs(&[3], 21).remove(0);
+        let resp = server.submit(0, pairs).recv().expect("server must survive");
+        assert_eq!(resp.results.len(), 3);
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.submitted, 1);
+    }
+
+    /// A backend whose lane sleeps before serving — long enough for a
+    /// queued request to age past the test's deadline.
+    struct Slow {
+        inner: Arc<dyn AlignBackend>,
+        delay: std::time::Duration,
+    }
+
+    impl AlignBackend for Slow {
+        fn name(&self) -> String {
+            format!("slow({})", self.inner.name())
+        }
+        fn throughput_hint(&self) -> f64 {
+            self.inner.throughput_hint()
+        }
+        fn max_block(&self) -> usize {
+            self.inner.max_block()
+        }
+        fn align_block(
+            &self,
+            block: &[ReadPair],
+        ) -> (Vec<SeedExtendResult>, logan_core::BackendReport) {
+            std::thread::sleep(self.delay);
+            self.inner.align_block(block)
+        }
+    }
+
+    #[test]
+    fn queued_request_past_its_deadline_gets_an_explicit_reply() {
+        let server = Server::start(
+            Arc::new(Slow {
+                inner: cpu_backend(),
+                delay: std::time::Duration::from_millis(200),
+            }),
+            ServeConfig {
+                batch_pairs: 2,
+                deadline_s: Some(0.02),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        // A fills the first batch exactly and holds the only lane for
+        // 200 ms. Wait until it is actually in flight (so A itself can
+        // never be the one purged), then queue B, which ages past the
+        // 20 ms deadline while the lane sleeps.
+        let a = server.submit(0, reqs(&[2], 31).remove(0));
+        for _ in 0..500 {
+            if server.stats().batches >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(server.stats().batches, 1, "request A must be in flight");
+        let b = server.submit(0, reqs(&[1], 32).remove(0));
+        assert_eq!(
+            a.recv().expect("in-flight request completes").results.len(),
+            2
+        );
+        assert_eq!(b.recv(), Err(ServeError::DeadlineExceeded));
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(
+            stats.submitted,
+            stats.completed
+                + stats.failed
+                + stats.over_quota
+                + stats.rejected_shutdown
+                + stats.deadline_exceeded,
+            "the exactly-once ledger balances"
+        );
+    }
+
+    /// A backend returning transient errors for the first `fails`
+    /// fallible calls, then healthy.
+    struct Flaky {
+        inner: Arc<dyn AlignBackend>,
+        fails: Mutex<usize>,
+    }
+
+    impl AlignBackend for Flaky {
+        fn name(&self) -> String {
+            format!("flaky({})", self.inner.name())
+        }
+        fn throughput_hint(&self) -> f64 {
+            self.inner.throughput_hint()
+        }
+        fn max_block(&self) -> usize {
+            self.inner.max_block()
+        }
+        fn align_block(
+            &self,
+            block: &[ReadPair],
+        ) -> (Vec<SeedExtendResult>, logan_core::BackendReport) {
+            self.inner.align_block(block)
+        }
+        fn try_align_block_on(
+            &self,
+            lane: usize,
+            block: &[ReadPair],
+        ) -> Result<(Vec<SeedExtendResult>, logan_core::BackendReport), BackendError> {
+            let mut fails = self.fails.lock().unwrap();
+            if *fails > 0 {
+                *fails -= 1;
+                return Err(BackendError::Transient {
+                    detail: "simulated ECC hiccup".into(),
+                });
+            }
+            drop(fails);
+            self.inner.try_align_block_on(lane, block)
+        }
+    }
+
+    #[test]
+    fn transient_error_fails_the_batch_but_the_lane_keeps_serving() {
+        let server = Server::start(
+            Arc::new(Flaky {
+                inner: cpu_backend(),
+                fails: Mutex::new(1),
+            }),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        // First request hits the transient and fails explicitly…
+        match server.submit(0, reqs(&[2], 41).remove(0)).recv() {
+            Err(ServeError::BackendFailed { detail }) => {
+                assert!(detail.contains("transient"), "{detail}")
+            }
+            other => panic!("expected BackendFailed, got {other:?}"),
+        }
+        // …but the lane was not retired: the next request completes.
+        let resp = server.submit(0, reqs(&[2], 42).remove(0)).recv().unwrap();
+        assert_eq!(resp.results.len(), 2);
+        let stats = server.shutdown();
+        assert_eq!(
+            (stats.failed, stats.completed, stats.lanes_retired),
+            (1, 1, 0)
+        );
     }
 }

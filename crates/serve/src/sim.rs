@@ -20,6 +20,22 @@
 //! (the explicit [`SimOutcome::Shed`] outcome) where the closed-loop
 //! threaded server would block the submitter.
 //!
+//! **Chaos and supervision** (`DESIGN.md` §12): a [`FaultPlan`] in
+//! [`SimConfig::chaos`] injects the storm on the simulated clock —
+//! transient launch failures, fail-stop lane deaths, degraded and
+//! stalled service times — keyed by per-lane *attempt* index, exactly
+//! like [`logan_core::ChaosBackend`]. Without supervision
+//! ([`SimConfig::supervise`]` = None`) a faulted batch fails its
+//! requests and a fail-stop retires the lane for good — the PR 5/6
+//! degenerate behavior. With a [`SupervisePolicy`], faulted batches
+//! are retried in place with exponential backoff + seeded jitter,
+//! re-dispatched to a surviving lane after exhaustion, and declared
+//! poison only after failing on `poison_lanes` distinct lanes. Every
+//! decision lands in the [`SimReport::trace`], byte-reproducible from
+//! the seeds. [`ServeConfig::deadline_s`] evicts requests that age out
+//! while fully queued, with an explicit
+//! [`SimOutcome::DeadlineExceeded`].
+//!
 //! Every run is also an **assert-mode** check of the service
 //! invariants: every arrival resolves to exactly one outcome (no
 //! silent drops), no tenant's in-flight pairs ever exceed the quota,
@@ -29,10 +45,11 @@ use crate::admission::Admission;
 use crate::coalesce::{BatchSpan, Coalescer};
 use crate::config::ServeConfig;
 use crate::request::TenantId;
+use logan_core::faults::{FaultPlan, SupervisePolicy, TraceEvent};
 use logan_core::AlignBackend;
 use logan_seq::readsim::{PairSet, ReadPair};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 /// A seeded arrival-time process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -169,18 +186,45 @@ pub enum SimOutcome {
     /// Shed: the bounded queue was full at arrival (open-loop analogue
     /// of the threaded server blocking the submitter).
     Shed,
+    /// A batch carrying (part of) this request failed past recovery —
+    /// an injected fault the supervision policy could not absorb
+    /// (unsupervised fault, a poison batch, or no surviving lane).
+    Failed,
+    /// Evicted from the queue past [`ServeConfig::deadline_s`] with no
+    /// pair dispatched.
+    DeadlineExceeded,
 }
 
-/// Simulation knobs: the service config plus the submission discipline
-/// under test.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Simulation knobs: the service config, the submission discipline
+/// under test, and the optional chaos/supervision layers.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
-    /// Queue/batch/quota/setup knobs, shared with the threaded server.
+    /// Queue/batch/quota/setup/deadline knobs, shared with the
+    /// threaded server.
     pub serve: ServeConfig,
     /// `true`: cross-request coalescing up to `batch_pairs` per
     /// submission. `false`: one request per submission (the baseline
     /// discipline the coalescer is measured against).
     pub coalesce: bool,
+    /// `Some(policy)`: faulted batches are retried/re-dispatched per
+    /// the policy. `None`: any fault fails the batch, and a fail-stop
+    /// retires the lane for good — the pre-supervision degenerate
+    /// behavior the `chaos_recovery` bench uses as its baseline.
+    pub supervise: Option<SupervisePolicy>,
+    /// The fault storm to inject, keyed by per-lane attempt index on
+    /// the simulated clock. `None` for a healthy run.
+    pub chaos: Option<FaultPlan>,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            serve: ServeConfig::default(),
+            coalesce: true,
+            supervise: None,
+            chaos: None,
+        }
+    }
 }
 
 /// What one simulated run measured.
@@ -194,6 +238,10 @@ pub struct SimReport {
     pub over_quota: usize,
     /// Requests shed at the full queue.
     pub shed: usize,
+    /// Requests failed by an unrecovered fault.
+    pub failed: usize,
+    /// Requests evicted past their deadline.
+    pub deadline_exceeded: usize,
     /// Median completed latency, simulated seconds.
     pub p50_s: f64,
     /// 99th-percentile completed latency, simulated seconds.
@@ -204,21 +252,78 @@ pub struct SimReport {
     pub max_s: f64,
     /// First arrival to last completion, simulated seconds.
     pub makespan_s: f64,
+    /// First arrival to the later of last completion / last arrival —
+    /// the denominator goodput is measured over. Using the full
+    /// horizon (not the makespan) keeps a run that fails early from
+    /// *inflating* its throughput by dying before the schedule ends.
+    pub horizon_s: f64,
     /// Pairs actually served.
     pub completed_pairs: usize,
     /// Served pairs per simulated second over the makespan — the
     /// saturation-throughput metric at overload.
     pub pairs_per_s: f64,
+    /// Served pairs per simulated second over the horizon — goodput,
+    /// the quantity the chaos-recovery acceptance compares.
+    pub goodput_pairs_per_s: f64,
     /// DP cells across all served batches.
     pub total_cells: u64,
-    /// Backend submissions issued.
+    /// Backend submissions issued (successful dispatches).
     pub batches: usize,
     /// Mean pairs per submission (the coalescing factor).
     pub mean_batch_pairs: f64,
     /// Highest in-flight pairs any tenant reached — asserted ≤ quota.
     pub peak_tenant_in_flight: usize,
+    /// Lanes permanently retired by fail-stop faults.
+    pub lanes_retired: usize,
+    /// Batches that faulted at least once and still completed.
+    pub recoveries: usize,
+    /// Mean simulated seconds from a batch's first fault to its
+    /// eventual completion (0 when nothing recovered).
+    pub mean_recovery_s: f64,
+    /// Every supervision/fault decision, in simulated-time order — the
+    /// reproducibility witness (same seeds ⇒ identical trace).
+    pub trace: Vec<TraceEvent>,
     /// Per-request outcomes, schedule order.
     pub outcomes: Vec<SimOutcome>,
+}
+
+/// A batch that failed on at least one lane and is waiting for
+/// re-dispatch.
+struct RetryBatch {
+    /// Trace id assigned at the batch's first dispatch.
+    block_id: u64,
+    pairs: Vec<ReadPair>,
+    spans: Vec<BatchSpan>,
+    /// Distinct lanes the batch has failed on (poison accounting).
+    failed_on: BTreeSet<usize>,
+    /// The lane it failed on last (trace `from`).
+    last_lane: usize,
+    /// Simulated time of the batch's first fault (recovery metric).
+    first_fault_s: f64,
+}
+
+/// One unit of work handed to a lane: a fresh coalesced batch
+/// (`failed_on` empty) or a re-dispatched [`RetryBatch`].
+struct DispatchJob {
+    block_id: u64,
+    pairs: Vec<ReadPair>,
+    spans: Vec<BatchSpan>,
+    failed_on: BTreeSet<usize>,
+    first_fault_s: Option<f64>,
+}
+
+/// What a lane resolves to when its busy period ends.
+enum BatchOutcome {
+    /// Scatter results; `recovered_from` is the first-fault time if
+    /// the batch ever faulted.
+    Success {
+        spans: Vec<BatchSpan>,
+        recovered_from: Option<f64>,
+    },
+    /// Fail the batch's requests (unsupervised fault or poison).
+    Fail { spans: Vec<BatchSpan> },
+    /// Hand the batch to another lane.
+    Requeue(RetryBatch),
 }
 
 /// A pending completion event: min-heap by time, then insertion order
@@ -227,7 +332,7 @@ struct Completion {
     at_s: f64,
     seq: u64,
     lane: usize,
-    spans: Vec<BatchSpan>,
+    outcome: BatchOutcome,
 }
 
 impl PartialEq for Completion {
@@ -259,12 +364,320 @@ struct SimAssembly {
     batches: usize,
 }
 
+/// SplitMix64 for the supervision jitter stream — the same generator
+/// `logan_core::faults` uses, so the sim's backoff schedule is
+/// deterministic in the policy seed alone.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The mutable simulation state, threaded through the event loop.
+struct Sim<'a> {
+    backend: &'a dyn AlignBackend,
+    cfg: &'a SimConfig,
+    serve: ServeConfig,
+    queue: Coalescer,
+    retry: VecDeque<RetryBatch>,
+    admission: Admission,
+    assemblies: HashMap<u64, SimAssembly>,
+    outcomes: Vec<Option<SimOutcome>>,
+    lane_busy: Vec<bool>,
+    lane_retired: Vec<bool>,
+    /// Per-lane attempt counter — the fault plan's block index, so a
+    /// failed attempt consumes an index exactly like [`logan_core::ChaosBackend`].
+    lane_attempts: Vec<usize>,
+    completions: BinaryHeap<Completion>,
+    seq: u64,
+    batches: usize,
+    batched_pairs: usize,
+    total_cells: u64,
+    latencies: Vec<f64>,
+    completed_pairs: usize,
+    last_completion: f64,
+    trace: Vec<TraceEvent>,
+    jitter_rng: u64,
+    recoveries: usize,
+    recovery_s_sum: f64,
+}
+
+impl<'a> Sim<'a> {
+    fn live_lanes(&self) -> usize {
+        self.lane_retired.iter().filter(|r| !**r).count()
+    }
+
+    /// Resolve one dispatch on `lane` at time `now`: walk the injected
+    /// faults (and, when supervised, the retry/backoff chain) until the
+    /// batch succeeds, exhausts the lane, or the lane dies. Returns the
+    /// lane's total busy seconds and what to do when they elapse.
+    fn resolve_dispatch(&mut self, now: f64, lane: usize, job: DispatchJob) -> (f64, BatchOutcome) {
+        let DispatchJob {
+            block_id,
+            pairs,
+            spans,
+            mut failed_on,
+            mut first_fault_s,
+        } = job;
+        let backend = self.backend;
+        let mut busy = 0.0f64;
+        let mut retries_here = 0usize;
+        let tracing = self.cfg.chaos.is_some() || self.cfg.supervise.is_some();
+        loop {
+            if tracing {
+                // Healthy, unsupervised runs keep an empty trace — the
+                // per-attempt log only matters when faults can occur.
+                self.trace.push(TraceEvent::Attempt {
+                    lane,
+                    block: block_id,
+                });
+            }
+            let n = self.lane_attempts[lane];
+            self.lane_attempts[lane] += 1;
+            let err = self
+                .cfg
+                .chaos
+                .as_ref()
+                .and_then(|plan| plan.injected_error(lane, n));
+            let Some(err) = err else {
+                // Healthy attempt: align for real. The service time is
+                // the batch's simulated device seconds (or a
+                // rate-derived charge on host-only lanes) plus setup,
+                // shaped by any degrade/stall fault on this index.
+                let (_results, rep) = backend.align_block_on(lane, &pairs);
+                let base = if rep.sim_time_s > 0.0 {
+                    rep.sim_time_s
+                } else {
+                    rep.total_cells as f64
+                        / (backend.throughput_hint_on(lane).max(f64::MIN_POSITIVE) * 1e9)
+                };
+                let extra = self
+                    .cfg
+                    .chaos
+                    .as_ref()
+                    .map(|plan| plan.extra_sim_secs(lane, n, base))
+                    .unwrap_or(0.0);
+                busy += self.serve.batch_setup_s + base + extra;
+                self.batches += 1;
+                self.batched_pairs += pairs.len();
+                self.total_cells += rep.total_cells;
+                return (
+                    busy,
+                    BatchOutcome::Success {
+                        spans,
+                        recovered_from: first_fault_s,
+                    },
+                );
+            };
+            // A faulted attempt still pays its launch setup.
+            busy += self.serve.batch_setup_s;
+            first_fault_s.get_or_insert(now + busy);
+            self.trace.push(TraceEvent::Fault {
+                lane,
+                block: block_id,
+                kind: err.kind(),
+            });
+            if err.retires_lane() {
+                if !self.lane_retired[lane] {
+                    self.lane_retired[lane] = true;
+                    self.trace.push(TraceEvent::LaneDead { lane });
+                }
+                failed_on.insert(lane);
+                break;
+            }
+            // Transient: retry in place if the policy allows.
+            if let Some(policy) = self.cfg.supervise {
+                if retries_here < policy.max_retries {
+                    let jitter =
+                        (splitmix64(&mut self.jitter_rng) >> 11) as f64 / (1u64 << 53) as f64;
+                    let delay_s = policy.backoff_s(retries_here, jitter);
+                    self.trace.push(TraceEvent::Backoff {
+                        lane,
+                        attempt: retries_here,
+                        delay_us: (delay_s * 1e6) as u64,
+                    });
+                    busy += delay_s;
+                    retries_here += 1;
+                    continue;
+                }
+            }
+            failed_on.insert(lane);
+            break;
+        }
+        // The lane gave up on this batch.
+        let Some(policy) = self.cfg.supervise else {
+            return (busy, BatchOutcome::Fail { spans });
+        };
+        if failed_on.len() >= policy.poison_lanes {
+            self.trace.push(TraceEvent::Poisoned {
+                block: block_id,
+                lanes: failed_on.len(),
+            });
+            return (busy, BatchOutcome::Fail { spans });
+        }
+        (
+            busy,
+            BatchOutcome::Requeue(RetryBatch {
+                block_id,
+                pairs,
+                spans,
+                failed_on,
+                last_lane: lane,
+                first_fault_s: first_fault_s.unwrap_or(now),
+            }),
+        )
+    }
+
+    /// The first retry batch `lane` may take: one it has not failed, or
+    /// — when every live lane has failed it — any (the retake rule that
+    /// keeps a cleared transient reachable without deadlock).
+    fn take_retry(&mut self, lane: usize) -> Option<RetryBatch> {
+        let idx = self.retry.iter().position(|rb| {
+            !rb.failed_on.contains(&lane)
+                || self
+                    .lane_retired
+                    .iter()
+                    .enumerate()
+                    .all(|(l, retired)| *retired || rb.failed_on.contains(&l))
+        })?;
+        self.retry.remove(idx)
+    }
+
+    /// Evict deadline-expired requests, then start every idle live lane
+    /// the queues can fill at time `now` — retry batches first
+    /// (recovery is latency-critical), then fresh coalesced batches.
+    fn start_lanes(&mut self, now: f64) {
+        if let Some(d) = self.serve.deadline_s {
+            for id in self.queue.purge_expired(now, d) {
+                self.resolve_request(id, SimOutcome::DeadlineExceeded);
+            }
+        }
+        for lane in 0..self.lane_busy.len() {
+            if self.lane_busy[lane] || self.lane_retired[lane] {
+                continue;
+            }
+            let job = if let Some(rb) = self.take_retry(lane) {
+                if rb.last_lane != lane {
+                    self.trace.push(TraceEvent::Redispatch {
+                        block: rb.block_id,
+                        from: rb.last_lane,
+                        to: lane,
+                    });
+                }
+                DispatchJob {
+                    block_id: rb.block_id,
+                    pairs: rb.pairs,
+                    spans: rb.spans,
+                    failed_on: rb.failed_on,
+                    first_fault_s: Some(rb.first_fault_s),
+                }
+            } else if !self.queue.is_empty() {
+                let batch = if self.cfg.coalesce {
+                    self.queue.next_batch()
+                } else {
+                    self.queue.next_request_batch()
+                }
+                .expect("non-empty queue yields a batch");
+                DispatchJob {
+                    block_id: self.seq,
+                    pairs: batch.pairs,
+                    spans: batch.spans,
+                    failed_on: BTreeSet::new(),
+                    first_fault_s: None,
+                }
+            } else {
+                continue;
+            };
+            let (busy, outcome) = self.resolve_dispatch(now, lane, job);
+            self.lane_busy[lane] = true;
+            self.completions.push(Completion {
+                at_s: now + busy,
+                seq: self.seq,
+                lane,
+                outcome,
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Give `id` its single terminal outcome (if still in flight):
+    /// release quota, record the outcome.
+    fn resolve_request(&mut self, id: u64, outcome: SimOutcome) {
+        if let Some(a) = self.assemblies.remove(&id) {
+            self.admission.release(a.tenant, a.pairs);
+            self.outcomes[id as usize] = Some(outcome);
+        }
+    }
+
+    /// Handle one fired completion event.
+    fn on_completion(&mut self, c: Completion) {
+        self.last_completion = self.last_completion.max(c.at_s);
+        self.lane_busy[c.lane] = false;
+        match c.outcome {
+            BatchOutcome::Success {
+                spans,
+                recovered_from,
+            } => {
+                if let Some(t0) = recovered_from {
+                    self.recoveries += 1;
+                    self.recovery_s_sum += (c.at_s - t0).max(0.0);
+                }
+                for span in &spans {
+                    // A request another batch already failed has left
+                    // the table; its surviving slices are discarded.
+                    let Some(a) = self.assemblies.get_mut(&span.req) else {
+                        continue;
+                    };
+                    a.remaining -= span.len;
+                    a.batches += 1;
+                    if a.remaining == 0 {
+                        let latency = c.at_s - a.arrival_s;
+                        let batches = a.batches;
+                        let pairs = a.pairs;
+                        self.latencies.push(latency);
+                        self.completed_pairs += pairs;
+                        self.resolve_request(
+                            span.req,
+                            SimOutcome::Completed {
+                                latency_s: latency,
+                                batches,
+                            },
+                        );
+                    }
+                }
+            }
+            BatchOutcome::Fail { spans } => {
+                for span in &spans {
+                    self.resolve_request(span.req, SimOutcome::Failed);
+                }
+            }
+            BatchOutcome::Requeue(rb) => self.retry.push_back(rb),
+        }
+        if self.live_lanes() == 0 && self.completions.is_empty() {
+            // The last lane died and nothing is in flight: nobody is
+            // left to drain the queues — fail them rather than hang.
+            for id in self.queue.drain_requests() {
+                self.resolve_request(id, SimOutcome::Failed);
+            }
+            while let Some(rb) = self.retry.pop_front() {
+                for span in &rb.spans {
+                    self.resolve_request(span.req, SimOutcome::Failed);
+                }
+            }
+            return;
+        }
+        self.start_lanes(c.at_s);
+    }
+}
+
 /// Run the open-loop schedule through the simulated server on
-/// `backend` and measure latency and throughput on the simulated
-/// clock. Ties between a completion and an arrival at the same instant
-/// resolve completion-first (quota and lanes free before the arrival
-/// is admitted) — the deterministic rule that makes reruns
-/// bit-identical.
+/// `backend` and measure latency, throughput, and — under a chaos plan
+/// — recovery, all on the simulated clock. Ties between a completion
+/// and an arrival at the same instant resolve completion-first (quota
+/// and lanes free before the arrival is admitted) — the deterministic
+/// rule that makes reruns bit-identical.
 ///
 /// # Panics
 ///
@@ -283,128 +696,80 @@ pub fn simulate(backend: &dyn AlignBackend, cfg: &SimConfig, requests: &[SimRequ
             .then(a.cmp(&b))
     });
 
-    let mut queue = Coalescer::new(serve.batch_pairs);
-    let admission = Admission::new(serve.quota_pairs);
-    let mut assemblies: HashMap<u64, SimAssembly> = HashMap::new();
-    let mut outcomes: Vec<Option<SimOutcome>> = vec![None; requests.len()];
-    let mut lane_busy = vec![false; lanes];
-    let mut completions: BinaryHeap<Completion> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let mut batches = 0usize;
-    let mut batched_pairs = 0usize;
-    let mut total_cells = 0u64;
-    let mut latencies: Vec<f64> = Vec::new();
-    let mut completed_pairs = 0usize;
-    let mut last_completion = f64::NEG_INFINITY;
-
-    // Start every idle lane it can fill at time `now`.
-    let start_lanes = |now: f64,
-                       queue: &mut Coalescer,
-                       lane_busy: &mut Vec<bool>,
-                       completions: &mut BinaryHeap<Completion>,
-                       seq: &mut u64,
-                       batches: &mut usize,
-                       batched_pairs: &mut usize,
-                       total_cells: &mut u64| {
-        for (lane, busy) in lane_busy.iter_mut().enumerate() {
-            if *busy || queue.is_empty() {
-                continue;
-            }
-            let batch = if cfg.coalesce {
-                queue.next_batch()
-            } else {
-                queue.next_request_batch()
-            }
-            .expect("non-empty queue yields a batch");
-            // Align for real: the service time is the batch's simulated
-            // device seconds (or a rate-derived charge on host-only
-            // lanes), plus the per-submission setup.
-            let (_results, rep) = backend.align_block_on(lane, &batch.pairs);
-            let busy_s = if rep.sim_time_s > 0.0 {
-                rep.sim_time_s
-            } else {
-                rep.total_cells as f64
-                    / (backend.throughput_hint_on(lane).max(f64::MIN_POSITIVE) * 1e9)
-            };
-            *batches += 1;
-            *batched_pairs += batch.pairs.len();
-            *total_cells += rep.total_cells;
-            *busy = true;
-            completions.push(Completion {
-                at_s: now + serve.batch_setup_s + busy_s,
-                seq: *seq,
-                lane,
-                spans: batch.spans,
-            });
-            *seq += 1;
-        }
+    let jitter_seed = cfg.supervise.map(|p| p.seed).unwrap_or(0);
+    let mut sim = Sim {
+        backend,
+        cfg,
+        serve,
+        queue: Coalescer::new(serve.batch_pairs),
+        retry: VecDeque::new(),
+        admission: Admission::new(serve.quota_pairs),
+        assemblies: HashMap::new(),
+        outcomes: vec![None; requests.len()],
+        lane_busy: vec![false; lanes],
+        lane_retired: vec![false; lanes],
+        lane_attempts: vec![0; lanes],
+        completions: BinaryHeap::new(),
+        seq: 0,
+        batches: 0,
+        batched_pairs: 0,
+        total_cells: 0,
+        latencies: Vec::new(),
+        completed_pairs: 0,
+        last_completion: f64::NEG_INFINITY,
+        trace: Vec::new(),
+        jitter_rng: jitter_seed ^ 0x5EED_0F5A_FE00_0001,
+        recoveries: 0,
+        recovery_s_sum: 0.0,
     };
 
     let mut next_arrival = 0usize;
-    while next_arrival < order.len() || !completions.is_empty() {
+    while next_arrival < order.len() || !sim.completions.is_empty() {
         let t_arr = order
             .get(next_arrival)
             .map(|&i| requests[i].arrival_s)
             .unwrap_or(f64::INFINITY);
-        let t_comp = completions.peek().map(|c| c.at_s).unwrap_or(f64::INFINITY);
+        let t_comp = sim
+            .completions
+            .peek()
+            .map(|c| c.at_s)
+            .unwrap_or(f64::INFINITY);
         if t_comp <= t_arr {
             // Completion first on ties: frees lanes and quota before
             // the simultaneous arrival is considered.
-            let c = completions.pop().expect("peeked completion");
-            for span in &c.spans {
-                let done = {
-                    let a = assemblies
-                        .get_mut(&span.req)
-                        .expect("completion for unknown request");
-                    a.remaining -= span.len;
-                    a.batches += 1;
-                    a.remaining == 0
-                };
-                if done {
-                    let a = assemblies.remove(&span.req).expect("assembly vanished");
-                    admission.release(a.tenant, a.pairs);
-                    let latency = c.at_s - a.arrival_s;
-                    latencies.push(latency);
-                    completed_pairs += a.pairs;
-                    outcomes[span.req as usize] = Some(SimOutcome::Completed {
-                        latency_s: latency,
-                        batches: a.batches,
-                    });
-                }
-            }
-            last_completion = last_completion.max(c.at_s);
-            lane_busy[c.lane] = false;
-            start_lanes(
-                c.at_s,
-                &mut queue,
-                &mut lane_busy,
-                &mut completions,
-                &mut seq,
-                &mut batches,
-                &mut batched_pairs,
-                &mut total_cells,
-            );
+            let c = sim.completions.pop().expect("peeked completion");
+            sim.on_completion(c);
         } else {
             let i = order[next_arrival];
             next_arrival += 1;
             let req = &requests[i];
             if req.pairs.is_empty() {
                 // Nothing to align: served instantly, like the server.
-                outcomes[i] = Some(SimOutcome::Completed {
+                sim.outcomes[i] = Some(SimOutcome::Completed {
                     latency_s: 0.0,
                     batches: 0,
                 });
                 continue;
             }
-            if queue.pending_requests() >= serve.queue_depth {
-                outcomes[i] = Some(SimOutcome::Shed);
+            if sim.live_lanes() == 0 {
+                // No lane will ever serve it (mirrors the threaded
+                // server's all-lanes-retired refusal).
+                sim.outcomes[i] = Some(SimOutcome::Failed);
                 continue;
             }
-            if admission.try_admit(req.tenant, req.pairs.len()).is_err() {
-                outcomes[i] = Some(SimOutcome::OverQuota);
+            if sim.queue.pending_requests() >= serve.queue_depth {
+                sim.outcomes[i] = Some(SimOutcome::Shed);
                 continue;
             }
-            assemblies.insert(
+            if sim
+                .admission
+                .try_admit(req.tenant, req.pairs.len())
+                .is_err()
+            {
+                sim.outcomes[i] = Some(SimOutcome::OverQuota);
+                continue;
+            }
+            sim.assemblies.insert(
                 i as u64,
                 SimAssembly {
                     tenant: req.tenant,
@@ -414,64 +779,68 @@ pub fn simulate(backend: &dyn AlignBackend, cfg: &SimConfig, requests: &[SimRequ
                     batches: 0,
                 },
             );
-            queue.push(i as u64, req.pairs.clone());
-            start_lanes(
-                req.arrival_s,
-                &mut queue,
-                &mut lane_busy,
-                &mut completions,
-                &mut seq,
-                &mut batches,
-                &mut batched_pairs,
-                &mut total_cells,
-            );
+            sim.queue
+                .push_at(i as u64, req.pairs.clone(), req.arrival_s);
+            sim.start_lanes(req.arrival_s);
         }
     }
 
     // ---- assert mode: the service invariants, checked on every run ----
-    let outcomes: Vec<SimOutcome> = outcomes
-        .into_iter()
+    let outcomes: Vec<SimOutcome> = sim
+        .outcomes
+        .iter()
         .enumerate()
         .map(|(i, o)| o.unwrap_or_else(|| panic!("request {i} has no outcome (silent drop)")))
         .collect();
-    assert!(assemblies.is_empty(), "requests left in flight at the end");
-    let peak = admission.peak_in_flight();
+    assert!(
+        sim.assemblies.is_empty(),
+        "requests left in flight at the end"
+    );
+    let peak = sim.admission.peak_in_flight();
     assert!(
         peak <= serve.quota_pairs,
         "admission invariant violated: peak in-flight {peak} > quota {}",
         serve.quota_pairs
     );
-    let (mut completed, mut over_quota, mut shed) = (0usize, 0usize, 0usize);
+    let (mut completed, mut over_quota, mut shed, mut failed, mut deadline_exceeded) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
     for o in &outcomes {
         match o {
             SimOutcome::Completed { .. } => completed += 1,
             SimOutcome::OverQuota => over_quota += 1,
             SimOutcome::Shed => shed += 1,
+            SimOutcome::Failed => failed += 1,
+            SimOutcome::DeadlineExceeded => deadline_exceeded += 1,
         }
     }
     assert_eq!(
-        completed + over_quota + shed,
+        completed + over_quota + shed + failed + deadline_exceeded,
         requests.len(),
         "outcome ledger does not balance"
     );
     for t in requests.iter().map(|r| r.tenant) {
-        assert_eq!(admission.in_flight(t), 0, "tenant {t} leaked quota");
+        assert_eq!(sim.admission.in_flight(t), 0, "tenant {t} leaked quota");
     }
 
-    latencies.sort_by(f64::total_cmp);
+    sim.latencies.sort_by(f64::total_cmp);
     let first_arrival = order.first().map(|&i| requests[i].arrival_s).unwrap_or(0.0);
-    let makespan_s = if last_completion.is_finite() {
-        (last_completion - first_arrival).max(0.0)
+    let last_arrival = order.last().map(|&i| requests[i].arrival_s).unwrap_or(0.0);
+    let makespan_s = if sim.last_completion.is_finite() {
+        (sim.last_completion - first_arrival).max(0.0)
     } else {
         0.0
     };
+    let horizon_s = (sim.last_completion.max(last_arrival) - first_arrival).max(0.0);
+    let latencies = &sim.latencies;
     SimReport {
         arrivals: requests.len(),
         completed,
         over_quota,
         shed,
-        p50_s: percentile(&latencies, 50.0),
-        p99_s: percentile(&latencies, 99.0),
+        failed,
+        deadline_exceeded,
+        p50_s: percentile(latencies, 50.0),
+        p99_s: percentile(latencies, 99.0),
         mean_s: if latencies.is_empty() {
             0.0
         } else {
@@ -479,20 +848,34 @@ pub fn simulate(backend: &dyn AlignBackend, cfg: &SimConfig, requests: &[SimRequ
         },
         max_s: latencies.last().copied().unwrap_or(0.0),
         makespan_s,
-        completed_pairs,
+        horizon_s,
+        completed_pairs: sim.completed_pairs,
         pairs_per_s: if makespan_s > 0.0 {
-            completed_pairs as f64 / makespan_s
+            sim.completed_pairs as f64 / makespan_s
         } else {
             0.0
         },
-        total_cells,
-        batches,
-        mean_batch_pairs: if batches > 0 {
-            batched_pairs as f64 / batches as f64
+        goodput_pairs_per_s: if horizon_s > 0.0 {
+            sim.completed_pairs as f64 / horizon_s
+        } else {
+            0.0
+        },
+        total_cells: sim.total_cells,
+        batches: sim.batches,
+        mean_batch_pairs: if sim.batches > 0 {
+            sim.batched_pairs as f64 / sim.batches as f64
         } else {
             0.0
         },
         peak_tenant_in_flight: peak,
+        lanes_retired: sim.lane_retired.iter().filter(|r| **r).count(),
+        recoveries: sim.recoveries,
+        mean_recovery_s: if sim.recoveries > 0 {
+            sim.recovery_s_sum / sim.recoveries as f64
+        } else {
+            0.0
+        },
+        trace: sim.trace,
         outcomes,
     }
 }
@@ -509,6 +892,7 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use logan_core::faults::Fault;
     use logan_core::{LoganConfig, LoganExecutor};
     use logan_gpusim::DeviceSpec;
 
@@ -553,8 +937,10 @@ mod tests {
                 queue_depth: 8,
                 quota_pairs: 12,
                 batch_setup_s: 0.002,
+                deadline_s: None,
             },
             coalesce: true,
+            ..SimConfig::default()
         };
         let gpu = gpu();
         let a = simulate(&gpu, &cfg, &reqs);
@@ -565,6 +951,9 @@ mod tests {
         assert!(a.completed > 0);
         assert!(a.peak_tenant_in_flight <= 12);
         assert!(a.p50_s <= a.p99_s && a.p99_s <= a.max_s);
+        assert!(a.trace.is_empty(), "no chaos, no trace");
+        assert_eq!((a.failed, a.deadline_exceeded, a.lanes_retired), (0, 0, 0));
+        assert!(a.horizon_s >= a.makespan_s);
     }
 
     #[test]
@@ -579,6 +968,7 @@ mod tests {
             queue_depth: 64,
             quota_pairs: 4096,
             batch_setup_s: 0.002,
+            deadline_s: None,
         };
         let gpu = gpu();
         let co = simulate(
@@ -586,6 +976,7 @@ mod tests {
             &SimConfig {
                 serve,
                 coalesce: true,
+                ..SimConfig::default()
             },
             &reqs,
         );
@@ -594,6 +985,7 @@ mod tests {
             &SimConfig {
                 serve,
                 coalesce: false,
+                ..SimConfig::default()
             },
             &reqs,
         );
@@ -607,6 +999,104 @@ mod tests {
         // Same work served either way at this (admission-unconstrained)
         // load.
         assert_eq!(co.completed, single.completed);
+    }
+
+    /// The chaos contrast on one lane: unsupervised, a transient window
+    /// fails real requests; supervised, the retry chain absorbs it and
+    /// everything completes — and both runs replay bit-identically.
+    #[test]
+    fn supervision_absorbs_a_transient_window_the_baseline_fails() {
+        let arr = ArrivalProcess::Poisson { rate_rps: 40.0 };
+        let reqs = seeded_requests(30, 2, 3, &arr, 9);
+        let chaos = FaultPlan::new(9).with_fault(
+            0,
+            Fault::Transient {
+                nth_block: 2,
+                count: 2,
+            },
+        );
+        let base_cfg = SimConfig {
+            chaos: Some(chaos),
+            ..SimConfig::default()
+        };
+        let sup_cfg = SimConfig {
+            supervise: Some(SupervisePolicy::default()),
+            ..base_cfg.clone()
+        };
+        let gpu = gpu();
+        let base = simulate(&gpu, &base_cfg, &reqs);
+        let sup = simulate(&gpu, &sup_cfg, &reqs);
+        assert!(base.failed > 0, "unsupervised transients fail requests");
+        assert_eq!(sup.failed, 0, "supervision absorbs the window");
+        assert_eq!(sup.completed, 30);
+        assert!(sup.recoveries > 0 && sup.mean_recovery_s > 0.0);
+        assert!(sup
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Backoff { .. })));
+        // Reproducibility: the same seeds replay the same trace.
+        let sup2 = simulate(&gpu, &sup_cfg, &reqs);
+        assert_eq!(sup.trace, sup2.trace);
+        assert_eq!(sup.outcomes, sup2.outcomes);
+    }
+
+    /// Fail-stop on the only lane: the lane retires, in-flight and
+    /// queued work fails explicitly, later arrivals are refused — and
+    /// the ledger still balances.
+    #[test]
+    fn failstop_on_the_last_lane_fails_pending_work_explicitly() {
+        let arr = ArrivalProcess::Poisson { rate_rps: 200.0 };
+        let reqs = seeded_requests(25, 2, 2, &arr, 13);
+        let cfg = SimConfig {
+            chaos: Some(FaultPlan::new(13).with_fault(0, Fault::FailStop { after: 3 })),
+            ..SimConfig::default()
+        };
+        let gpu = gpu();
+        let rep = simulate(&gpu, &cfg, &reqs);
+        assert_eq!(rep.lanes_retired, 1);
+        assert!(rep.completed >= 1, "blocks before the fault complete");
+        assert!(rep.failed > 0, "everything after the fault fails");
+        assert_eq!(
+            rep.completed + rep.over_quota + rep.shed + rep.failed + rep.deadline_exceeded,
+            25
+        );
+        assert!(rep
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::LaneDead { lane: 0 })));
+    }
+
+    /// A stalled lane plus a tight deadline: requests that age out
+    /// fully queued get the explicit eviction, not a silent hang.
+    #[test]
+    fn deadline_evicts_queued_requests_on_the_simulated_clock() {
+        let arr = ArrivalProcess::Bursty {
+            rate_rps: 400.0,
+            burst: 10,
+        };
+        let reqs = seeded_requests(30, 2, 3, &arr, 17);
+        let cfg = SimConfig {
+            serve: ServeConfig {
+                batch_pairs: 4,
+                deadline_s: Some(0.05),
+                ..ServeConfig::default()
+            },
+            chaos: Some(FaultPlan::new(17).with_fault(0, Fault::Stall { sim_secs: 0.5 })),
+            ..SimConfig::default()
+        };
+        let gpu = gpu();
+        let rep = simulate(&gpu, &cfg, &reqs);
+        assert!(
+            rep.deadline_exceeded > 0,
+            "a 0.5 s stall against a 50 ms deadline must evict someone"
+        );
+        assert_eq!(
+            rep.completed + rep.over_quota + rep.shed + rep.failed + rep.deadline_exceeded,
+            30
+        );
+        // Deterministic replay, evictions included.
+        let rep2 = simulate(&gpu, &cfg, &reqs);
+        assert_eq!(rep.outcomes, rep2.outcomes);
     }
 
     #[test]

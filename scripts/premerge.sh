@@ -54,6 +54,13 @@ if [[ $quick -eq 0 ]]; then
   # reach >= 95% of the SpGEMM path's recall while aligning <= 50% of
   # its candidate pairs (asserted inside the binary).
   cargo run --release -q -p logan-bench --bin minimizer_bench -- --quick >/dev/null
+
+  step "chaos_recovery --quick smoke"
+  # One seeded storm on the simulated clock, both backend shapes:
+  # supervised runs must complete 100% of non-poison requests, beat
+  # the unsupervised baseline's goodput >= 1.5x on the fleet, and
+  # replay an identical recovery trace (asserted inside the binary).
+  cargo run --release -q -p logan-bench --bin chaos_recovery -- --quick >/dev/null
 else
   step "cargo clippy (quick: benches skipped)"
   cargo clippy --workspace --lib --bins --tests --examples -- -D warnings
@@ -75,6 +82,13 @@ step "serve-equivalence: coalesced serving diffs clean + shutdown/fault drills"
 # graceful shutdown drains exactly once; a panicking lane fails only its
 # own requests and a fully-dead server fails fast instead of hanging.
 cargo test -q --test serve_equivalence --test serve_shutdown
+
+step "chaos-recovery: supervision transparent, storms recover, traces replay"
+# The DESIGN.md §12 contract: supervision over a fault-free backend is
+# bit-for-bit invisible (proptest); seeded storms through Supervised /
+# Fleet quarantine / the serve simulator recover results identical to a
+# healthy run; the same seed replays the identical TraceEvent sequence.
+cargo test -q --test chaos_supervision
 
 step "minimizer-equivalence: rolling canonical + chaining subset diff clean"
 # The seeding contract: the rolling canonical k-mer iterator is

@@ -9,9 +9,10 @@
 //!                                             [--engine scalar|simd] [--stream]
 //!                                             [--batch-reads N] [--shards N] [--inflight N]
 //! logan_cli serve                             [-x N] [--backend B] [--gpus N]
-//!                                             [--serve batch=N,queue=N,quota=N]
+//!                                             [--serve batch=N,queue=N,quota=N,deadline=S]
 //!                                             [--requests N] [--tenants T]
 //!                                             [--clients C] [--seed S]
+//!                                             [--chaos SEED:PLAN] [--supervise]
 //! ```
 //!
 //! `pairs` aligns record *i* of the first file against record *i* of the
@@ -45,6 +46,15 @@
 //! (W,k) sketches + colinear chaining; W defaults to 8). The minimizer
 //! seeder aligns a strict subset of the SpGEMM candidates — the pairs
 //! whose best chain supports `--min-overlap`.
+//!
+//! `--chaos SEED:PLAN` wraps the selected backend in a fault injector
+//! (any command): `SEED:storm` generates the canonical seeded storm
+//! sized to the backend, or spell faults out per lane, e.g.
+//! `7:0=transient@2x3/stall@0.05,1=failstop@4`. `--supervise` layers
+//! the self-healing supervisor (bounded retries with backoff,
+//! re-dispatch, poison detection) on top — without it, an injected
+//! fault fails exactly the way a real one would have before PR 8
+//! (a panic, and under `serve` a retired lane). See `DESIGN.md` §12.
 
 use logan::bella::{BellaConfig, BellaPipeline, PipelineBudget, Seeder};
 use logan::prelude::*;
@@ -64,10 +74,12 @@ fn usage() -> ExitCode {
          logan_cli overlap <reads.fa> [-x N] [--backend B] [--gpus N] [-k K] [--min-overlap L] \
          [--seeder spgemm|minimizer[:W]] [--engine scalar|simd] [--stream] [--batch-reads N] \
          [--shards N] [--inflight N]\n  \
-         logan_cli serve [-x N] [--backend B] [--gpus N] [--serve batch=N,queue=N,quota=N] \
+         logan_cli serve [-x N] [--backend B] [--gpus N] [--serve batch=N,queue=N,quota=N,deadline=S] \
          [--requests N] [--tenants T] [--clients C] [--seed S]\n\
          backends: cpu[:T] | gpu | multi:N (default, N from --gpus) | fleet:SPEC \
-         (e.g. fleet:2gpu+cpu:4)"
+         (e.g. fleet:2gpu+cpu:4)\n\
+         fault injection (any command): [--chaos SEED:storm | SEED:LANE=FAULT/FAULT,...] \
+         [--supervise]"
     );
     ExitCode::from(2)
 }
@@ -88,6 +100,8 @@ struct Opts {
     tenants: usize,
     clients: usize,
     seed: u64,
+    chaos: Option<ChaosSpec>,
+    supervise: bool,
     positional: Vec<String>,
 }
 
@@ -110,6 +124,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         tenants: 4,
         clients: 4,
         seed: 42,
+        chaos: None,
+        supervise: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -198,6 +214,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            // Parsed here so a malformed storm is a usage error, not a
+            // mid-alignment failure.
+            "--chaos" => {
+                opts.chaos = Some(
+                    grab("--chaos")?
+                        .parse()
+                        .map_err(|e| format!("--chaos: {e}"))?,
+                )
+            }
+            "--supervise" => opts.supervise = true,
             _ => opts.positional.push(a.clone()),
         }
     }
@@ -269,7 +295,7 @@ fn build_backend(opts: &Opts) -> Box<dyn AlignBackend> {
     let mut cfg = LoganConfig::with_x(opts.x);
     cfg.engine = opts.engine;
     let spec = DeviceSpec::v100();
-    match &opts.backend {
+    let mut backend: Box<dyn AlignBackend> = match &opts.backend {
         Some(BackendSel::Cpu(threads)) => {
             let threads = threads.unwrap_or_else(logan::core::backend::host_threads);
             Box::new(XDropCpuAligner::new(
@@ -283,7 +309,16 @@ fn build_backend(opts: &Opts) -> Box<dyn AlignBackend> {
         Some(BackendSel::Multi(gpus)) => Box::new(MultiGpu::new(*gpus, spec, cfg)),
         Some(BackendSel::Fleet(parsed)) => Box::new(parsed.build(spec, cfg)),
         None => Box::new(MultiGpu::new(opts.gpus, spec, cfg)),
+    };
+    if let Some(chaos) = &opts.chaos {
+        let plan = chaos.resolve(backend.lanes());
+        eprintln!("chaos: injecting {plan}");
+        backend = Box::new(ChaosBackend::new(backend, plan));
     }
+    if opts.supervise {
+        backend = Box::new(Supervised::new(backend, SupervisePolicy::default()));
+    }
+    backend
 }
 
 /// First shared canonical k-mer between two sequences.
@@ -538,13 +573,14 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         }
     }
     eprintln!(
-        "served {} requests on {name} with {} clients: {} ok, {} over quota, {} failed; \
-         {} batches ({} pairs, {} coalesced, largest {})",
+        "served {} requests on {name} with {} clients: {} ok, {} over quota, {} failed, \
+         {} past deadline; {} batches ({} pairs, {} coalesced, largest {})",
         stats.submitted,
         opts.clients,
         stats.completed,
         stats.over_quota,
         stats.failed,
+        stats.deadline_exceeded,
         stats.batches,
         stats.batched_pairs,
         stats.coalesced_batches,
@@ -552,7 +588,11 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     );
     // The exactly-once ledger, checked on every CLI run.
     if stats.submitted
-        != stats.completed + stats.failed + stats.over_quota + stats.rejected_shutdown
+        != stats.completed
+            + stats.failed
+            + stats.over_quota
+            + stats.rejected_shutdown
+            + stats.deadline_exceeded
     {
         return Err(format!("reply ledger does not balance: {stats:?}"));
     }

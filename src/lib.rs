@@ -11,7 +11,8 @@
 //! * [`align`] — the scalar X-drop reference, NW/SW/banded-SW, ksw2;
 //! * [`gpusim`] — the execution-driven GPU simulator;
 //! * [`core`] — the LOGAN kernel, host executor, multi-GPU balancer,
-//!   comparator kernels and CPU platform models;
+//!   comparator kernels, CPU platform models, and the fault-injection
+//!   + self-healing supervision layer (`core::faults`);
 //! * [`bella`] — the BELLA many-to-many overlapper;
 //! * [`roofline`] — the instruction roofline with the paper's adapted
 //!   ceiling;
@@ -57,8 +58,9 @@ pub mod prelude {
     };
     pub use logan_bella::{BellaConfig, BellaPipeline, OverlapMetrics};
     pub use logan_core::{
-        AlignBackend, BackendReport, ExtensionJob, Fleet, FleetSpec, GpuBackend, GpuBatchReport,
-        LoganConfig, LoganExecutor, MultiGpu, ThreadPolicy,
+        AlignBackend, BackendError, BackendReport, ChaosBackend, ChaosSpec, ExtensionJob, Fault,
+        FaultPlan, Fleet, FleetSpec, GpuBackend, GpuBatchReport, LoganConfig, LoganExecutor,
+        MultiGpu, SupervisePolicy, Supervised, ThreadPolicy, TraceEvent,
     };
     pub use logan_gpusim::{Device, DeviceSpec, KernelReport, LaunchConfig};
     pub use logan_roofline::{InstructionRoofline, RooflinePoint};

@@ -251,6 +251,7 @@ proptest! {
                 ..ServeConfig::default()
             },
             coalesce,
+            ..SimConfig::default()
         };
         let rep = simulate(&backend, &cfg, &requests);
         prop_assert!(rep.peak_tenant_in_flight <= quota);
