@@ -69,16 +69,19 @@ impl CpuBatchAligner {
     /// Align every pair with the X-drop extender on the given compute
     /// engine — the common case, spelled out so callers selecting an
     /// engine at runtime don't have to build an extender themselves.
+    /// Accepts anything convertible to a [`logan_seq::ScoreProfile`]:
+    /// a plain [`logan_seq::Scoring`] takes the DNA fast path
+    /// bit-identically to the historical signature.
     pub fn run_xdrop(
         &self,
         pairs: &[ReadPair],
-        scoring: logan_seq::Scoring,
+        profile: impl Into<logan_seq::ScoreProfile>,
         x: i32,
         engine: crate::simd::Engine,
     ) -> BatchResult {
         self.run(
             pairs,
-            &crate::xdrop::XDropExtender::with_engine(scoring, x, engine),
+            &crate::xdrop::ProfileExtender::new(profile.into(), x, engine),
         )
     }
 
@@ -117,13 +120,13 @@ impl CpuBatchAligner {
     /// dispatch over.
     pub fn into_xdrop(
         self,
-        scoring: logan_seq::Scoring,
+        profile: impl Into<logan_seq::ScoreProfile>,
         x: i32,
         engine: crate::simd::Engine,
     ) -> XDropCpuAligner {
         XDropCpuAligner {
             aligner: self,
-            scoring,
+            profile: profile.into(),
             x,
             engine,
         }
@@ -144,15 +147,15 @@ impl CpuBatchAligner {
     }
 }
 
-/// A [`CpuBatchAligner`] bound to one X-drop configuration (scoring, X,
-/// compute engine) — BELLA's CPU backend as a single value. Where
-/// [`CpuBatchAligner::run`] needs the caller to supply an extender per
-/// call, this type closes over it, so schedulers that only hold a list
-/// of read pairs (the `AlignBackend` trait objects in `logan-core`) can
-/// drive the CPU loop without knowing alignment parameters.
+/// A [`CpuBatchAligner`] bound to one X-drop configuration (score
+/// profile, X, compute engine) — BELLA's CPU backend as a single value.
+/// Where [`CpuBatchAligner::run`] needs the caller to supply an extender
+/// per call, this type closes over it, so schedulers that only hold a
+/// list of read pairs (the `AlignBackend` trait objects in `logan-core`)
+/// can drive the CPU loop without knowing alignment parameters.
 pub struct XDropCpuAligner {
     aligner: CpuBatchAligner,
-    scoring: logan_seq::Scoring,
+    profile: logan_seq::ScoreProfile,
     x: i32,
     engine: crate::simd::Engine,
 }
@@ -161,11 +164,11 @@ impl XDropCpuAligner {
     /// Build a pool of `threads` workers bound to the given parameters.
     pub fn new(
         threads: usize,
-        scoring: logan_seq::Scoring,
+        profile: impl Into<logan_seq::ScoreProfile>,
         x: i32,
         engine: crate::simd::Engine,
     ) -> XDropCpuAligner {
-        CpuBatchAligner::new(threads).into_xdrop(scoring, x, engine)
+        CpuBatchAligner::new(threads).into_xdrop(profile, x, engine)
     }
 
     /// Number of worker threads.
@@ -178,9 +181,18 @@ impl XDropCpuAligner {
         self.x
     }
 
-    /// The bound scoring scheme.
+    /// The bound scoring scheme. Panics when the bound profile is a
+    /// substitution matrix — callers that may bind matrix profiles
+    /// should use [`XDropCpuAligner::profile`].
     pub fn scoring(&self) -> logan_seq::Scoring {
-        self.scoring
+        self.profile
+            .as_match_mismatch()
+            .expect("scoring() on a matrix-profile aligner; use profile()")
+    }
+
+    /// The bound score profile.
+    pub fn profile(&self) -> logan_seq::ScoreProfile {
+        self.profile
     }
 
     /// The bound compute engine.
@@ -191,7 +203,7 @@ impl XDropCpuAligner {
     /// Align every pair under the bound configuration.
     pub fn run(&self, pairs: &[ReadPair]) -> BatchResult {
         self.aligner
-            .run_xdrop(pairs, self.scoring, self.x, self.engine)
+            .run_xdrop(pairs, self.profile, self.x, self.engine)
     }
 }
 
@@ -253,6 +265,55 @@ mod tests {
         let simd = aligner.run_xdrop(&ps, Scoring::default(), 50, Engine::Simd);
         assert_eq!(scalar.results, simd.results);
         assert_eq!(scalar.total_cells, simd.total_cells);
+    }
+
+    #[test]
+    fn run_xdrop_accepts_matrix_profiles() {
+        use crate::simd::Engine;
+        use logan_seq::readsim::Seed;
+        use logan_seq::{Alphabet, ScoreProfile, Seq};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let prot = |rng: &mut StdRng, n: usize| {
+            Seq::from_codes(
+                (0..n).map(|_| rng.gen_range(0..20u8)).collect(),
+                Alphabet::Protein,
+            )
+        };
+        let ps: Vec<ReadPair> = (0..6)
+            .map(|_| {
+                let q = prot(&mut rng, 180);
+                // Homolog sharing an exact 6-mer seed at position 60.
+                let mut t = q.as_slice().to_vec();
+                for (i, c) in t.iter_mut().enumerate() {
+                    if !(60..66).contains(&i) && rng.gen_bool(0.15) {
+                        *c = rng.gen_range(0..20u8);
+                    }
+                }
+                ReadPair {
+                    query: q,
+                    target: Seq::from_codes(t, Alphabet::Protein),
+                    seed: Seed {
+                        qpos: 60,
+                        tpos: 60,
+                        len: 6,
+                    },
+                    template_len: 180,
+                }
+            })
+            .collect();
+        let p = ScoreProfile::blosum62(-6);
+        let aligner = CpuBatchAligner::new(2);
+        let scalar = aligner.run_xdrop(&ps, p, 50, Engine::Scalar);
+        let simd = aligner.run_xdrop(&ps, p, 50, Engine::Simd);
+        assert_eq!(scalar.results, simd.results);
+        assert!(scalar.results.iter().all(|r| r.score > 0));
+        // The bound form agrees and reports the profile; scoring()
+        // would panic here, so only profile() is queried.
+        let bound = XDropCpuAligner::new(2, p, 50, Engine::Simd);
+        assert_eq!(bound.run(&ps).results, simd.results);
+        assert_eq!(bound.profile(), p);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   (the paper's Table III / Fig. 9 baseline).
 //! * [`batch`] — a multi-threaded batch runner over read pairs: the
 //!   "SeqAn + OpenMP" configuration BELLA uses on the CPU.
+//! * [`protein`] — the protein/translated-search surface: re-exports of
+//!   [`logan_seq::ScoreProfile`] / BLOSUM62 plus the property tests that
+//!   pin matrix scoring to the DNA engines (paper §VIII).
 //! * [`workspace`] — reusable per-thread scratch ([`AlignWorkspace`])
 //!   owning every buffer the extension stack needs, so warm extensions
 //!   are allocation-free (DESIGN.md §7).
@@ -58,13 +61,13 @@ pub use banded::banded_sw;
 pub use batch::{BatchResult, CpuBatchAligner, XDropCpuAligner};
 pub use full::{needleman_wunsch, smith_waterman};
 pub use ksw2::{ksw2_extend, Ksw2Params};
-pub use protein::{xdrop_extend_generic, SubstMatrix};
+pub use protein::{ScoreProfile, SubstMatrix, AMINO_ACIDS};
 pub use result::{AlignmentResult, ExtensionResult, SeedExtendResult};
 pub use seed_extend::{seed_extend, seed_extend_with, Extender};
 pub use simd::{simd_eligible, xdrop_extend_simd, xdrop_extend_simd_with, Engine};
 pub use traceback::{nw_traceback, Cigar, CigarOp};
 pub use workspace::{with_thread_workspace, AlignWorkspace, AntiDiag, ScalarRings};
-pub use xdrop::{xdrop_extend, xdrop_extend_with, XDropExtender};
+pub use xdrop::{xdrop_extend, xdrop_extend_with, ProfileExtender, XDropExtender};
 
 /// Sentinel for "pruned / unreachable" DP cells. Chosen far from
 /// `i32::MIN` so that adding gap penalties can never wrap.

@@ -4,362 +4,123 @@
 //! the X-drop algorithm to be effective in protein homology searches."
 //!
 //! The anti-diagonal X-drop recurrence is alphabet-agnostic; what
-//! changes is the scoring: a 20×20 substitution matrix (BLOSUM62 here)
-//! instead of match/mismatch. This module provides a byte-generic
-//! extension ([`xdrop_extend_generic`]) over any [`SubstMatrix`], with
-//! identical pruning/trimming/termination semantics to the DNA
-//! implementation — and a property test pinning the two together on the
-//! DNA alphabet.
+//! changes is the scoring. Since the [`logan_seq::ScoreProfile`]
+//! refactor, protein scoring is not a side door: a
+//! [`ScoreProfile::Matrix`] (e.g. [`ScoreProfile::blosum62`]) flows
+//! through the exact same [`crate::xdrop::xdrop_extend`] /
+//! [`crate::simd`] engines as DNA scoring, so every pruning, trimming
+//! and termination rule — and every backend upstack — is shared. This
+//! module is the compatibility surface: it re-exports the profile types
+//! and keeps the protein-specific property tests (DNA equivalence,
+//! homolog-vs-random early termination) close to the engines they pin.
 
-use crate::result::ExtensionResult;
-use crate::NEG_INF;
-use serde::{Deserialize, Serialize};
-
-/// The 20 standard amino acids in BLOSUM row order.
-pub const AMINO_ACIDS: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
-
-/// A dense substitution matrix over byte symbols, plus a linear gap
-/// penalty.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SubstMatrix {
-    /// 256×256 lookup, indexed by symbol bytes.
-    scores: Vec<i32>,
-    /// Linear gap penalty (negative).
-    pub gap: i32,
-    /// Largest substitution score (used for bounds/tests).
-    pub max_score: i32,
-}
-
-impl SubstMatrix {
-    /// Build from a list of `(a, b, score)` entries (symmetrized) and a
-    /// default score for unlisted pairs.
-    pub fn from_entries(entries: &[(u8, u8, i32)], default: i32, gap: i32) -> SubstMatrix {
-        assert!(gap < 0, "gap penalty must be negative");
-        let mut scores = vec![default; 256 * 256];
-        let mut max_score = default;
-        for &(a, b, s) in entries {
-            scores[a as usize * 256 + b as usize] = s;
-            scores[b as usize * 256 + a as usize] = s;
-            max_score = max_score.max(s);
-        }
-        SubstMatrix {
-            scores,
-            gap,
-            max_score,
-        }
-    }
-
-    /// A match/mismatch matrix over any alphabet — the DNA scheme lifted
-    /// to bytes (used by the equivalence tests).
-    pub fn match_mismatch(
-        alphabet: &[u8],
-        match_score: i32,
-        mismatch: i32,
-        gap: i32,
-    ) -> SubstMatrix {
-        let mut entries = Vec::new();
-        for &a in alphabet {
-            for &b in alphabet {
-                entries.push((a, b, if a == b { match_score } else { mismatch }));
-            }
-        }
-        SubstMatrix::from_entries(&entries, mismatch, gap)
-    }
-
-    /// BLOSUM62 with the BLAST-default gap penalty flattened to linear
-    /// (−6 per residue; X-drop in BLAST's `blastp` uses affine, but the
-    /// LOGAN kernel is linear-gap and this port keeps that contract).
-    pub fn blosum62(gap: i32) -> SubstMatrix {
-        // Upper triangle of BLOSUM62 in AMINO_ACIDS order.
-        const B62: [[i8; 20]; 20] = [
-            [
-                4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0,
-            ],
-            [
-                -1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3,
-            ],
-            [
-                -2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3,
-            ],
-            [
-                -2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3,
-            ],
-            [
-                0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1,
-            ],
-            [
-                -1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2,
-            ],
-            [
-                -1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2,
-            ],
-            [
-                0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3,
-            ],
-            [
-                -2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3,
-            ],
-            [
-                -1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3,
-            ],
-            [
-                -1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1,
-            ],
-            [
-                -1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2,
-            ],
-            [
-                -1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1,
-            ],
-            [
-                -2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1,
-            ],
-            [
-                -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2,
-            ],
-            [
-                1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2,
-            ],
-            [
-                0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0,
-            ],
-            [
-                -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3,
-            ],
-            [
-                -2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1,
-            ],
-            [
-                0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4,
-            ],
-        ];
-        let mut entries = Vec::with_capacity(400);
-        for (i, &a) in AMINO_ACIDS.iter().enumerate() {
-            for (j, &b) in AMINO_ACIDS.iter().enumerate() {
-                entries.push((a, b, B62[i][j] as i32));
-            }
-        }
-        SubstMatrix::from_entries(&entries, -4, gap)
-    }
-
-    /// Score of aligning symbols `a` and `b`.
-    #[inline(always)]
-    pub fn score(&self, a: u8, b: u8) -> i32 {
-        self.scores[a as usize * 256 + b as usize]
-    }
-}
-
-/// Byte-generic X-drop extension: identical control flow to
-/// [`crate::xdrop::xdrop_extend`] with matrix scoring.
-pub fn xdrop_extend_generic(
-    query: &[u8],
-    target: &[u8],
-    matrix: &SubstMatrix,
-    x: i32,
-) -> ExtensionResult {
-    assert!(x >= 0, "X-drop parameter must be non-negative");
-    let m = query.len();
-    let n = target.len();
-    if m == 0 || n == 0 {
-        return ExtensionResult::zero();
-    }
-
-    let mut best: i32 = 0;
-    let mut best_i: usize = 0;
-    let mut best_d: usize = 0;
-    let mut cells: u64 = 0;
-    let mut iterations: u64 = 0;
-    let mut max_width: usize = 1;
-    let mut dropped = false;
-
-    let mut prev2: Vec<i32> = Vec::new();
-    let mut prev2_lo = 0usize;
-    let mut prev: Vec<i32> = vec![0];
-    let mut prev_lo = 0usize;
-    let mut cur: Vec<i32> = Vec::new();
-
-    let get = |buf: &[i32], lo: usize, i: usize| -> i32 {
-        if i < lo || i >= lo + buf.len() {
-            NEG_INF
-        } else {
-            buf[i - lo]
-        }
-    };
-
-    for d in 1..=(m + n) {
-        let lo = prev_lo.max(d.saturating_sub(n));
-        let hi = (prev_lo + prev.len()).min(d).min(m);
-        if lo > hi {
-            break;
-        }
-        cur.clear();
-        cur.reserve(hi - lo + 1);
-        let threshold = best - x;
-        for i in lo..=hi {
-            let j = d - i;
-            let diag = if i >= 1 && j >= 1 {
-                get(&prev2, prev2_lo, i - 1) + matrix.score(query[i - 1], target[j - 1])
-            } else {
-                NEG_INF
-            };
-            let up = if i >= 1 {
-                get(&prev, prev_lo, i - 1) + matrix.gap
-            } else {
-                NEG_INF
-            };
-            let left = if j >= 1 {
-                get(&prev, prev_lo, i) + matrix.gap
-            } else {
-                NEG_INF
-            };
-            let mut val = diag.max(up).max(left);
-            if val < threshold {
-                val = NEG_INF;
-            }
-            cur.push(val);
-        }
-        cells += (hi - lo + 1) as u64;
-        iterations += 1;
-
-        let first_live = cur.iter().position(|&v| v > NEG_INF);
-        let cur_lo = match first_live {
-            None => {
-                dropped = true;
-                break;
-            }
-            Some(k) => {
-                let last = cur.iter().rposition(|&v| v > NEG_INF).unwrap();
-                cur.drain(..k);
-                cur.truncate(last - k + 1);
-                lo + k
-            }
-        };
-        max_width = max_width.max(cur.len());
-
-        let (mut row_max, mut row_arg) = (NEG_INF, 0usize);
-        for (k, &v) in cur.iter().enumerate() {
-            if v > row_max {
-                row_max = v;
-                row_arg = cur_lo + k;
-            }
-        }
-        if row_max > best {
-            best = row_max;
-            best_i = row_arg;
-            best_d = d;
-        }
-
-        std::mem::swap(&mut prev2, &mut prev);
-        std::mem::swap(&mut prev2_lo, &mut prev_lo);
-        std::mem::swap(&mut prev, &mut cur);
-        prev_lo = cur_lo;
-    }
-
-    ExtensionResult {
-        score: best,
-        query_end: best_i,
-        target_end: best_d - best_i,
-        cells,
-        iterations,
-        max_width,
-        dropped,
-    }
-}
+pub use logan_seq::profile::{ScoreProfile, SubstMatrix};
+pub use logan_seq::AMINO_ACIDS;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::simd::Engine;
     use crate::xdrop::xdrop_extend;
     use logan_seq::readsim::random_seq;
-    use logan_seq::{Scoring, Seq};
+    use logan_seq::{Alphabet, ScoreProfile, Scoring, Seq, SubstMatrix};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    fn blosum() -> ScoreProfile {
+        ScoreProfile::blosum62(-6)
+    }
 
     #[test]
     fn blosum62_sanity() {
         let m = SubstMatrix::blosum62(-6);
-        assert_eq!(m.score(b'A', b'A'), 4);
-        assert_eq!(m.score(b'W', b'W'), 11);
-        assert_eq!(m.score(b'A', b'R'), -1);
-        assert_eq!(m.score(b'R', b'A'), -1, "symmetric");
-        assert_eq!(m.score(b'W', b'V'), -3);
+        assert_eq!(m.score_ascii(b'A', b'A'), 4);
+        assert_eq!(m.score_ascii(b'W', b'W'), 11);
+        assert_eq!(m.score_ascii(b'A', b'R'), -1);
+        assert_eq!(m.score_ascii(b'R', b'A'), -1, "symmetric");
+        assert_eq!(m.score_ascii(b'W', b'V'), -3);
         assert_eq!(m.max_score, 11);
     }
 
     #[test]
-    fn generic_matches_dna_xdrop_exactly() {
-        // The byte-generic engine with a match/mismatch matrix must be
-        // bit-equal to the DNA implementation.
-        let matrix = SubstMatrix::match_mismatch(b"ACGT", 1, -1, -1);
+    fn matrix_profile_matches_dna_xdrop_exactly() {
+        // A match/mismatch matrix over the DNA alphabet routed through
+        // the Matrix arm must be bit-equal to the fast-path scoring.
+        let matrix = ScoreProfile::Matrix(SubstMatrix::match_mismatch(Alphabet::Dna, 1, -1, -1));
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..25 {
             let a: Seq = random_seq(120, &mut rng);
             let b: Seq = random_seq(130, &mut rng);
             for x in [5, 40, 200] {
                 let dna = xdrop_extend(&a, &b, Scoring::default(), x);
-                let gen = xdrop_extend_generic(&a.to_ascii(), &b.to_ascii(), &matrix, x);
+                let gen = xdrop_extend(&a, &b, matrix, x);
                 assert_eq!(dna, gen, "x={x}");
             }
         }
     }
 
-    fn random_protein<R: Rng>(n: usize, rng: &mut R) -> Vec<u8> {
-        (0..n)
-            .map(|_| AMINO_ACIDS[rng.gen_range(0..20usize)])
-            .collect()
+    fn random_protein<R: Rng>(n: usize, rng: &mut R) -> Seq {
+        Seq::from_codes(
+            (0..n).map(|_| rng.gen_range(0..20u8)).collect(),
+            Alphabet::Protein,
+        )
     }
 
     #[test]
     fn identical_proteins_extend_fully() {
         let mut rng = StdRng::seed_from_u64(2);
         let p = random_protein(200, &mut rng);
-        let m = SubstMatrix::blosum62(-6);
-        let r = xdrop_extend_generic(&p, &p, &m, 30);
-        assert_eq!((r.query_end, r.target_end), (200, 200));
-        // Self-score is the sum of diagonal BLOSUM entries: >= 4 * len.
-        assert!(r.score >= 4 * 200);
-        assert!(!r.dropped);
+        for engine in [Engine::Scalar, Engine::Simd] {
+            let r = engine.extend(&p, &p, blosum(), 30);
+            assert_eq!((r.query_end, r.target_end), (200, 200));
+            // Self-score is the sum of diagonal BLOSUM entries: >= 4 * len.
+            assert!(r.score >= 4 * 200);
+            assert!(!r.dropped);
+        }
     }
 
     #[test]
     fn homologs_score_higher_than_random() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m = SubstMatrix::blosum62(-6);
         let p = random_protein(300, &mut rng);
         // A homolog: 20% point substitutions.
-        let mut homolog = p.clone();
-        for i in 0..homolog.len() {
+        let mut homolog = p.as_slice().to_vec();
+        for residue in homolog.iter_mut() {
             if rng.gen_bool(0.2) {
-                homolog[i] = AMINO_ACIDS[rng.gen_range(0..20usize)];
+                *residue = rng.gen_range(0..20u8);
             }
         }
+        let homolog = Seq::from_codes(homolog, Alphabet::Protein);
         let unrelated = random_protein(300, &mut rng);
-        let hom = xdrop_extend_generic(&p, &homolog, &m, 50);
-        let unr = xdrop_extend_generic(&p, &unrelated, &m, 50);
-        assert!(hom.score > 3 * unr.score, "{} vs {}", hom.score, unr.score);
-        assert!(
-            unr.dropped,
-            "BLOSUM62 drifts negative on unrelated proteins"
-        );
-        // This is the §VIII expectation: X-drop is effective for protein
-        // homology search because non-homologs terminate quickly.
-        assert!(unr.cells < hom.cells / 2);
+        for engine in [Engine::Scalar, Engine::Simd] {
+            let hom = engine.extend(&p, &homolog, blosum(), 50);
+            let unr = engine.extend(&p, &unrelated, blosum(), 50);
+            assert!(hom.score > 3 * unr.score, "{} vs {}", hom.score, unr.score);
+            assert!(
+                unr.dropped,
+                "BLOSUM62 drifts negative on unrelated proteins"
+            );
+            // This is the §VIII expectation: X-drop is effective for
+            // protein homology search because non-homologs terminate
+            // quickly.
+            assert!(unr.cells < hom.cells / 2);
+        }
     }
 
     #[test]
     fn empty_and_bounds() {
-        let m = SubstMatrix::blosum62(-6);
+        let empty = Seq::from_codes(Vec::new(), Alphabet::Protein);
+        let short = Seq::from_protein_ascii(b"ARND").unwrap();
         assert_eq!(
-            xdrop_extend_generic(b"", b"ARND", &m, 10),
-            ExtensionResult::zero()
+            xdrop_extend(&empty, &short, blosum(), 10),
+            crate::result::ExtensionResult::zero()
         );
-        let r = xdrop_extend_generic(b"ARND", b"ARND", &m, 10);
+        let r = xdrop_extend(&short, &short, blosum(), 10);
         assert!(r.score > 0);
     }
 
     #[test]
     #[should_panic(expected = "gap penalty must be negative")]
     fn positive_gap_rejected() {
-        let _ = SubstMatrix::match_mismatch(b"AC", 1, -1, 0);
+        let _ = SubstMatrix::match_mismatch(Alphabet::Dna, 1, -1, 0);
     }
 }

@@ -36,6 +36,16 @@ pub trait Extender {
 
     /// The match score, needed to credit the seed bases.
     fn match_score(&self) -> i32;
+
+    /// Score credited to an exact seed whose query-side symbol codes are
+    /// `seed_symbols`. The default — `len × match_score` — is exact for
+    /// uniform match/mismatch scoring; matrix-profile extenders override
+    /// it with the sum of diagonal substitution scores, which varies per
+    /// residue (e.g. BLOSUM62 credits a tryptophan seed base 11, an
+    /// alanine 4).
+    fn seed_credit(&self, seed_symbols: &[u8]) -> i32 {
+        seed_symbols.len() as i32 * self.match_score()
+    }
 }
 
 /// Align `query` and `target` around `seed` using `ext` for both
@@ -107,7 +117,9 @@ pub fn seed_extend_with<E: Extender>(
     ws.seq_q = qs;
     ws.seq_t = ts;
 
-    let score = left.score + right.score + seed.len as i32 * ext.match_score();
+    let score = left.score
+        + right.score
+        + ext.seed_credit(&query.as_slice()[seed.qpos..seed.qpos + seed.len]);
     SeedExtendResult {
         score,
         left,

@@ -45,7 +45,7 @@
 use crate::result::ExtensionResult;
 use crate::workspace::AlignWorkspace;
 use crate::xdrop::xdrop_extend_with;
-use logan_seq::{Scoring, Seq};
+use logan_seq::{ScoreProfile, Seq};
 use serde::{Deserialize, Serialize};
 
 /// Number of `i16` lanes processed per chunk. 16 lanes = one 256-bit
@@ -61,6 +61,13 @@ const PAD: usize = LANES;
 /// The i16 "−∞" sentinel, chosen (like the scalar `NEG_INF`) far enough
 /// from `i16::MIN` that adding a penalty cannot wrap before saturation.
 const NEG_INF16: i16 = i16::MIN / 2;
+
+/// Row stride of the i16 query profile (`SimdScratch::qprof16`): the
+/// smallest power of two holding every alphabet (20 amino acids), so
+/// the gather's row offset is a shift and masking a symbol code with
+/// `PROF_STRIDE − 1` provably stays inside the row — which lets the
+/// compiler drop the per-lane bounds checks.
+const PROF_STRIDE: usize = 32;
 
 /// Largest magnitude the i16 kernel accepts for the best score, the
 /// X-drop threshold and the per-cell penalties (see [`simd_eligible`]).
@@ -83,11 +90,18 @@ pub enum Engine {
 }
 
 impl Engine {
-    /// Extend with this engine. Same contract as [`xdrop_extend`](crate::xdrop::xdrop_extend).
+    /// Extend with this engine. Same contract as [`xdrop_extend`](crate::xdrop::xdrop_extend);
+    /// accepts a plain `Scoring` or any [`ScoreProfile`].
     ///
     /// Thin allocating wrapper over [`Engine::extend_with`].
-    pub fn extend(self, query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> ExtensionResult {
-        self.extend_with(query, target, scoring, x, &mut AlignWorkspace::new())
+    pub fn extend(
+        self,
+        query: &Seq,
+        target: &Seq,
+        profile: impl Into<ScoreProfile>,
+        x: i32,
+    ) -> ExtensionResult {
+        self.extend_with(query, target, profile, x, &mut AlignWorkspace::new())
     }
 
     /// Extend with this engine into caller-owned scratch (DESIGN.md §7):
@@ -97,13 +111,13 @@ impl Engine {
         self,
         query: &Seq,
         target: &Seq,
-        scoring: Scoring,
+        profile: impl Into<ScoreProfile>,
         x: i32,
         ws: &mut AlignWorkspace,
     ) -> ExtensionResult {
         match self {
-            Engine::Scalar => xdrop_extend_with(query, target, scoring, x, ws),
-            Engine::Simd => xdrop_extend_simd_with(query, target, scoring, x, ws),
+            Engine::Scalar => xdrop_extend_with(query, target, profile, x, ws),
+            Engine::Simd => xdrop_extend_simd_with(query, target, profile, x, ws),
         }
     }
 
@@ -150,13 +164,23 @@ impl std::str::FromStr for Engine {
 /// True when the i16 kernel can reproduce the scalar result exactly
 /// (see the module docs for why each bound is required). The SIMD entry
 /// points fall back to the scalar routine when this is false.
-pub fn simd_eligible(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> bool {
+///
+/// The bounds are computed from the *profile's* extreme substitution
+/// scores, not an assumed uniform match score: the best attainable
+/// score of a `min(m, n)`-step diagonal is `min(m, n) · max_score`
+/// (e.g. 11 per residue under BLOSUM62, not 1), and the largest
+/// per-cell drop from a live parent is `min(min_score, gap)`. For a
+/// match/mismatch profile this reduces exactly to the historical check
+/// (`max_score = match`, `min_score = mismatch`).
+pub fn simd_eligible(query: &Seq, target: &Seq, profile: impl Into<ScoreProfile>, x: i32) -> bool {
+    let p = profile.into();
     let max = SIMD_MAX_SCORE as i64;
-    let perfect = query.len().min(target.len()) as i64 * scoring.match_score as i64;
+    let max_score = p.max_score() as i64;
+    let perfect = query.len().min(target.len()) as i64 * max_score;
     perfect <= max
-        && x as i64 + scoring.match_score as i64 <= max
-        && scoring.mismatch as i64 >= -max
-        && scoring.gap as i64 >= -max
+        && x as i64 + max_score <= max
+        && p.min_score() as i64 >= -max
+        && p.gap() as i64 >= -max
 }
 
 /// One anti-diagonal of i16 scores.
@@ -228,6 +252,16 @@ pub struct SimdScratch {
     /// in increasing address order — the CPU mirror of LOGAN's Fig. 6
     /// sequence reversal.
     trev16: Vec<i16>,
+    /// The i16 query profile a matrix-scored extension gathers from:
+    /// row `i − 1` (one per query position, [`PROF_STRIDE`] entries
+    /// wide) holds the substitution scores of query symbol `q[i]`
+    /// against every target code, so the per-lane lookup is
+    /// `qprof16[(i − 1) · PROF_STRIDE + t]` — a shift, not a multiply,
+    /// with the row base walking the anti-diagonal contiguously. Empty
+    /// (and never touched) on the DNA match/mismatch path, so the
+    /// historical zero-allocation warm-workspace contract is unchanged
+    /// there.
+    qprof16: Vec<i16>,
     prev2: Diag,
     prev: Diag,
     cur: Diag,
@@ -266,6 +300,21 @@ pub enum SimdStep {
     Finished,
 }
 
+/// How the kernel scores a substitution, fixed at [`SimdState::new`] so
+/// the per-chunk dispatch is a predictable two-way branch outside the
+/// lane loop. The DNA variant runs the exact historical compare-select
+/// chunk; the profile variant gathers per-lane table entries first.
+#[derive(Debug, Clone, Copy)]
+enum SubstMode {
+    MatchMismatch {
+        mat: i16,
+        mis: i16,
+    },
+    /// Gather from the per-query-position rows of
+    /// `SimdScratch::qprof16` (stride [`PROF_STRIDE`]).
+    Profile,
+}
+
 /// Rolling state of a lane-parallel X-drop extension, advanced one
 /// anti-diagonal per [`step`](SimdState::step) call. All buffers are
 /// borrowed from a caller-owned [`SimdScratch`], so running extensions
@@ -276,8 +325,7 @@ pub struct SimdState<'w> {
     scratch: &'w mut SimdScratch,
     m: usize,
     n: usize,
-    mat: i16,
-    mis: i16,
+    mode: SubstMode,
     gap: i16,
     x: i32,
     d: usize,
@@ -301,12 +349,13 @@ impl<'w> SimdState<'w> {
     pub fn new(
         query: &Seq,
         target: &Seq,
-        scoring: Scoring,
+        profile: impl Into<ScoreProfile>,
         x: i32,
         scratch: &'w mut SimdScratch,
     ) -> Option<SimdState<'w>> {
         assert!(x >= 0, "X-drop parameter must be non-negative");
-        if query.is_empty() || target.is_empty() || !simd_eligible(query, target, scoring, x) {
+        let profile = profile.into();
+        if query.is_empty() || target.is_empty() || !simd_eligible(query, target, profile, x) {
             return None;
         }
         scratch.q16.clear();
@@ -317,6 +366,34 @@ impl<'w> SimdState<'w> {
         scratch
             .trev16
             .extend(target.as_slice().iter().rev().map(|&b| b as i16));
+        let mode = match profile {
+            ScoreProfile::MatchMismatch(s) => SubstMode::MatchMismatch {
+                mat: s.match_score as i16,
+                mis: s.mismatch as i16,
+            },
+            ScoreProfile::Matrix(mx) => {
+                // Build the i16 query profile: one PROF_STRIDE-wide row
+                // per query position holding that symbol's scores
+                // against every target code. Eligibility bounds every
+                // table entry within i16, so the narrowing is exact;
+                // the pad past the alphabet is never read (target codes
+                // are < the alphabet size).
+                let asize = mx.alphabet.size();
+                let table = mx.table();
+                scratch.qprof16.clear();
+                scratch.qprof16.resize(query.len() * PROF_STRIDE, NEG_INF16);
+                for (i, &qc) in query.as_slice().iter().enumerate() {
+                    let row = &table[qc as usize * asize..][..asize];
+                    for (dst, &s) in scratch.qprof16[i * PROF_STRIDE..][..asize]
+                        .iter_mut()
+                        .zip(row)
+                    {
+                        *dst = s as i16;
+                    }
+                }
+                SubstMode::Profile
+            }
+        };
         scratch.prev2.reset_sentinel();
         // d = 0: the single origin cell with score 0.
         scratch.prev.reset_origin();
@@ -325,9 +402,8 @@ impl<'w> SimdState<'w> {
             scratch,
             m: query.len(),
             n: target.len(),
-            mat: scoring.match_score as i16,
-            mis: scoring.mismatch as i16,
-            gap: scoring.gap as i16,
+            mode,
+            gap: profile.gap() as i16,
             x,
             d: 0,
             best: 0,
@@ -367,12 +443,13 @@ impl<'w> SimdState<'w> {
             "threshold escaped the i16-exact window"
         );
         let thr = (self.best - self.x) as i16;
-        let (mat, mis, gap) = (self.mat, self.mis, self.gap);
+        let (mode, gap) = (self.mode, self.gap);
 
         let row_max = {
             let SimdScratch {
                 q16,
                 trev16,
+                qprof16,
                 prev2,
                 prev,
                 cur,
@@ -418,7 +495,31 @@ impl<'w> SimdState<'w> {
                     let p0: &[i16; LANES] = prev.vals[PAD + c - prev.base..][..LANES]
                         .try_into()
                         .unwrap();
-                    let out = chunk_cells(qv, tv, p2, pm1, p0, mat, mis, gap, thr, &mut acc);
+                    // Dispatch on the substitution mode per chunk: the
+                    // DNA branch runs the historical compare-select
+                    // kernel untouched; the profile branch gathers one
+                    // table entry per lane, then the same vector DP.
+                    let out = match mode {
+                        SubstMode::MatchMismatch { mat, mis } => {
+                            chunk_cells(qv, tv, p2, pm1, p0, mat, mis, gap, thr, &mut acc)
+                        }
+                        SubstMode::Profile => {
+                            // Rows c−1 .. c−1+LANES of the query
+                            // profile as one fixed-size block: the
+                            // masked per-lane index is provably inside
+                            // it, so the gather compiles check-free.
+                            let rows: &[i16; LANES * PROF_STRIDE] = qprof16
+                                [(c - 1) * PROF_STRIDE..][..LANES * PROF_STRIDE]
+                                .try_into()
+                                .unwrap();
+                            let mut subs = [0i16; LANES];
+                            for k in 0..LANES {
+                                subs[k] =
+                                    rows[k * PROF_STRIDE + (tv[k] as usize & (PROF_STRIDE - 1))];
+                            }
+                            chunk_cells_profile(&subs, p2, pm1, p0, gap, thr, &mut acc)
+                        }
+                    };
                     cur.vals[PAD + c - lo..PAD + c - lo + LANES].copy_from_slice(&out);
                 }
                 for &v in &acc {
@@ -426,10 +527,17 @@ impl<'w> SimdState<'w> {
                 }
                 // Remainder lanes: the same i16 arithmetic, scalar.
                 for i in ilo + chunks * LANES..=ihi {
-                    let sub = if q16[i - 1] == trev16[n + i - d] {
-                        mat
-                    } else {
-                        mis
+                    let sub = match mode {
+                        SubstMode::MatchMismatch { mat, mis } => {
+                            if q16[i - 1] == trev16[n + i - d] {
+                                mat
+                            } else {
+                                mis
+                            }
+                        }
+                        SubstMode::Profile => {
+                            qprof16[(i - 1) * PROF_STRIDE + trev16[n + i - d] as usize]
+                        }
                     };
                     let diag = prev2.get(i - 1).saturating_add(sub);
                     let up = prev.get(i - 1).saturating_add(gap);
@@ -555,6 +663,34 @@ fn chunk_cells(
     out
 }
 
+/// The profile-mode counterpart of [`chunk_cells`]: substitution scores
+/// were already gathered per lane (`subs`), so the recurrence itself is
+/// the same branch-free saturating DP and vectorizes identically.
+#[inline(always)]
+fn chunk_cells_profile(
+    subs: &[i16; LANES],
+    p2: &[i16; LANES],
+    pm1: &[i16; LANES],
+    p0: &[i16; LANES],
+    gap: i16,
+    thr: i16,
+    acc: &mut [i16; LANES],
+) -> [i16; LANES] {
+    let mut out = [0i16; LANES];
+    for k in 0..LANES {
+        let diag = p2[k].saturating_add(subs[k]);
+        let up = pm1[k].saturating_add(gap);
+        let left = p0[k].saturating_add(gap);
+        let mut v = diag.max(up).max(left);
+        if v < thr {
+            v = NEG_INF16;
+        }
+        out[k] = v;
+        acc[k] = acc[k].max(v);
+    }
+    out
+}
+
 /// Lane-parallel X-drop extension: bit-identical to [`xdrop_extend`](crate::xdrop::xdrop_extend)
 /// (to which it silently falls back when the inputs are not
 /// [`simd_eligible`]), typically several times faster on long
@@ -562,8 +698,13 @@ fn chunk_cells(
 ///
 /// Thin allocating wrapper over [`xdrop_extend_simd_with`]; hot callers
 /// hold an [`AlignWorkspace`] and call that directly.
-pub fn xdrop_extend_simd(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> ExtensionResult {
-    xdrop_extend_simd_with(query, target, scoring, x, &mut AlignWorkspace::new())
+pub fn xdrop_extend_simd(
+    query: &Seq,
+    target: &Seq,
+    profile: impl Into<ScoreProfile>,
+    x: i32,
+) -> ExtensionResult {
+    xdrop_extend_simd_with(query, target, profile, x, &mut AlignWorkspace::new())
 }
 
 /// [`xdrop_extend_simd`] computing into caller-owned scratch
@@ -574,19 +715,20 @@ pub fn xdrop_extend_simd(query: &Seq, target: &Seq, scoring: Scoring, x: i32) ->
 pub fn xdrop_extend_simd_with(
     query: &Seq,
     target: &Seq,
-    scoring: Scoring,
+    profile: impl Into<ScoreProfile>,
     x: i32,
     ws: &mut AlignWorkspace,
 ) -> ExtensionResult {
     assert!(x >= 0, "X-drop parameter must be non-negative");
+    let profile = profile.into();
     if query.is_empty() || target.is_empty() {
         return ExtensionResult::zero();
     }
-    if !simd_eligible(query, target, scoring, x) {
-        return xdrop_extend_with(query, target, scoring, x, ws);
+    if !simd_eligible(query, target, profile, x) {
+        return xdrop_extend_with(query, target, profile, x, ws);
     }
     let mut state =
-        SimdState::new(query, target, scoring, x, &mut ws.simd).expect("eligibility checked above");
+        SimdState::new(query, target, profile, x, &mut ws.simd).expect("eligibility checked above");
     while let SimdStep::Advanced(_) = state.step() {}
     state.into_result()
 }
@@ -596,7 +738,7 @@ mod tests {
     use super::*;
     use crate::xdrop::xdrop_extend;
     use logan_seq::readsim::random_seq;
-    use logan_seq::{Base, ErrorModel, ErrorProfile};
+    use logan_seq::{Base, ErrorModel, ErrorProfile, Scoring};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -749,6 +891,76 @@ mod tests {
             Scoring::new(1, -1, -(SIMD_MAX_SCORE + 1)),
             10
         ));
+    }
+
+    /// Regression for the eligibility window under matrix profiles: the
+    /// bound must scale with the profile's `max_score` (11 for
+    /// BLOSUM62), not an assumed match score of 1. A window computed
+    /// from `match_score` would admit sequences up to `SIMD_MAX_SCORE`
+    /// residues, whose perfect diagonal (11/residue) overflows i16.
+    #[test]
+    fn eligibility_window_scales_with_profile_max_score() {
+        use logan_seq::Alphabet;
+        let p = ScoreProfile::blosum62(-6);
+        assert_eq!(p.max_score(), 11);
+        let protein =
+            |n: usize| Seq::from_codes((0..n).map(|i| (i % 20) as u8).collect(), Alphabet::Protein);
+        // The largest safe length is ⌊SIMD_MAX_SCORE / 11⌋: beyond it a
+        // perfect diagonal escapes the i16-exact window.
+        let safe = (SIMD_MAX_SCORE / 11) as usize;
+        assert!(simd_eligible(&protein(safe), &protein(safe), p, 100));
+        assert!(
+            !simd_eligible(&protein(safe + 1), &protein(safe + 1), p, 100),
+            "a match-score-based bound would wrongly admit this length"
+        );
+        // The X bound also tightens to max_score: x + 11 must fit.
+        let s = protein(50);
+        assert!(simd_eligible(&s, &s, p, SIMD_MAX_SCORE - 11));
+        assert!(!simd_eligible(&s, &s, p, SIMD_MAX_SCORE - 10));
+        // A DNA profile reduces exactly to the historical check.
+        let d = seq("ACGTACGT");
+        let scoring = Scoring::new(2, -3, -4);
+        assert_eq!(
+            simd_eligible(&d, &d, scoring, 100),
+            simd_eligible(&d, &d, ScoreProfile::from(scoring), 100)
+        );
+    }
+
+    /// The profile-mode i16 kernel against the scalar profile path:
+    /// bit-identical on eligible BLOSUM62 inputs, like the DNA engines.
+    #[test]
+    fn profile_simd_matches_profile_scalar() {
+        use logan_seq::Alphabet;
+        use rand::Rng;
+        let p = ScoreProfile::blosum62(-6);
+        let mut rng = StdRng::seed_from_u64(21);
+        for trial in 0..15 {
+            let n = 20 + (trial * 53) % 400;
+            let a = Seq::from_codes(
+                (0..n).map(|_| rng.gen_range(0..20u8)).collect(),
+                Alphabet::Protein,
+            );
+            // A homolog (point substitutions) and an unrelated partner.
+            let mut hom_codes = a.as_slice().to_vec();
+            for c in hom_codes.iter_mut() {
+                if rng.gen_bool(0.2) {
+                    *c = rng.gen_range(0..20u8);
+                }
+            }
+            let hom = Seq::from_codes(hom_codes, Alphabet::Protein);
+            let unrel = Seq::from_codes(
+                (0..n).map(|_| rng.gen_range(0..20u8)).collect(),
+                Alphabet::Protein,
+            );
+            for x in [0, 10, 60, 300] {
+                for t in [&hom, &unrel] {
+                    assert!(simd_eligible(&a, t, p, x));
+                    let scalar = Engine::Scalar.extend(&a, t, p, x);
+                    let simd = Engine::Simd.extend(&a, t, p, x);
+                    assert_eq!(simd, scalar, "trial {trial} x={x}");
+                }
+            }
+        }
     }
 
     #[test]

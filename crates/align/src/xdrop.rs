@@ -25,7 +25,7 @@ use crate::result::ExtensionResult;
 use crate::simd::Engine;
 use crate::workspace::{AlignWorkspace, ScalarRings};
 use crate::NEG_INF;
-use logan_seq::{Scoring, Seq};
+use logan_seq::{ScoreProfile, Scoring, Seq};
 
 /// Extend from the origin: best semi-global alignment of a prefix of
 /// `query` against a prefix of `target` under the X-drop condition.
@@ -34,10 +34,20 @@ use logan_seq::{Scoring, Seq};
 /// pruning and yields the exact semi-global optimum (used by the oracle
 /// tests).
 ///
+/// Accepts anything convertible into a [`ScoreProfile`] — a plain
+/// [`Scoring`] runs the historical DNA match/mismatch fast path
+/// (bit-identical to the pre-profile code), a matrix profile runs the
+/// same control flow with dense substitution lookups.
+///
 /// Thin allocating wrapper over [`xdrop_extend_with`]; hot callers hold
 /// an [`AlignWorkspace`] and call that directly.
-pub fn xdrop_extend(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> ExtensionResult {
-    xdrop_extend_with(query, target, scoring, x, &mut AlignWorkspace::new())
+pub fn xdrop_extend(
+    query: &Seq,
+    target: &Seq,
+    profile: impl Into<ScoreProfile>,
+    x: i32,
+) -> ExtensionResult {
+    xdrop_extend_with(query, target, profile, x, &mut AlignWorkspace::new())
 }
 
 /// [`xdrop_extend`] computing into caller-owned scratch: all three
@@ -47,7 +57,29 @@ pub fn xdrop_extend(query: &Seq, target: &Seq, scoring: Scoring, x: i32) -> Exte
 pub fn xdrop_extend_with(
     query: &Seq,
     target: &Seq,
-    scoring: Scoring,
+    profile: impl Into<ScoreProfile>,
+    x: i32,
+    ws: &mut AlignWorkspace,
+) -> ExtensionResult {
+    // Dispatch once, outside the hot loop: each variant monomorphizes
+    // the core with an inlined substitution scorer, so the DNA path
+    // compiles to exactly the pre-profile loop.
+    match profile.into() {
+        ScoreProfile::MatchMismatch(s) => {
+            xdrop_core(query, target, |a, b| s.substitution(a == b), s.gap, x, ws)
+        }
+        ScoreProfile::Matrix(m) => xdrop_core(query, target, |a, b| m.score(a, b), m.gap, x, ws),
+    }
+}
+
+/// The anti-diagonal X-drop recurrence, generic over the per-cell
+/// substitution scorer. `sub` receives the two symbol *codes* at the
+/// cell (query, target).
+fn xdrop_core(
+    query: &Seq,
+    target: &Seq,
+    sub: impl Fn(u8, u8) -> i32,
+    gap: i32,
     x: i32,
     ws: &mut AlignWorkspace,
 ) -> ExtensionResult {
@@ -92,14 +124,14 @@ pub fn xdrop_extend_with(
         // gap consuming target bases — can reach the cell; at i = d
         // (j = 0) only the vertical move.
         if lo == 0 {
-            let mut v = prev.get(0) + scoring.gap;
+            let mut v = prev.get(0) + gap;
             if v < threshold {
                 v = NEG_INF;
             }
             out[0] = v;
         }
         if hi == d {
-            let mut v = prev.get(d - 1) + scoring.gap;
+            let mut v = prev.get(d - 1) + gap;
             if v < threshold {
                 v = NEG_INF;
             }
@@ -112,11 +144,11 @@ pub fn xdrop_extend_with(
         let ihi = hi.min(d - 1);
         for i in ilo..=ihi {
             // Diagonal move: consume one base of each sequence.
-            let diag = prev2.get(i - 1) + scoring.substitution(q[i - 1] == t[d - i - 1]);
+            let diag = prev2.get(i - 1) + sub(q[i - 1], t[d - i - 1]);
             // Vertical move: gap in the target (consume query base).
-            let up = prev.get(i - 1) + scoring.gap;
+            let up = prev.get(i - 1) + gap;
             // Horizontal move: gap in the query (consume target base).
-            let left = prev.get(i) + scoring.gap;
+            let left = prev.get(i) + gap;
             let mut val = diag.max(up).max(left);
             if val < threshold {
                 val = NEG_INF;
@@ -211,6 +243,46 @@ impl crate::seed_extend::Extender for XDropExtender {
 
     fn match_score(&self) -> i32 {
         self.scoring.match_score
+    }
+}
+
+/// An [`crate::seed_extend::Extender`] running the X-drop extension
+/// under an arbitrary [`ScoreProfile`] — the matrix-capable counterpart
+/// of [`XDropExtender`]. With a [`ScoreProfile::MatchMismatch`] profile
+/// it is bit-identical to the equivalent `XDropExtender`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileExtender {
+    /// The substitution model.
+    pub profile: ScoreProfile,
+    /// The X-drop threshold.
+    pub x: i32,
+    /// Which kernel computes each extension.
+    pub engine: Engine,
+}
+
+impl ProfileExtender {
+    /// Create an extender with an explicit compute engine.
+    pub fn new(profile: ScoreProfile, x: i32, engine: Engine) -> ProfileExtender {
+        ProfileExtender { profile, x, engine }
+    }
+}
+
+impl crate::seed_extend::Extender for ProfileExtender {
+    fn extend(&self, query: &Seq, target: &Seq) -> ExtensionResult {
+        self.engine.extend(query, target, self.profile, self.x)
+    }
+
+    fn extend_with(&self, query: &Seq, target: &Seq, ws: &mut AlignWorkspace) -> ExtensionResult {
+        self.engine
+            .extend_with(query, target, self.profile, self.x, ws)
+    }
+
+    fn match_score(&self) -> i32 {
+        self.profile.max_score()
+    }
+
+    fn seed_credit(&self, seed_symbols: &[u8]) -> i32 {
+        self.profile.seed_credit(seed_symbols)
     }
 }
 

@@ -73,8 +73,19 @@ pub trait AlignBackend: Send + Sync {
     /// threshold interprets scores in its config's scoring system)
     /// check against this instead of trusting call sites to keep two
     /// values in sync. `None` means "unknown/heterogeneous" and skips
-    /// the check.
+    /// the check — or a matrix-profile backend, whose scoring has no
+    /// `Scoring` rendering (see [`AlignBackend::profile_params`]).
     fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
+        self.profile_params()
+            .and_then(|(p, x)| p.as_match_mismatch().map(|s| (s, x)))
+    }
+
+    /// The score profile and X this backend aligns under, when it has a
+    /// single fixed set. The generalized form of
+    /// [`AlignBackend::xdrop_params`]: defined for matrix profiles
+    /// (BLOSUM62 translated search) as well as the DNA fast path.
+    /// `None` means "unknown/heterogeneous".
+    fn profile_params(&self) -> Option<(logan_seq::ScoreProfile, i32)> {
         None
     }
 
@@ -149,6 +160,10 @@ impl<T: AlignBackend + ?Sized> AlignBackend for Box<T> {
 
     fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
         (**self).xdrop_params()
+    }
+
+    fn profile_params(&self) -> Option<(logan_seq::ScoreProfile, i32)> {
+        (**self).profile_params()
     }
 
     fn throughput_hint_on(&self, lane: usize) -> f64 {
@@ -323,8 +338,8 @@ impl AlignBackend for XDropCpuAligner {
         format!("cpu:{}", self.threads())
     }
 
-    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
-        Some((self.scoring(), self.x()))
+    fn profile_params(&self) -> Option<(logan_seq::ScoreProfile, i32)> {
+        Some((self.profile(), self.x()))
     }
 
     fn throughput_hint(&self) -> f64 {
@@ -348,8 +363,8 @@ impl AlignBackend for LoganExecutor {
         format!("gpu:{}", self.device().spec().name)
     }
 
-    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
-        Some((self.config.scoring, self.config.x))
+    fn profile_params(&self) -> Option<(logan_seq::ScoreProfile, i32)> {
+        Some((self.config.profile, self.config.x))
     }
 
     fn throughput_hint(&self) -> f64 {
@@ -417,8 +432,8 @@ impl AlignBackend for GpuBackend {
         )
     }
 
-    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
-        self.exec.xdrop_params()
+    fn profile_params(&self) -> Option<(logan_seq::ScoreProfile, i32)> {
+        self.exec.profile_params()
     }
 
     fn throughput_hint(&self) -> f64 {
@@ -482,6 +497,31 @@ mod tests {
         // The hint is the §VI-B compute ceiling, just above the paper's
         // measured 181.6 GCUPS peak.
         assert!(gpu.throughput_hint() > 181.6 && gpu.throughput_hint() < 230.0);
+    }
+
+    #[test]
+    fn xdrop_params_derives_from_profile_params() {
+        use logan_seq::ScoreProfile;
+        let cpu = XDropCpuAligner::new(1, Scoring::default(), 50, Engine::Scalar);
+        assert_eq!(cpu.profile_params(), Some((ScoreProfile::default(), 50)));
+        assert_eq!(cpu.xdrop_params(), Some((Scoring::default(), 50)));
+        // A matrix-profile backend reports the profile but has no
+        // legacy Scoring rendering — the DNA-only seam reads None, so
+        // scoring-system consistency checks skip rather than compare
+        // incommensurable schemes.
+        let blosum = XDropCpuAligner::new(1, ScoreProfile::blosum62(-6), 50, Engine::Scalar);
+        assert_eq!(
+            blosum.profile_params(),
+            Some((ScoreProfile::blosum62(-6), 50))
+        );
+        assert_eq!(blosum.xdrop_params(), None);
+        // Boxed forwarding preserves both.
+        let boxed: Box<dyn AlignBackend> = Box::new(blosum);
+        assert_eq!(boxed.xdrop_params(), None);
+        assert_eq!(
+            boxed.profile_params(),
+            Some((ScoreProfile::blosum62(-6), 50))
+        );
     }
 
     #[test]

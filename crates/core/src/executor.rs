@@ -18,7 +18,7 @@ use crate::kernel::{ExtensionJob, KernelPolicy, LoganKernel};
 use logan_align::{Engine, ExtensionResult, SeedExtendResult};
 use logan_gpusim::{Device, DeviceSpec, KernelReport, LaunchConfig, Timeline};
 use logan_seq::readsim::ReadPair;
-use logan_seq::{Scoring, Seq};
+use logan_seq::{ScoreProfile, Seq};
 use serde::{Deserialize, Serialize};
 
 /// How many threads each block gets.
@@ -49,8 +49,10 @@ impl ThreadPolicy {
 /// Executor configuration (the paper's defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LoganConfig {
-    /// Linear-gap scoring (match +1 / mismatch −1 / gap −1).
-    pub scoring: Scoring,
+    /// Substitution model with linear gaps — the DNA match/mismatch
+    /// fast path (default: match +1 / mismatch −1 / gap −1) or a dense
+    /// matrix such as BLOSUM62 for protein / translated search.
+    pub profile: ScoreProfile,
     /// X-drop threshold.
     pub x: i32,
     /// Thread scheduling policy.
@@ -73,7 +75,7 @@ impl LoganConfig {
     /// which is safe precisely because engines cannot change results.
     pub fn with_x(x: i32) -> LoganConfig {
         LoganConfig {
-            scoring: Scoring::default(),
+            profile: ScoreProfile::default(),
             x,
             thread_policy: ThreadPolicy::ProportionalToX,
             reversed_layout: true,
@@ -242,7 +244,7 @@ impl LoganExecutor {
             };
             let kernel = LoganKernel {
                 jobs: chunk,
-                scoring: self.config.scoring,
+                profile: self.config.profile,
                 x: self.config.x,
                 policy,
             };
@@ -287,7 +289,7 @@ impl LoganExecutor {
         let (right_res, right_rep) = self.extend_batch(&right_jobs);
         let mut report = left_rep;
         report.merge(right_rep);
-        let results = assemble_results(pairs, &left_res, &right_res, self.config.scoring);
+        let results = assemble_results(pairs, &left_res, &right_res, self.config.profile);
         (results, report)
     }
 }
@@ -312,22 +314,28 @@ pub fn split_jobs(pairs: &[ReadPair]) -> (Vec<ExtensionJob>, Vec<ExtensionJob>) 
 }
 
 /// Combine per-side extension results into seed-extend results, exactly
-/// as `logan_align::seed_extend` does.
+/// as `logan_align::seed_extend` does. The seed credit is the profile's
+/// sum of diagonal scores over the seed's query symbols — `len ×
+/// match_score` on the DNA fast path, per-residue BLOSUM diagonals for
+/// matrix profiles.
 pub fn assemble_results(
     pairs: &[ReadPair],
     left: &[ExtensionResult],
     right: &[ExtensionResult],
-    scoring: Scoring,
+    profile: impl Into<ScoreProfile>,
 ) -> Vec<SeedExtendResult> {
     assert_eq!(pairs.len(), left.len());
     assert_eq!(pairs.len(), right.len());
+    let profile = profile.into();
     pairs
         .iter()
         .zip(left.iter().zip(right))
         .map(|(p, (l, r))| {
             let s = p.seed;
             SeedExtendResult {
-                score: l.score + r.score + s.len as i32 * scoring.match_score,
+                score: l.score
+                    + r.score
+                    + profile.seed_credit(&p.query.as_slice()[s.qpos..s.qpos + s.len]),
                 left: *l,
                 right: *r,
                 query_start: s.qpos - l.query_end,
@@ -362,6 +370,7 @@ mod tests {
     use super::*;
     use logan_align::{seed_extend, XDropExtender};
     use logan_seq::readsim::PairSet;
+    use logan_seq::Scoring;
 
     fn pairs(n: usize, lo: usize, hi: usize) -> Vec<ReadPair> {
         PairSet::generate_with_lengths(n, 0.15, lo, hi, 31).pairs
@@ -461,6 +470,55 @@ mod tests {
             "engine must not change simulated time"
         );
         assert_eq!(rep_scalar.total_cells, rep_simd.total_cells);
+    }
+
+    #[test]
+    fn matrix_profile_pipeline_matches_cpu_seed_extend() {
+        use logan_align::ProfileExtender;
+        use logan_seq::readsim::Seed;
+        use logan_seq::Alphabet;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        let ps: Vec<ReadPair> = (0..8)
+            .map(|_| {
+                let n = 150 + rng.gen_range(0..200usize);
+                let q = Seq::from_codes(
+                    (0..n).map(|_| rng.gen_range(0..20u8)).collect(),
+                    Alphabet::Protein,
+                );
+                let mut t = q.as_slice().to_vec();
+                for (i, c) in t.iter_mut().enumerate() {
+                    if !(40..46).contains(&i) && rng.gen_bool(0.15) {
+                        *c = rng.gen_range(0..20u8);
+                    }
+                }
+                ReadPair {
+                    query: q,
+                    target: Seq::from_codes(t, Alphabet::Protein),
+                    seed: Seed {
+                        qpos: 40,
+                        tpos: 40,
+                        len: 6,
+                    },
+                    template_len: n,
+                }
+            })
+            .collect();
+        let p = ScoreProfile::blosum62(-6);
+        let mut cfg = LoganConfig::with_x(50);
+        cfg.profile = p;
+        for engine in [Engine::Scalar, Engine::Simd] {
+            cfg.engine = engine;
+            let exec = LoganExecutor::new(DeviceSpec::v100(), cfg);
+            let (gpu, rep) = exec.align_pairs(&ps);
+            let ext = ProfileExtender::new(p, 50, Engine::Scalar);
+            for (pair, g) in ps.iter().zip(&gpu) {
+                let cpu = seed_extend(&pair.query, &pair.target, pair.seed, &ext);
+                assert_eq!(*g, cpu, "protein pipeline must equal CPU seed-extend");
+            }
+            assert!(rep.total_cells > 0);
+        }
     }
 
     #[test]

@@ -585,8 +585,8 @@ impl AlignBackend for ChaosBackend {
         self.inner.lanes()
     }
 
-    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
-        self.inner.xdrop_params()
+    fn profile_params(&self) -> Option<(logan_seq::ScoreProfile, i32)> {
+        self.inner.profile_params()
     }
 
     fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
@@ -974,8 +974,8 @@ impl<B: AlignBackend> AlignBackend for Supervised<B> {
         self.inner.lanes()
     }
 
-    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
-        self.inner.xdrop_params()
+    fn profile_params(&self) -> Option<(logan_seq::ScoreProfile, i32)> {
+        self.inner.profile_params()
     }
 
     fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {

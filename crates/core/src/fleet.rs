@@ -984,13 +984,13 @@ impl AlignBackend for Fleet {
         self.backends[lane].try_align_block(block)
     }
 
-    /// The fleet's X-drop parameters when every member agrees (the only
-    /// configuration the differential guarantees cover); `None` as soon
-    /// as members disagree, which the BELLA pipeline rejects.
-    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
+    /// The fleet's score profile and X when every member agrees (the
+    /// only configuration the differential guarantees cover); `None` as
+    /// soon as members disagree, which the BELLA pipeline rejects.
+    fn profile_params(&self) -> Option<(logan_seq::ScoreProfile, i32)> {
         let mut params = None;
         for b in &self.backends {
-            match (params, b.xdrop_params()) {
+            match (params, b.profile_params()) {
                 (_, None) => return None,
                 (None, got) => params = got,
                 (Some(p), Some(got)) if p == got => {}
@@ -1121,7 +1121,7 @@ impl FleetSpec {
                     )) as Box<dyn AlignBackend>,
                     FleetWorker::Cpu { threads } => Box::new(XDropCpuAligner::new(
                         threads,
-                        config.scoring,
+                        config.profile,
                         config.x,
                         config.engine,
                     )) as Box<dyn AlignBackend>,

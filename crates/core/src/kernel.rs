@@ -18,7 +18,7 @@ use logan_align::simd::{simd_eligible, SimdState, SimdStep};
 use logan_align::workspace::{with_thread_workspace, ScalarRings};
 use logan_align::{AlignWorkspace, Engine, ExtensionResult, NEG_INF};
 use logan_gpusim::{AccessPattern, BlockCtx, BlockKernel};
-use logan_seq::{Scoring, Seq};
+use logan_seq::{ScoreProfile, Seq};
 
 /// One extension problem: align a prefix of `query` against a prefix of
 /// `target` (both already oriented by the host — left extensions arrive
@@ -70,8 +70,9 @@ impl KernelPolicy {
 pub struct LoganKernel<'a> {
     /// The extension problems, indexed by block id.
     pub jobs: &'a [ExtensionJob],
-    /// Linear-gap scoring scheme.
-    pub scoring: Scoring,
+    /// Substitution model with linear gaps: the DNA match/mismatch fast
+    /// path or a dense matrix (e.g. BLOSUM62 for translated search).
+    pub profile: ScoreProfile,
     /// X-drop threshold.
     pub x: i32,
     /// Execution policy.
@@ -93,7 +94,7 @@ impl BlockKernel for LoganKernel<'_> {
                 ctx,
                 &job.query,
                 &job.target,
-                self.scoring,
+                self.profile,
                 self.x,
                 &self.policy,
                 ws,
@@ -102,7 +103,7 @@ impl BlockKernel for LoganKernel<'_> {
                 ctx,
                 &job.query,
                 &job.target,
-                self.scoring,
+                self.profile,
                 self.x,
                 &self.policy,
                 ws,
@@ -191,7 +192,7 @@ pub fn logan_block_extend(
     ctx: &mut BlockCtx,
     query: &Seq,
     target: &Seq,
-    scoring: Scoring,
+    profile: impl Into<ScoreProfile>,
     x: i32,
     policy: &KernelPolicy,
 ) -> ExtensionResult {
@@ -199,7 +200,7 @@ pub fn logan_block_extend(
         ctx,
         query,
         target,
-        scoring,
+        profile,
         x,
         policy,
         &mut AlignWorkspace::new(),
@@ -215,7 +216,46 @@ pub fn logan_block_extend_with(
     ctx: &mut BlockCtx,
     query: &Seq,
     target: &Seq,
-    scoring: Scoring,
+    profile: impl Into<ScoreProfile>,
+    x: i32,
+    policy: &KernelPolicy,
+    ws: &mut AlignWorkspace,
+) -> ExtensionResult {
+    // Dispatch on the substitution model once, outside the cell loop:
+    // each arm monomorphizes the block core with an inlined scorer, so
+    // the DNA arm compiles to the exact pre-profile loop.
+    match profile.into() {
+        ScoreProfile::MatchMismatch(s) => block_core(
+            ctx,
+            query,
+            target,
+            |a, b| s.substitution(a == b),
+            s.gap,
+            x,
+            policy,
+            ws,
+        ),
+        ScoreProfile::Matrix(m) => block_core(
+            ctx,
+            query,
+            target,
+            |a, b| m.score(a, b),
+            m.gap,
+            x,
+            policy,
+            ws,
+        ),
+    }
+}
+
+/// The scalar block body, generic over the substitution scorer.
+#[allow(clippy::too_many_arguments)]
+fn block_core(
+    ctx: &mut BlockCtx,
+    query: &Seq,
+    target: &Seq,
+    sub: impl Fn(u8, u8) -> i32,
+    gap: i32,
     x: i32,
     policy: &KernelPolicy,
     ws: &mut AlignWorkspace,
@@ -262,20 +302,16 @@ pub fn logan_block_extend_with(
             let i = lo + k;
             let j = d - i;
             let diag = if i >= 1 && j >= 1 {
-                prev2.get(i - 1) + scoring.substitution(q[i - 1] == t[j - 1])
+                prev2.get(i - 1) + sub(q[i - 1], t[j - 1])
             } else {
                 NEG_INF
             };
             let up = if i >= 1 {
-                prev.get(i - 1) + scoring.gap
+                prev.get(i - 1) + gap
             } else {
                 NEG_INF
             };
-            let left = if j >= 1 {
-                prev.get(i) + scoring.gap
-            } else {
-                NEG_INF
-            };
+            let left = if j >= 1 { prev.get(i) + gap } else { NEG_INF };
             let mut val = diag.max(up).max(left);
             if val < threshold {
                 val = NEG_INF;
@@ -360,7 +396,7 @@ pub fn logan_block_extend_simd(
     ctx: &mut BlockCtx,
     query: &Seq,
     target: &Seq,
-    scoring: Scoring,
+    profile: impl Into<ScoreProfile>,
     x: i32,
     policy: &KernelPolicy,
 ) -> ExtensionResult {
@@ -368,7 +404,7 @@ pub fn logan_block_extend_simd(
         ctx,
         query,
         target,
-        scoring,
+        profile,
         x,
         policy,
         &mut AlignWorkspace::new(),
@@ -384,18 +420,19 @@ pub fn logan_block_extend_simd_with(
     ctx: &mut BlockCtx,
     query: &Seq,
     target: &Seq,
-    scoring: Scoring,
+    profile: impl Into<ScoreProfile>,
     x: i32,
     policy: &KernelPolicy,
     ws: &mut AlignWorkspace,
 ) -> ExtensionResult {
-    if query.is_empty() || target.is_empty() || !simd_eligible(query, target, scoring, x) {
+    let profile = profile.into();
+    if query.is_empty() || target.is_empty() || !simd_eligible(query, target, profile, x) {
         // Empty or ineligible job: the scalar path handles both (and
         // books nothing for empty jobs, same as this early return).
-        return logan_block_extend_with(ctx, query, target, scoring, x, policy, ws);
+        return logan_block_extend_with(ctx, query, target, profile, x, policy, ws);
     }
     let mut state =
-        SimdState::new(query, target, scoring, x, &mut ws.simd).expect("eligibility checked above");
+        SimdState::new(query, target, profile, x, &mut ws.simd).expect("eligibility checked above");
     let (m, n) = (query.len(), target.len());
     let threads = ctx.threads();
     let costs = block_prologue(ctx, m, n, policy);
@@ -444,7 +481,7 @@ mod tests {
     use super::*;
     use logan_align::xdrop_extend;
     use logan_seq::readsim::{random_seq, PairSet};
-    use logan_seq::{ErrorModel, ErrorProfile};
+    use logan_seq::{ErrorModel, ErrorProfile, Scoring};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -550,6 +587,41 @@ mod tests {
     }
 
     #[test]
+    fn matrix_profile_block_path_matches_reference_and_counters() {
+        use logan_seq::{Alphabet, ScoreProfile};
+        use rand::Rng;
+        let p = ScoreProfile::blosum62(-6);
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..8 {
+            let n = 40 + trial * 37;
+            let a = Seq::from_codes(
+                (0..n).map(|_| rng.gen_range(0..20u8)).collect(),
+                Alphabet::Protein,
+            );
+            let mut hom = a.as_slice().to_vec();
+            for c in hom.iter_mut() {
+                if rng.gen_bool(0.2) {
+                    *c = rng.gen_range(0..20u8);
+                }
+            }
+            let b = Seq::from_codes(hom, Alphabet::Protein);
+            for x in [10, 60] {
+                let pol = KernelPolicy::new(64);
+                let mut c1 = ctx(64);
+                let r1 = logan_block_extend(&mut c1, &a, &b, p, x, &pol);
+                let want = xdrop_extend(&a, &b, p, x);
+                assert_eq!(r1, want, "block vs reference, trial {trial} x {x}");
+                let mut pol_simd = pol;
+                pol_simd.engine = Engine::Simd;
+                let mut c2 = ctx(64);
+                let r2 = logan_block_extend_simd(&mut c2, &a, &b, p, x, &pol_simd);
+                assert_eq!(r2, r1, "simd block path, trial {trial} x {x}");
+                assert_eq!(c2.counters, c1.counters, "counters, trial {trial} x {x}");
+            }
+        }
+    }
+
+    #[test]
     fn simd_block_path_falls_back_when_ineligible() {
         // X beyond the i16 window: the SIMD path must defer to the
         // scalar block kernel (identical results and counters).
@@ -581,7 +653,7 @@ mod tests {
         pol.engine = Engine::Simd;
         let kernel = LoganKernel {
             jobs: &jobs,
-            scoring: Scoring::default(),
+            profile: Scoring::default().into(),
             x: 50,
             policy: pol,
         };

@@ -164,8 +164,8 @@ impl AlignBackend for MultiGpu {
         self.fleet.throughput_hint()
     }
 
-    fn xdrop_params(&self) -> Option<(logan_seq::Scoring, i32)> {
-        self.fleet.xdrop_params()
+    fn profile_params(&self) -> Option<(logan_seq::ScoreProfile, i32)> {
+        self.fleet.profile_params()
     }
 
     fn max_block(&self) -> usize {

@@ -1,13 +1,72 @@
-//! The DNA alphabet used throughout LOGAN-rs.
+//! The alphabets used throughout LOGAN-rs.
 //!
-//! Sequences are stored as one byte per base (`A`, `C`, `G`, `T`) for the
-//! aligners — the LOGAN kernel compares raw characters exactly as the CUDA
-//! implementation does — plus a 2-bit packed representation
-//! ([`PackedSeq`]) used by the k-mer machinery where memory traffic
-//! matters.
+//! Sequences are stored as one symbol code per byte. For DNA the code is
+//! the classic 2-bit encoding (`A=0, C=1, G=2, T=3`) — the LOGAN kernel
+//! compares raw characters exactly as the CUDA implementation does — and
+//! [`Base`] is the typed view of a code. For protein the codes `0..20`
+//! index [`AMINO_ACIDS`]. A 2-bit packed representation ([`PackedSeq`])
+//! serves the DNA k-mer machinery where memory traffic matters.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// The 20 standard amino acids in code order: protein symbol code `c`
+/// renders as `AMINO_ACIDS[c]`. The order matches the BLOSUM62 table in
+/// [`crate::profile`].
+pub const AMINO_ACIDS: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+
+/// Which symbol set a sequence's codes index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Alphabet {
+    /// 4-letter nucleotide alphabet, codes `0..4` ([`Base`]).
+    #[default]
+    Dna,
+    /// 20-letter amino-acid alphabet, codes `0..20` ([`AMINO_ACIDS`]).
+    Protein,
+}
+
+impl Alphabet {
+    /// Number of symbols (4 or 20) — the stride of a dense
+    /// substitution-matrix row.
+    #[inline]
+    pub fn size(self) -> usize {
+        match self {
+            Alphabet::Dna => 4,
+            Alphabet::Protein => 20,
+        }
+    }
+
+    /// Decode a symbol code to its ASCII letter. Panics on a code
+    /// outside the alphabet.
+    #[inline]
+    pub fn to_ascii(self, code: u8) -> u8 {
+        match self {
+            Alphabet::Dna => Base::from_code(code).to_ascii(),
+            Alphabet::Protein => AMINO_ACIDS[code as usize],
+        }
+    }
+
+    /// Parse an ASCII letter (case-insensitive) to its symbol code, or
+    /// `None` when the letter is outside the alphabet.
+    #[inline]
+    pub fn from_ascii(self, ch: u8) -> Option<u8> {
+        match self {
+            Alphabet::Dna => Base::from_ascii(ch).map(|b| b as u8),
+            Alphabet::Protein => AMINO_ACIDS
+                .iter()
+                .position(|&a| a == ch.to_ascii_uppercase())
+                .map(|i| i as u8),
+        }
+    }
+
+    /// Human-readable name for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Alphabet::Dna => "DNA",
+            Alphabet::Protein => "protein",
+        }
+    }
+}
 
 /// A single DNA nucleotide.
 ///

@@ -6,6 +6,7 @@
 //! Lines are read with a reusable buffer (no per-line allocation), per
 //! the Rust performance guide.
 
+use crate::alphabet::Alphabet;
 use crate::seq::Seq;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
@@ -79,8 +80,18 @@ fn empty_header_error(line: usize) -> FastaError {
 /// streaming BELLA pipeline, arbitrarily large inputs) should iterate
 /// [`FastaBatches`] instead.
 pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
+    read_fasta_alphabet(reader, Alphabet::Dna)
+}
+
+/// [`read_fasta`] parameterized by alphabet: `Alphabet::Protein` reads
+/// amino-acid FASTA (the 20 standard residues, case-insensitive) for
+/// translated / protein-homology search.
+pub fn read_fasta_alphabet<R: Read>(
+    reader: R,
+    alphabet: Alphabet,
+) -> Result<Vec<Record>, FastaError> {
     let mut records = Vec::new();
-    for batch in FastaBatches::new(reader, 4096) {
+    for batch in FastaBatches::new_alphabet(reader, 4096, alphabet) {
         records.extend(batch?);
     }
     Ok(records)
@@ -101,19 +112,26 @@ pub struct FastaBatches<R: Read> {
     lineno: usize,
     /// Header + accumulated sequence bytes of the record being read.
     current: Option<(String, Vec<u8>)>,
+    alphabet: Alphabet,
     done: bool,
 }
 
 impl<R: Read> FastaBatches<R> {
     /// Start streaming `reader` in batches of at most `batch_reads`
-    /// records (clamped to at least 1).
+    /// records (clamped to at least 1), parsed as DNA.
     pub fn new(reader: R, batch_reads: usize) -> FastaBatches<R> {
+        FastaBatches::new_alphabet(reader, batch_reads, Alphabet::Dna)
+    }
+
+    /// [`FastaBatches::new`] parameterized by alphabet.
+    pub fn new_alphabet(reader: R, batch_reads: usize, alphabet: Alphabet) -> FastaBatches<R> {
         FastaBatches {
             br: BufReader::new(reader),
             batch_reads: batch_reads.max(1),
             line: String::new(),
             lineno: 0,
             current: None,
+            alphabet,
             done: false,
         }
     }
@@ -146,7 +164,7 @@ impl<R: Read> Iterator for FastaBatches<R> {
             }
             if at_eof || trimmed.starts_with('>') {
                 if let Some((id, bytes)) = self.current.take() {
-                    match Seq::from_ascii(&bytes) {
+                    match Seq::from_ascii_alphabet(&bytes, self.alphabet) {
                         Ok(seq) => out.push(Record { id, seq }),
                         Err(e) => {
                             let line = self.lineno;
@@ -309,6 +327,23 @@ mod tests {
     fn fasta_rejects_bad_base() {
         let err = read_fasta(&b">x\nACNT\n"[..]).unwrap_err();
         assert!(err.to_string().contains("invalid DNA"));
+    }
+
+    #[test]
+    fn protein_fasta_reads_and_rejects() {
+        let text = b">p1 some protein\nMKWF\nARND\n>p2\nwv\n";
+        let recs = read_fasta_alphabet(&text[..], Alphabet::Protein).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq.to_ascii(), b"MKWFARND");
+        assert_eq!(recs[0].seq.alphabet(), Alphabet::Protein);
+        assert_eq!(recs[1].seq.to_ascii(), b"WV", "lower case accepted");
+        // B, J, O, U, X, Z are not standard residues.
+        let err = read_fasta_alphabet(&b">p\nMKXF\n"[..], Alphabet::Protein).unwrap_err();
+        assert!(err.to_string().contains("invalid protein"), "{err}");
+        // DNA is a subset of the protein alphabet by letters (ACGT are
+        // amino acids too), but not vice versa.
+        let err = read_fasta(&b">p\nMKWF\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("invalid DNA"), "{err}");
     }
 
     #[test]

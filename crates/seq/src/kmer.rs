@@ -22,9 +22,11 @@ pub struct Kmer {
 }
 
 impl Kmer {
-    /// Build from a slice of bases. Panics if `bases.len() > MAX_K`.
-    pub fn from_bases(bases: &[Base]) -> Kmer {
+    /// Build from a slice of 2-bit DNA symbol codes (what
+    /// [`Seq::as_slice`] yields). Panics if `bases.len() > MAX_K`.
+    pub fn from_bases(bases: &[u8]) -> Kmer {
         assert!(bases.len() <= MAX_K, "k-mer too long: {}", bases.len());
+        debug_assert!(bases.iter().all(|&b| b < 4), "non-DNA code in k-mer");
         let mut code = 0u64;
         for &b in bases {
             code = (code << 2) | b as u64;

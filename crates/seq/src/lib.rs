@@ -5,12 +5,20 @@
 //! (Zeni et al., IPDPS 2020).
 //!
 //! This crate provides everything the alignment kernels and the BELLA
-//! overlapper need to talk about DNA:
+//! overlapper need to talk about sequences (DNA first, protein for the
+//! translated-search extension):
 //!
-//! * [`alphabet`] — the 2-bit DNA alphabet, complements, packing;
-//! * [`seq`] — owned sequences with cheap reversal / reverse-complement;
+//! * [`alphabet`] — the 2-bit DNA alphabet, complements, packing, plus
+//!   the 20-letter protein alphabet;
+//! * [`seq`] — owned sequences (DNA or protein) with cheap reversal /
+//!   reverse-complement;
 //! * [`scoring`] — linear and affine scoring schemes used by X-drop and
 //!   ksw2-style aligners;
+//! * [`profile`] — [`ScoreProfile`]: the generalized substitution model
+//!   (DNA match/mismatch fast path, or a dense matrix such as BLOSUM62)
+//!   threaded through every engine and backend;
+//! * [`translate`] — six-frame translation with stop-codon segmentation
+//!   for BLASTX-style translated search;
 //! * [`error`] — a PacBio-like sequencing error model (substitutions,
 //!   insertions, deletions);
 //! * [`readsim`] — synthetic genome and long-read simulation with ground
@@ -40,18 +48,22 @@ pub mod error;
 pub mod fasta;
 pub mod kmer;
 pub mod minimizer;
+pub mod profile;
 pub mod readsim;
 pub mod scoring;
 pub mod seq;
 pub mod stats;
+pub mod translate;
 
-pub use alphabet::{Base, PackedSeq};
+pub use alphabet::{Alphabet, Base, PackedSeq, AMINO_ACIDS};
 pub use error::{ErrorModel, ErrorProfile};
 pub use kmer::{canonical_kmer, CanonicalKmerIter, Kmer, KmerIter};
 pub use minimizer::{minimizer_hash, minimizers, Minimizer};
+pub use profile::{ScoreProfile, SubstMatrix};
 pub use readsim::{
     seq_batches, DatasetPreset, PairSet, ReadBatch, ReadPair, ReadSet, ReadSimulator, Seed,
     SimulatedRead,
 };
 pub use scoring::{AffineScoring, Scoring};
 pub use seq::Seq;
+pub use translate::{six_frame_segments, translate_frame, Frame, FrameSegment};

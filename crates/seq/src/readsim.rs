@@ -332,9 +332,9 @@ impl ReadSimulator {
             let tmpl = genome.subseq(tmpl_start, tmpl_start + self.repeat_len);
             for _ in 0..self.repeat_copies.saturating_sub(1) {
                 let dst = rng.gen_range(0..self.genome_len - self.repeat_len);
-                let mut bases = genome.as_slice().to_vec();
-                bases[dst..dst + self.repeat_len].copy_from_slice(tmpl.as_slice());
-                genome = Seq::from_bases(bases);
+                let mut codes = genome.as_slice().to_vec();
+                codes[dst..dst + self.repeat_len].copy_from_slice(tmpl.as_slice());
+                genome = Seq::from_codes(codes, crate::alphabet::Alphabet::Dna);
             }
         }
 

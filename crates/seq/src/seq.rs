@@ -1,82 +1,128 @@
-//! Owned DNA sequences.
+//! Owned sequences over a tagged alphabet.
 //!
-//! [`Seq`] stores one [`Base`] per element. The LOGAN host pipeline
+//! [`Seq`] stores one symbol code per byte plus an [`Alphabet`] tag. DNA
+//! sequences (the default) carry the 2-bit codes of [`Base`]; protein
+//! sequences carry amino-acid codes `0..20`. The LOGAN host pipeline
 //! reverses the query of every left extension so the (simulated) GPU can
 //! read both sequences in increasing address order (paper §IV-B, Fig. 6);
 //! [`Seq::reversed`] and [`Seq::reverse_complement`] support that step.
 
-use crate::alphabet::Base;
+use crate::alphabet::{Alphabet, Base};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Index;
 
-/// An owned DNA sequence (one byte per base).
+/// An owned sequence (one symbol code per byte) tagged with its
+/// [`Alphabet`]. The default alphabet is DNA, so every pre-existing DNA
+/// path constructs and consumes exactly the codes it always did.
 #[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Seq {
-    bases: Vec<Base>,
+    codes: Vec<u8>,
+    alphabet: Alphabet,
 }
 
+/// `Index<usize>` must return a reference; these statics are the four
+/// DNA codes as [`Base`] values so `&seq[i]` can point at one.
+static BASES_BY_CODE: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
 impl Seq {
-    /// Create an empty sequence.
+    /// Create an empty DNA sequence.
     pub fn new() -> Seq {
-        Seq { bases: Vec::new() }
+        Seq::default()
     }
 
-    /// Create from a vector of bases.
+    /// Create a DNA sequence from a vector of bases.
     pub fn from_bases(bases: Vec<Base>) -> Seq {
-        Seq { bases }
+        Seq {
+            codes: bases.into_iter().map(|b| b as u8).collect(),
+            alphabet: Alphabet::Dna,
+        }
     }
 
-    /// Parse from ASCII. Characters outside `ACGTacgt` are rejected with
-    /// an error naming the offending position.
+    /// Create from raw symbol codes of the given alphabet. Every code
+    /// must be below [`Alphabet::size`]; out-of-range codes panic.
+    pub fn from_codes(codes: Vec<u8>, alphabet: Alphabet) -> Seq {
+        let size = alphabet.size() as u8;
+        assert!(
+            codes.iter().all(|&c| c < size),
+            "symbol code out of range for the {} alphabet",
+            alphabet.name()
+        );
+        Seq { codes, alphabet }
+    }
+
+    /// Parse DNA from ASCII. Characters outside `ACGTacgt` are rejected
+    /// with an error naming the offending position.
     pub fn from_ascii(s: &[u8]) -> Result<Seq, SeqParseError> {
-        let mut bases = Vec::with_capacity(s.len());
+        Seq::from_ascii_alphabet(s, Alphabet::Dna)
+    }
+
+    /// Parse protein from ASCII (the 20 standard amino acids,
+    /// case-insensitive). Anything else is rejected with an error naming
+    /// the offending position.
+    pub fn from_protein_ascii(s: &[u8]) -> Result<Seq, SeqParseError> {
+        Seq::from_ascii_alphabet(s, Alphabet::Protein)
+    }
+
+    /// Parse from ASCII under an explicit alphabet.
+    pub fn from_ascii_alphabet(s: &[u8], alphabet: Alphabet) -> Result<Seq, SeqParseError> {
+        let mut codes = Vec::with_capacity(s.len());
         for (i, &ch) in s.iter().enumerate() {
-            match Base::from_ascii(ch) {
-                Some(b) => bases.push(b),
+            match alphabet.from_ascii(ch) {
+                Some(c) => codes.push(c),
                 None => {
                     return Err(SeqParseError {
                         position: i,
                         byte: ch,
+                        alphabet,
                     })
                 }
             }
         }
-        Ok(Seq { bases })
+        Ok(Seq { codes, alphabet })
     }
 
-    /// Parse from a `&str`; convenience over [`Seq::from_ascii`].
+    /// Parse DNA from a `&str`; convenience over [`Seq::from_ascii`].
     pub fn from_str_strict(s: &str) -> Result<Seq, SeqParseError> {
         Seq::from_ascii(s.as_bytes())
     }
 
-    /// Number of bases.
+    /// The alphabet this sequence's codes index.
+    #[inline]
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Number of symbols.
     #[inline]
     pub fn len(&self) -> usize {
-        self.bases.len()
+        self.codes.len()
     }
 
     /// True when empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.bases.is_empty()
+        self.codes.is_empty()
     }
 
-    /// Borrow the bases.
+    /// Borrow the symbol codes. For DNA these are the 2-bit [`Base`]
+    /// codes; the aligners compare and gather on them directly.
     #[inline]
-    pub fn as_slice(&self) -> &[Base] {
-        &self.bases
+    pub fn as_slice(&self) -> &[u8] {
+        &self.codes
     }
 
-    /// Push one base.
+    /// Push one DNA base.
     #[inline]
     pub fn push(&mut self, b: Base) {
-        self.bases.push(b);
+        debug_assert_eq!(self.alphabet, Alphabet::Dna);
+        self.codes.push(b as u8);
     }
 
-    /// Append another sequence.
+    /// Append another sequence (alphabets must match).
     pub fn extend_from(&mut self, other: &Seq) {
-        self.bases.extend_from_slice(&other.bases);
+        debug_assert_eq!(self.alphabet, other.alphabet);
+        self.codes.extend_from_slice(&other.codes);
     }
 
     /// Subsequence `[start, end)` as a new sequence.
@@ -85,14 +131,15 @@ impl Seq {
     /// layer are programmer bugs, not data errors.
     pub fn subseq(&self, start: usize, end: usize) -> Seq {
         Seq {
-            bases: self.bases[start..end].to_vec(),
+            codes: self.codes[start..end].to_vec(),
+            alphabet: self.alphabet,
         }
     }
 
-    /// Drop all bases, keeping the allocation.
+    /// Drop all symbols, keeping the allocation.
     #[inline]
     pub fn clear(&mut self) {
-        self.bases.clear();
+        self.codes.clear();
     }
 
     /// Replace the contents with `src[start, end)`, reusing this
@@ -101,8 +148,9 @@ impl Seq {
     ///
     /// Panics on an invalid range, like [`Seq::subseq`].
     pub fn assign_range(&mut self, src: &Seq, start: usize, end: usize) {
-        self.bases.clear();
-        self.bases.extend_from_slice(&src.bases[start..end]);
+        self.codes.clear();
+        self.codes.extend_from_slice(&src.codes[start..end]);
+        self.alphabet = src.alphabet;
     }
 
     /// Replace the contents with `src[start, end)` *reversed*, reusing
@@ -113,9 +161,10 @@ impl Seq {
     ///
     /// Panics on an invalid range, like [`Seq::subseq`].
     pub fn assign_reversed_range(&mut self, src: &Seq, start: usize, end: usize) {
-        self.bases.clear();
-        self.bases
-            .extend(src.bases[start..end].iter().rev().copied());
+        self.codes.clear();
+        self.codes
+            .extend(src.codes[start..end].iter().rev().copied());
+        self.alphabet = src.alphabet;
     }
 
     /// The sequence reversed (not complemented). This is the
@@ -123,35 +172,49 @@ impl Seq {
     /// obtain coalesced GPU memory access.
     pub fn reversed(&self) -> Seq {
         Seq {
-            bases: self.bases.iter().rev().copied().collect(),
+            codes: self.codes.iter().rev().copied().collect(),
+            alphabet: self.alphabet,
         }
     }
 
     /// Reverse complement, as used when overlapping reads sampled from
-    /// opposite strands.
+    /// opposite strands. DNA only — complementation has no meaning for
+    /// protein codes.
     pub fn reverse_complement(&self) -> Seq {
+        assert_eq!(
+            self.alphabet,
+            Alphabet::Dna,
+            "reverse_complement is defined on DNA sequences only"
+        );
         Seq {
-            bases: self.bases.iter().rev().map(|b| b.complement()).collect(),
+            // Complement in the 2-bit encoding is code XOR 3.
+            codes: self.codes.iter().rev().map(|&c| c ^ 3).collect(),
+            alphabet: Alphabet::Dna,
         }
     }
 
     /// ASCII rendering (upper-case).
     pub fn to_ascii(&self) -> Vec<u8> {
-        self.bases.iter().map(|b| b.to_ascii()).collect()
+        self.codes
+            .iter()
+            .map(|&c| self.alphabet.to_ascii(c))
+            .collect()
     }
 
-    /// Iterate over bases.
+    /// Iterate over DNA bases. Panics (in the index) when called on a
+    /// protein sequence — protein paths read codes via [`Seq::as_slice`].
     pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
-        self.bases.iter().copied()
+        debug_assert_eq!(self.alphabet, Alphabet::Dna);
+        self.codes.iter().map(|&c| Base::from_code(c))
     }
 
     /// Hamming distance against another sequence of equal length.
     /// Panics on length mismatch.
     pub fn hamming(&self, other: &Seq) -> usize {
         assert_eq!(self.len(), other.len(), "hamming requires equal lengths");
-        self.bases
+        self.codes
             .iter()
-            .zip(&other.bases)
+            .zip(&other.codes)
             .filter(|(a, b)| a != b)
             .count()
     }
@@ -161,7 +224,9 @@ impl Index<usize> for Seq {
     type Output = Base;
     #[inline]
     fn index(&self, i: usize) -> &Base {
-        &self.bases[i]
+        // Protein codes (>= 4) land out of bounds here by design: only
+        // DNA call paths index a Seq as typed bases.
+        &BASES_BY_CODE[self.codes[i] as usize]
     }
 }
 
@@ -191,7 +256,8 @@ impl fmt::Display for Seq {
 impl FromIterator<Base> for Seq {
     fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> Seq {
         Seq {
-            bases: iter.into_iter().collect(),
+            codes: iter.into_iter().map(|b| b as u8).collect(),
+            alphabet: Alphabet::Dna,
         }
     }
 }
@@ -203,14 +269,18 @@ pub struct SeqParseError {
     pub position: usize,
     /// The offending byte.
     pub byte: u8,
+    /// The alphabet the parse ran under.
+    pub alphabet: Alphabet,
 }
 
 impl fmt::Display for SeqParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "invalid DNA character {:?} at position {}",
-            self.byte as char, self.position
+            "invalid {} character {:?} at position {}",
+            self.alphabet.name(),
+            self.byte as char,
+            self.position
         )
     }
 }
@@ -235,6 +305,37 @@ mod tests {
         assert_eq!(err.position, 3);
         assert_eq!(err.byte, b'N');
         assert!(err.to_string().contains("position 3"));
+        assert!(err.to_string().contains("invalid DNA"));
+    }
+
+    #[test]
+    fn parse_protein_valid_and_invalid() {
+        let p = Seq::from_protein_ascii(b"ARNDCqegHILKMFPSTWYV").unwrap();
+        assert_eq!(p.len(), 20);
+        assert_eq!(p.alphabet(), Alphabet::Protein);
+        assert_eq!(p.to_ascii(), b"ARNDCQEGHILKMFPSTWYV");
+        // Codes are 0..20 in AMINO_ACIDS order.
+        assert_eq!(p.as_slice()[0], 0);
+        assert_eq!(p.as_slice()[19], 19);
+
+        let err = Seq::from_protein_ascii(b"ARB").unwrap_err();
+        assert_eq!(err.position, 2);
+        assert_eq!(err.byte, b'B');
+        assert!(err.to_string().contains("invalid protein"));
+    }
+
+    #[test]
+    fn from_codes_checks_range() {
+        let s = Seq::from_codes(vec![0, 3, 2], Alphabet::Dna);
+        assert_eq!(s.to_ascii(), b"ATG");
+        let p = Seq::from_codes(vec![0, 19], Alphabet::Protein);
+        assert_eq!(p.to_ascii(), b"AV");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_codes_rejects_out_of_range() {
+        let _ = Seq::from_codes(vec![4], Alphabet::Dna);
     }
 
     #[test]
@@ -256,6 +357,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "DNA sequences only")]
+    fn reverse_complement_rejects_protein() {
+        let _ = Seq::from_protein_ascii(b"ARND")
+            .unwrap()
+            .reverse_complement();
+    }
+
+    #[test]
     fn subseq_and_index() {
         let s = seq("ACGTACGT");
         let sub = s.subseq(2, 6);
@@ -268,6 +377,15 @@ mod tests {
     fn subseq_empty_range_ok() {
         let s = seq("ACGT");
         assert!(s.subseq(2, 2).is_empty());
+    }
+
+    #[test]
+    fn subseq_preserves_alphabet() {
+        let p = Seq::from_protein_ascii(b"WYVAR").unwrap();
+        let sub = p.subseq(1, 4);
+        assert_eq!(sub.alphabet(), Alphabet::Protein);
+        assert_eq!(sub.to_ascii(), b"YVA");
+        assert_eq!(sub.reversed().to_ascii(), b"AVY");
     }
 
     #[test]
@@ -308,6 +426,17 @@ mod tests {
     }
 
     #[test]
+    fn assign_range_propagates_alphabet() {
+        let p = Seq::from_protein_ascii(b"ARNDC").unwrap();
+        let mut dst = seq("ACGT");
+        dst.assign_range(&p, 1, 4);
+        assert_eq!(dst.alphabet(), Alphabet::Protein);
+        assert_eq!(dst.to_ascii(), b"RND");
+        dst.assign_reversed_range(&p, 0, 3);
+        assert_eq!(dst.to_ascii(), b"NRA");
+    }
+
+    #[test]
     #[should_panic]
     fn assign_range_out_of_bounds_panics() {
         let src = seq("ACGT");
@@ -321,5 +450,15 @@ mod tests {
         s.push(Base::G);
         s.extend_from(&seq("T"));
         assert_eq!(s.to_ascii(), b"ACGT");
+    }
+
+    #[test]
+    fn serde_round_trips_both_alphabets() {
+        for s in [seq("ACGTAC"), Seq::from_protein_ascii(b"WYVHK").unwrap()] {
+            let text = serde_json::to_string(&s).unwrap();
+            let back: Seq = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, s);
+            assert_eq!(back.alphabet(), s.alphabet());
+        }
     }
 }

@@ -1,0 +1,377 @@
+//! Six-frame translation for translated (BLASTX-style) search.
+//!
+//! A DNA query aligned against a protein database is translated in all
+//! six reading frames — three offsets on the forward strand, three on
+//! the reverse complement. Stop codons (`TAA`, `TAG`, `TGA`) terminate
+//! a protein product, so each frame is split into *maximal stop-free
+//! segments*: an X-drop extension must never cross a stop codon, and
+//! segmentation (rather than scoring stops as very negative) is what
+//! enforces that. Each [`FrameSegment`] remembers its frame and its
+//! amino-acid offset within the frame so hits can be mapped back to DNA
+//! coordinates.
+
+use crate::alphabet::Alphabet;
+use crate::seq::Seq;
+
+/// Codon table indexed by `16*b0 + 4*b1 + 4*b2`-style packed 2-bit
+/// codes (`A=0, C=1, G=2, T=3`): entry `16*b0 + 4*b1 + b2` is the ASCII
+/// amino acid, with `*` marking a stop codon.
+const CODON_TABLE: &[u8; 64] = b"KNKNTTTTRSRSIIMIQHQHPPPPRRRRLLLLEDEDAAAAGGGGVVVV*Y*YSSSS*CWCLFLF";
+
+/// Translate one codon (three 2-bit DNA codes) to its ASCII amino acid,
+/// or `None` for a stop codon.
+#[inline]
+fn translate_codon(b0: u8, b1: u8, b2: u8) -> Option<u8> {
+    let aa = CODON_TABLE[(b0 as usize) * 16 + (b1 as usize) * 4 + b2 as usize];
+    if aa == b'*' {
+        None
+    } else {
+        Some(aa)
+    }
+}
+
+/// One of the six reading frames of a DNA sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// `true` when the frame reads the reverse-complement strand.
+    pub reverse: bool,
+    /// Codon phase: how many bases are skipped at the 5' end of the
+    /// (possibly reverse-complemented) strand before the first codon.
+    pub offset: u8,
+}
+
+impl Frame {
+    /// All six frames: forward offsets 0–2 then reverse offsets 0–2.
+    pub const ALL: [Frame; 6] = [
+        Frame {
+            reverse: false,
+            offset: 0,
+        },
+        Frame {
+            reverse: false,
+            offset: 1,
+        },
+        Frame {
+            reverse: false,
+            offset: 2,
+        },
+        Frame {
+            reverse: true,
+            offset: 0,
+        },
+        Frame {
+            reverse: true,
+            offset: 1,
+        },
+        Frame {
+            reverse: true,
+            offset: 2,
+        },
+    ];
+
+    /// Short label (`+1`..`+3`, `-1`..`-3`) in BLAST convention.
+    pub fn label(self) -> String {
+        format!(
+            "{}{}",
+            if self.reverse { '-' } else { '+' },
+            self.offset + 1
+        )
+    }
+}
+
+/// A maximal stop-free run of amino acids within one reading frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameSegment {
+    /// The frame this segment was translated from.
+    pub frame: Frame,
+    /// Offset of the segment's first amino acid within the frame's full
+    /// translation (stop codons counted as one position each).
+    pub aa_offset: usize,
+    /// The translated protein segment ([`Alphabet::Protein`] codes).
+    pub seq: Seq,
+}
+
+/// Translate one reading frame of `dna` into its maximal stop-free
+/// segments. Codons are read from the strand selected by
+/// `frame.reverse` (reverse complement for the `-` frames), starting at
+/// `frame.offset`; a trailing partial codon is dropped. Empty segments
+/// (adjacent stops, or a frame that starts/ends on a stop) are not
+/// emitted.
+pub fn translate_frame(dna: &Seq, frame: Frame) -> Vec<FrameSegment> {
+    assert_eq!(
+        dna.alphabet(),
+        Alphabet::Dna,
+        "translation is defined on DNA sequences only"
+    );
+    let strand;
+    let codes: &[u8] = if frame.reverse {
+        strand = dna.reverse_complement();
+        strand.as_slice()
+    } else {
+        dna.as_slice()
+    };
+    let mut segments = Vec::new();
+    let mut current: Vec<u8> = Vec::new();
+    let mut start = 0usize;
+    for (aa_pos, codon) in codes[frame.offset as usize..].chunks_exact(3).enumerate() {
+        match translate_codon(codon[0], codon[1], codon[2]) {
+            Some(aa) => {
+                if current.is_empty() {
+                    start = aa_pos;
+                }
+                let code = Alphabet::Protein
+                    .from_ascii(aa)
+                    .expect("codon table yields standard amino acids");
+                current.push(code);
+            }
+            None => {
+                if !current.is_empty() {
+                    segments.push(FrameSegment {
+                        frame,
+                        aa_offset: start,
+                        seq: Seq::from_codes(std::mem::take(&mut current), Alphabet::Protein),
+                    });
+                }
+            }
+        }
+    }
+    if !current.is_empty() {
+        segments.push(FrameSegment {
+            frame,
+            aa_offset: start,
+            seq: Seq::from_codes(current, Alphabet::Protein),
+        });
+    }
+    segments
+}
+
+/// Translate `dna` in all six reading frames, returning every maximal
+/// stop-free segment (frames in [`Frame::ALL`] order, segments in
+/// left-to-right order within each frame).
+pub fn six_frame_segments(dna: &Seq) -> Vec<FrameSegment> {
+    Frame::ALL
+        .iter()
+        .flat_map(|&f| translate_frame(dna, f))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(s: &str) -> Seq {
+        Seq::from_str_strict(s).unwrap()
+    }
+
+    fn aa_string(seg: &FrameSegment) -> String {
+        String::from_utf8(seg.seq.to_ascii()).unwrap()
+    }
+
+    #[test]
+    fn codon_table_spot_checks() {
+        // A=0 C=1 G=2 T=3; index = 16*b0 + 4*b1 + b2.
+        assert_eq!(translate_codon(0, 3, 2), Some(b'M'), "ATG");
+        assert_eq!(translate_codon(0, 0, 0), Some(b'K'), "AAA");
+        assert_eq!(translate_codon(3, 2, 2), Some(b'W'), "TGG");
+        assert_eq!(translate_codon(3, 0, 0), None, "TAA stop");
+        assert_eq!(translate_codon(3, 0, 2), None, "TAG stop");
+        assert_eq!(translate_codon(3, 2, 0), None, "TGA stop");
+        // Exactly three stops in the table.
+        assert_eq!(CODON_TABLE.iter().filter(|&&c| c == b'*').count(), 3);
+        // Every non-stop entry is a standard amino acid.
+        for &c in CODON_TABLE.iter().filter(|&&c| c != b'*') {
+            assert!(Alphabet::Protein.from_ascii(c).is_some(), "{}", c as char);
+        }
+    }
+
+    #[test]
+    fn forward_frame_translates_known_peptide() {
+        // ATG AAA TGG TTT = M K W F.
+        let segs = translate_frame(
+            &dna("ATGAAATGGTTT"),
+            Frame {
+                reverse: false,
+                offset: 0,
+            },
+        );
+        assert_eq!(segs.len(), 1);
+        assert_eq!(aa_string(&segs[0]), "MKWF");
+        assert_eq!(segs[0].aa_offset, 0);
+    }
+
+    #[test]
+    fn frame_offsets_shift_the_reading_window() {
+        // Offset 1 of ATGAAATGGTTT reads TGA AAT GGT TT -> stop, N, G.
+        let segs = translate_frame(
+            &dna("ATGAAATGGTTT"),
+            Frame {
+                reverse: false,
+                offset: 1,
+            },
+        );
+        assert_eq!(segs.len(), 1);
+        assert_eq!(aa_string(&segs[0]), "NG");
+        assert_eq!(segs[0].aa_offset, 1, "first codon was a stop");
+    }
+
+    #[test]
+    fn stop_codons_segment_the_frame() {
+        // ATG TAA AAA TGA TGG: M | stop | K | stop | W.
+        let segs = translate_frame(
+            &dna("ATGTAAAAATGATGG"),
+            Frame {
+                reverse: false,
+                offset: 0,
+            },
+        );
+        assert_eq!(segs.len(), 3);
+        assert_eq!(aa_string(&segs[0]), "M");
+        assert_eq!(segs[0].aa_offset, 0);
+        assert_eq!(aa_string(&segs[1]), "K");
+        assert_eq!(segs[1].aa_offset, 2);
+        assert_eq!(aa_string(&segs[2]), "W");
+        assert_eq!(segs[2].aa_offset, 4);
+    }
+
+    #[test]
+    fn adjacent_stops_emit_no_empty_segments() {
+        // TAA TGA TAG: all stops, no segments at all.
+        assert!(translate_frame(
+            &dna("TAATGATAG"),
+            Frame {
+                reverse: false,
+                offset: 0
+            }
+        )
+        .is_empty());
+        // Leading and trailing stops are trimmed, doubled stop collapses.
+        let segs = translate_frame(
+            &dna("TAAATGTAATAGAAATAA"),
+            Frame {
+                reverse: false,
+                offset: 0,
+            },
+        );
+        assert_eq!(segs.len(), 2);
+        assert_eq!(aa_string(&segs[0]), "M");
+        assert_eq!(aa_string(&segs[1]), "K");
+    }
+
+    #[test]
+    fn trailing_partial_codon_is_dropped() {
+        let segs = translate_frame(
+            &dna("ATGAA"),
+            Frame {
+                reverse: false,
+                offset: 0,
+            },
+        );
+        assert_eq!(segs.len(), 1);
+        assert_eq!(aa_string(&segs[0]), "M");
+        // Too short for even one codon in frame 2.
+        assert!(translate_frame(
+            &dna("ATGA"),
+            Frame {
+                reverse: false,
+                offset: 2
+            }
+        )
+        .is_empty());
+        assert!(translate_frame(
+            &dna("AT"),
+            Frame {
+                reverse: false,
+                offset: 0
+            }
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn reverse_frame_reads_the_reverse_complement() {
+        // Reverse complement of CATTTTCAT is ATGAAAATG -> M K M.
+        let segs = translate_frame(
+            &dna("CATTTTCAT"),
+            Frame {
+                reverse: true,
+                offset: 0,
+            },
+        );
+        assert_eq!(segs.len(), 1);
+        assert_eq!(aa_string(&segs[0]), "MKM");
+    }
+
+    #[test]
+    fn six_frames_cover_forward_and_reverse() {
+        let s = dna("ATGAAATGGTTTCCCGGG");
+        let segs = six_frame_segments(&s);
+        let frames: std::collections::HashSet<Frame> = segs.iter().map(|seg| seg.frame).collect();
+        assert!(frames.len() >= 4, "expected segments from several frames");
+        assert!(segs
+            .iter()
+            .all(|seg| seg.seq.alphabet() == Alphabet::Protein));
+        // The canonical +1 peptide appears among the segments.
+        assert!(segs.iter().any(|seg| aa_string(seg).starts_with("MKWF")));
+        // Frame labels follow BLAST convention.
+        assert_eq!(
+            Frame {
+                reverse: false,
+                offset: 0
+            }
+            .label(),
+            "+1"
+        );
+        assert_eq!(
+            Frame {
+                reverse: true,
+                offset: 2
+            }
+            .label(),
+            "-3"
+        );
+    }
+
+    #[test]
+    fn translation_round_trip_through_reverse_complement() {
+        // Translating frame -1 of x equals translating frame +1 of
+        // rc(x): the segmentation must commute with strand choice.
+        let s = dna("ACGTTGCAACGTTGCAATTGCATGAAATAG");
+        let rc = s.reverse_complement();
+        for offset in 0..3u8 {
+            let via_reverse: Vec<String> = translate_frame(
+                &s,
+                Frame {
+                    reverse: true,
+                    offset,
+                },
+            )
+            .iter()
+            .map(aa_string)
+            .collect();
+            let via_forward: Vec<String> = translate_frame(
+                &rc,
+                Frame {
+                    reverse: false,
+                    offset,
+                },
+            )
+            .iter()
+            .map(aa_string)
+            .collect();
+            assert_eq!(via_reverse, via_forward, "offset {offset}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DNA sequences only")]
+    fn translating_protein_panics() {
+        let p = Seq::from_protein_ascii(b"MKWF").unwrap();
+        let _ = translate_frame(
+            &p,
+            Frame {
+                reverse: false,
+                offset: 0,
+            },
+        );
+    }
+}

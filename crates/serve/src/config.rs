@@ -3,6 +3,7 @@
 //! error — no panics deep in the queue machinery, no silent defaults.
 
 use logan_core::calibration::SERVE_BATCH_SETUP_S;
+use logan_seq::ScoreProfile;
 
 /// Tunables of one [`crate::Server`] (and of the simulated server in
 /// [`crate::sim`] — both run the same coalescer and admission rule).
@@ -37,6 +38,14 @@ pub struct ServeConfig {
     /// threaded server ages requests on its wall clock; the simulator
     /// on the simulated clock.
     pub deadline_s: Option<f64>,
+    /// Substitution model requests are aligned under — the DNA
+    /// match/mismatch fast path by default, or a dense matrix
+    /// (`matrix=blosum62` / `matrix=blosum62:-6`) for protein serving.
+    /// The service builds or checks its backend against this profile;
+    /// it must match the backend's
+    /// [`logan_core::AlignBackend::profile_params`] when the backend
+    /// reports one.
+    pub profile: ScoreProfile,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +56,7 @@ impl Default for ServeConfig {
             quota_pairs: 4096,
             batch_setup_s: SERVE_BATCH_SETUP_S,
             deadline_s: None,
+            profile: ScoreProfile::default(),
         }
     }
 }
@@ -94,13 +104,14 @@ impl std::str::FromStr for ServeConfig {
     type Err = String;
 
     /// Parse a compact `key=value` list over the defaults, e.g.
-    /// `batch=64,queue=256,quota=4096,deadline=0.5` (keys: `batch`,
-    /// `queue`, `quota`, `setup`, `deadline`; any subset, any order).
-    /// The result is [`ServeConfig::validated`], so `quota=0` and
-    /// friends are parse errors, not latent panics.
+    /// `batch=64,queue=256,quota=4096,deadline=0.5,matrix=blosum62`
+    /// (keys: `batch`, `queue`, `quota`, `setup`, `deadline`, `matrix`;
+    /// any subset, any order). The result is
+    /// [`ServeConfig::validated`], so `quota=0` and friends are parse
+    /// errors, not latent panics.
     fn from_str(s: &str) -> Result<ServeConfig, String> {
         if s.trim().is_empty() {
-            return Err("empty serve config (expected key=value[,key=value...], keys: batch, queue, quota, setup, deadline)".into());
+            return Err("empty serve config (expected key=value[,key=value...], keys: batch, queue, quota, setup, deadline, matrix)".into());
         }
         let mut cfg = ServeConfig::default();
         for term in s.split(',') {
@@ -141,9 +152,15 @@ impl std::str::FromStr for ServeConfig {
                             .map_err(|e| format!("serve config deadline: {e}"))?,
                     )
                 }
+                "matrix" => {
+                    cfg.profile = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("serve config matrix: {e}"))?
+                }
                 other => {
                     return Err(format!(
-                    "serve config: unknown key {other:?} (expected batch, queue, quota, setup or deadline)"
+                    "serve config: unknown key {other:?} (expected batch, queue, quota, setup, deadline or matrix)"
                 ))
                 }
             }
@@ -173,6 +190,28 @@ mod tests {
         assert_eq!(cfg.deadline_s, None, "deadlines default off");
         let cfg: ServeConfig = "deadline=0.25".parse().unwrap();
         assert_eq!(cfg.deadline_s, Some(0.25));
+    }
+
+    #[test]
+    fn parses_matrix_profiles() {
+        let cfg: ServeConfig = "matrix=blosum62".parse().unwrap();
+        assert_eq!(cfg.profile, ScoreProfile::blosum62(-6));
+        let cfg: ServeConfig = "matrix=blosum62:-8,batch=16".parse().unwrap();
+        assert_eq!(cfg.profile, ScoreProfile::blosum62(-8));
+        assert_eq!(cfg.batch_pairs, 16);
+        // NB: the `dna:M,MM,G` spelling cannot appear here — the serve
+        // string splits terms on commas first. `dna` (the default
+        // scheme) parses fine.
+        let cfg: ServeConfig = "matrix=dna,queue=9".parse().unwrap();
+        assert_eq!(cfg.profile, ScoreProfile::default());
+        assert_eq!(cfg.queue_depth, 9);
+        assert_eq!(
+            ServeConfig::default().profile,
+            ScoreProfile::default(),
+            "matrix defaults to the DNA fast path"
+        );
+        let err = "matrix=pam250".parse::<ServeConfig>().unwrap_err();
+        assert!(err.contains("serve config matrix"), "{err}");
     }
 
     /// The satellite rejection paths: every zero/degenerate knob fails

@@ -279,6 +279,18 @@ impl Server {
     /// one server lane per member, a single device gets one.
     pub fn start(backend: Arc<dyn AlignBackend>, cfg: ServeConfig) -> Result<Server, String> {
         let cfg = cfg.validated()?;
+        // The config's score profile (the `matrix=` knob) is a promise
+        // to clients about the scoring system replies are expressed in;
+        // a backend that declares a different fixed profile would
+        // silently break it, so refuse up front.
+        if let Some((got, _)) = backend.profile_params() {
+            if got != cfg.profile {
+                return Err(format!(
+                    "serve config: backend aligns under profile {got} but the config requests {} — rebuild the backend with the config's profile",
+                    cfg.profile
+                ));
+            }
+        }
         let lanes = backend.lanes().max(1);
         let shared = Arc::new(Shared {
             admission: Admission::new(cfg.quota_pairs),
@@ -453,6 +465,29 @@ mod tests {
             .enumerate()
             .map(|(i, &n)| PairSet::generate_with_lengths(n, 0.2, 150, 400, seed + i as u64).pairs)
             .collect()
+    }
+
+    #[test]
+    fn start_checks_backend_profile_against_config() {
+        use logan_seq::ScoreProfile;
+        let blosum = ScoreProfile::blosum62(-6);
+        // Backend fixed to BLOSUM62 vs a default (DNA) config: refused
+        // up front with a message naming both profiles.
+        let backend: Arc<dyn AlignBackend> =
+            Arc::new(XDropCpuAligner::new(1, blosum, 50, Engine::Scalar));
+        let err = match Server::start(Arc::clone(&backend), ServeConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched profile must be refused"),
+        };
+        assert!(
+            err.contains("blosum62") && err.contains("dna"),
+            "error must name both profiles: {err}"
+        );
+        // The matching `matrix=` config starts and serves.
+        let cfg: ServeConfig = "matrix=blosum62".parse().unwrap();
+        let server = Server::start(backend, cfg).unwrap();
+        assert_eq!(server.config().profile, blosum);
+        server.shutdown();
     }
 
     #[test]

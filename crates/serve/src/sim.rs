@@ -938,6 +938,7 @@ mod tests {
                 quota_pairs: 12,
                 batch_setup_s: 0.002,
                 deadline_s: None,
+                ..ServeConfig::default()
             },
             coalesce: true,
             ..SimConfig::default()
@@ -969,6 +970,7 @@ mod tests {
             quota_pairs: 4096,
             batch_setup_s: 0.002,
             deadline_s: None,
+            ..ServeConfig::default()
         };
         let gpu = gpu();
         let co = simulate(

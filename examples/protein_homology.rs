@@ -10,36 +10,49 @@
 //! homolog out while terminating almost immediately on every
 //! non-homolog — the property that makes X-drop effective for homology
 //! search (it is BLAST's extension heuristic, after all).
+//!
+//! Since the [`ScoreProfile`] refactor this runs through the *same*
+//! engines and backends as DNA alignment: the per-entry extensions use
+//! [`Engine::extend`] (scalar and lane-parallel i16, asserted equal),
+//! and the full seed-split path is driven through an
+//! [`logan::core::AlignBackend`] bound to the BLOSUM62 profile.
 
-use logan::align::protein::{xdrop_extend_generic, SubstMatrix, AMINO_ACIDS};
+use logan::align::Engine;
+use logan::core::backend::AlignBackend;
+use logan::seq::readsim::{ReadPair, Seed};
+use logan::seq::{Alphabet, ScoreProfile, Seq};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn random_protein<R: Rng>(n: usize, rng: &mut R) -> Vec<u8> {
-    (0..n)
-        .map(|_| AMINO_ACIDS[rng.gen_range(0..20usize)])
-        .collect()
+fn random_protein<R: Rng>(n: usize, rng: &mut R) -> Seq {
+    Seq::from_codes(
+        (0..n).map(|_| rng.gen_range(0..20u8)).collect(),
+        Alphabet::Protein,
+    )
 }
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(8);
-    let matrix = SubstMatrix::blosum62(-6);
+    let profile = ScoreProfile::blosum62(-6);
     let query = random_protein(400, &mut rng);
 
     // Database: 19 unrelated proteins + 1 homolog (25% substitutions).
-    let mut database: Vec<(String, Vec<u8>)> = (0..19)
+    let mut database: Vec<(String, Seq)> = (0..19)
         .map(|i| (format!("random_{i:02}"), random_protein(400, &mut rng)))
         .collect();
-    let mut homolog = query.clone();
+    let mut homolog = query.as_slice().to_vec();
     for residue in homolog.iter_mut() {
         if rng.gen_bool(0.25) {
-            *residue = AMINO_ACIDS[rng.gen_range(0..20usize)];
+            *residue = rng.gen_range(0..20u8);
         }
     }
-    database.push(("homolog".to_string(), homolog));
+    database.push((
+        "homolog".to_string(),
+        Seq::from_codes(homolog, Alphabet::Protein),
+    ));
 
     println!(
-        "query: 400 aa; database: {} entries; X = 60, BLOSUM62\n",
+        "query: 400 aa; database: {} entries; X = 60, {profile}\n",
         database.len()
     );
     println!(
@@ -49,7 +62,10 @@ fn main() {
     let mut results: Vec<(String, i32, u64, bool)> = database
         .iter()
         .map(|(name, seq)| {
-            let r = xdrop_extend_generic(&query, seq, &matrix, 60);
+            let r = Engine::Simd.extend(&query, seq, profile, 60);
+            // The lane-parallel i16 kernel and the scalar reference are
+            // bit-identical under matrix profiles, exactly as for DNA.
+            assert_eq!(r, Engine::Scalar.extend(&query, seq, profile, 60));
             (name.clone(), r.score, r.cells, r.dropped)
         })
         .collect();
@@ -70,4 +86,40 @@ fn main() {
             / (results.len() - 1) as f64
             / top.2 as f64
     );
+
+    // The same search through the backend stack: seed at a shared exact
+    // k-mer and let a profile-bound CPU backend do the seed-split
+    // extension — the path the serve/fleet layers use.
+    let backend = logan::align::XDropCpuAligner::new(2, profile, 60, Engine::Simd);
+    let pairs: Vec<ReadPair> = database
+        .iter()
+        .filter_map(|(_name, seq)| {
+            // Exact 4-mer seed shared between query and entry, if any.
+            let k = 4;
+            (0..=query.len() - k).find_map(|q| {
+                (0..=seq.len() - k)
+                    .find(|&t| query.as_slice()[q..q + k] == seq.as_slice()[t..t + k])
+                    .map(|t| ReadPair {
+                        query: query.clone(),
+                        target: seq.clone(),
+                        seed: Seed {
+                            qpos: q,
+                            tpos: t,
+                            len: k,
+                        },
+                        template_len: query.len().max(seq.len()),
+                    })
+            })
+        })
+        .collect();
+    let (seeded, report) = backend.align_block(&pairs);
+    let best = seeded.iter().map(|r| r.score).max().unwrap_or(0);
+    println!(
+        "\nbackend {}: {} seeded pairs, best seed-extend score {}, {} DP cells",
+        backend.name(),
+        pairs.len(),
+        best,
+        report.total_cells
+    );
+    assert!(best > 0, "the homolog's seeded extension must score > 0");
 }

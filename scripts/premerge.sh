@@ -55,6 +55,18 @@ if [[ $quick -eq 0 ]]; then
   # its candidate pairs (asserted inside the binary).
   cargo run --release -q -p logan-bench --bin minimizer_bench -- --quick >/dev/null
 
+  step "protein_bench --quick smoke"
+  # The protein scoring path's acceptance bar: scalar and SIMD engines
+  # and a second backend bit-identical under BLOSUM62, and the i16
+  # query-profile kernel sustaining >= 1.5x the scalar single-thread
+  # GCUPS (asserted inside the binary).
+  cargo run --release -q -p logan-bench --bin protein_bench -- --quick >/dev/null
+
+  step "protein_homology example (asserts in-binary)"
+  # The §VIII future-work demo: the homolog must rank first through both
+  # engines (asserted equal) and through a profile-bound backend.
+  cargo run --release -q --example protein_homology >/dev/null
+
   step "chaos_recovery --quick smoke"
   # One seeded storm on the simulated clock, both backend shapes:
   # supervised runs must complete 100% of non-poison requests, beat
@@ -68,6 +80,14 @@ fi
 
 step "differential suite: Engine::Simd vs Engine::Scalar vs gpusim"
 cargo test -q --test simd_equivalence
+
+step "protein-equivalence: ScoreProfile seam diffs clean (DNA bit-identity + BLOSUM + six-frame)"
+# The profile contract: legacy Scoring, its profile wrapping and the
+# dense-matrix spelling are bit-identical across engines and backends
+# (proptest); scalar vs SIMD agree under BLOSUM62 on both sides of the
+# i16 eligibility boundary; six-frame translation round-trips and stop
+# codons segment frames exactly.
+cargo test -q --test protein_equivalence
 
 step "backend-equivalence: fleet/static/single backends diff clean"
 # The backend/fleet contract: every AlignBackend — CPU pool, single GPU,

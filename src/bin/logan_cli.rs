@@ -3,6 +3,8 @@
 //! ```text
 //! logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--backend B] [--gpus N]
 //!                                             [--engine scalar|simd]
+//!                                             [--matrix dna|dna:M,MM,G|blosum62[:GAP]]
+//!                                             [--translated [-k K]]
 //! logan_cli overlap <reads.fa>                [-x N] [--backend B] [--gpus N]
 //!                                             [-k K] [--min-overlap L]
 //!                                             [--seeder spgemm|minimizer[:W]]
@@ -47,6 +49,21 @@
 //! seeder aligns a strict subset of the SpGEMM candidates — the pairs
 //! whose best chain supports `--min-overlap`.
 //!
+//! `--matrix` selects the substitution model every backend aligns
+//! under: `dna` (the match/mismatch fast path, the default),
+//! `dna:M,MM,G` (custom match/mismatch/gap), or `blosum62[:GAP]` (the
+//! dense protein matrix; GAP defaults to -6). The serve config's
+//! `matrix=` key sets the same knob; an explicit `--matrix` wins.
+//!
+//! `--translated` turns `pairs` into a BLASTX-style translated search:
+//! the queries are DNA, the targets are protein, and each query is
+//! translated in all six reading frames. Stop codons split every frame
+//! into maximal stop-free segments; each segment sharing an exact
+//! protein k-mer (`-k`, default 5 here) with its target is seed-split
+//! extended on the selected backend, and the best frame is reported
+//! per pair. With no explicit `--matrix`, translated search defaults
+//! to `blosum62`.
+//!
 //! `--chaos SEED:PLAN` wraps the selected backend in a fault injector
 //! (any command): `SEED:storm` generates the canonical seeded storm
 //! sized to the backend, or spell faults out per lane, e.g.
@@ -58,9 +75,11 @@
 
 use logan::bella::{BellaConfig, BellaPipeline, PipelineBudget, Seeder};
 use logan::prelude::*;
-use logan::seq::fasta::{read_fasta, FastaBatches};
+use logan::seq::fasta::{read_fasta, read_fasta_alphabet, FastaBatches};
 use logan::seq::kmer::CanonicalKmerIter;
 use logan::seq::readsim::ReadBatch;
+use logan::seq::translate::{six_frame_segments, Frame};
+use logan::seq::{Alphabet, ScoreProfile};
 use logan::serve::Reply;
 use std::collections::HashMap;
 use std::fs::File;
@@ -70,7 +89,7 @@ use std::sync::{Arc, Mutex};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--backend B] [--gpus N] \
-         [--engine scalar|simd]\n  \
+         [--engine scalar|simd] [--matrix dna|dna:M,MM,G|blosum62[:GAP]] [--translated [-k K]]\n  \
          logan_cli overlap <reads.fa> [-x N] [--backend B] [--gpus N] [-k K] [--min-overlap L] \
          [--seeder spgemm|minimizer[:W]] [--engine scalar|simd] [--stream] [--batch-reads N] \
          [--shards N] [--inflight N]\n  \
@@ -89,8 +108,12 @@ struct Opts {
     backend: Option<BackendSel>,
     gpus: usize,
     k: usize,
+    k_explicit: bool,
     min_overlap: usize,
     engine: Engine,
+    profile: ScoreProfile,
+    matrix: Option<ScoreProfile>,
+    translated: bool,
     stream: bool,
     seeder: Seeder,
     minimizer_w: usize,
@@ -111,10 +134,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         backend: None,
         gpus: 1,
         k: 17,
+        k_explicit: false,
         min_overlap: 2000,
         // Results are engine-independent; the flag (or LOGAN_ENGINE)
         // only picks how fast the host computes them.
         engine: Engine::from_env(),
+        profile: ScoreProfile::default(),
+        matrix: None,
+        translated: false,
         stream: false,
         seeder: Seeder::SpGemm,
         minimizer_w: 8,
@@ -143,7 +170,18 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--gpus: {e}"))?
             }
-            "-k" => opts.k = grab("-k")?.parse().map_err(|e| format!("-k: {e}"))?,
+            "-k" => {
+                opts.k = grab("-k")?.parse().map_err(|e| format!("-k: {e}"))?;
+                opts.k_explicit = true;
+            }
+            "--matrix" => {
+                opts.matrix = Some(
+                    grab("--matrix")?
+                        .parse()
+                        .map_err(|e| format!("--matrix: {e}"))?,
+                )
+            }
+            "--translated" => opts.translated = true,
             "--min-overlap" => {
                 opts.min_overlap = grab("--min-overlap")?
                     .parse()
@@ -239,6 +277,31 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     if opts.tenants == 0 || opts.clients == 0 {
         return Err("--tenants/--clients must be at least 1".into());
     }
+    // Resolve the substitution model once, after the whole command line
+    // is parsed (so flag order never matters): an explicit --matrix
+    // wins over the serve config's matrix= key, and --translated with
+    // neither defaults to BLOSUM62 — translated hits are protein
+    // alignments. The serve config is updated to agree, since
+    // Server::start refuses a backend whose profile differs from it.
+    opts.profile = match opts.matrix {
+        Some(p) => p,
+        None if opts.translated && opts.serve.profile == ScoreProfile::default() => {
+            ScoreProfile::blosum62(-6)
+        }
+        None => opts.serve.profile,
+    };
+    opts.serve.profile = opts.profile;
+    if opts.translated {
+        // Protein seeds are short: an exact 17-mer (the DNA default)
+        // essentially never occurs between homologs at the amino-acid
+        // level, so translated search defaults k to 5 and bounds it.
+        if !opts.k_explicit {
+            opts.k = 5;
+        }
+        if !(1..=12).contains(&opts.k) {
+            return Err("--translated: -k must be between 1 and 12 (protein seed length)".into());
+        }
+    }
     Ok(opts)
 }
 
@@ -289,18 +352,19 @@ impl std::str::FromStr for BackendSel {
 }
 
 /// Instantiate the `--backend` selection (default `multi:{--gpus}`).
-/// Every backend aligns with the options' X and engine, on simulated
-/// V100s where a device is involved.
+/// Every backend aligns with the options' X, engine and substitution
+/// profile (`--matrix`), on simulated V100s where a device is involved.
 fn build_backend(opts: &Opts) -> Box<dyn AlignBackend> {
     let mut cfg = LoganConfig::with_x(opts.x);
     cfg.engine = opts.engine;
+    cfg.profile = opts.profile;
     let spec = DeviceSpec::v100();
     let mut backend: Box<dyn AlignBackend> = match &opts.backend {
         Some(BackendSel::Cpu(threads)) => {
             let threads = threads.unwrap_or_else(logan::core::backend::host_threads);
             Box::new(XDropCpuAligner::new(
                 threads,
-                cfg.scoring,
+                opts.profile,
                 opts.x,
                 opts.engine,
             ))
@@ -348,7 +412,124 @@ fn find_seed(q: &Seq, t: &Seq, k: usize) -> Option<Seed> {
     None
 }
 
+/// Translated (BLASTX-style) `pairs`: DNA queries against protein
+/// targets. Each query is six-frame translated; stop codons split every
+/// frame into maximal stop-free segments, each segment sharing an exact
+/// protein k-mer with its target becomes one seeded candidate, and the
+/// best-scoring frame is reported per pair. Query coordinates in the
+/// output are amino-acid positions within the reported frame.
+fn cmd_pairs_translated(opts: &Opts) -> Result<(), String> {
+    let [qf, tf] = &opts.positional[..] else {
+        return Err("pairs needs exactly two FASTA files".into());
+    };
+    let queries = read_fasta(File::open(qf).map_err(|e| format!("{qf}: {e}"))?)
+        .map_err(|e| format!("{qf}: {e}"))?;
+    let targets = read_fasta_alphabet(
+        File::open(tf).map_err(|e| format!("{tf}: {e}"))?,
+        Alphabet::Protein,
+    )
+    .map_err(|e| format!("{tf}: {e}"))?;
+    if queries.len() != targets.len() {
+        return Err(format!(
+            "record count mismatch: {} queries vs {} targets",
+            queries.len(),
+            targets.len()
+        ));
+    }
+
+    // One candidate per (frame segment, exact protein k-mer seed); the
+    // provenance runs parallel to `pairs` so each result can be mapped
+    // back to its pair and frame after the block aligns.
+    struct Provenance {
+        pair: usize,
+        frame: Frame,
+        aa_offset: usize,
+    }
+    let mut pairs: Vec<ReadPair> = Vec::new();
+    let mut provenance: Vec<Provenance> = Vec::new();
+    for (i, (qr, tr)) in queries.iter().zip(&targets).enumerate() {
+        let t = tr.seq.as_slice();
+        let mut index: HashMap<&[u8], usize> = HashMap::new();
+        if t.len() >= opts.k {
+            // Reverse insertion order so the *first* occurrence of each
+            // k-mer wins, matching the DNA seeder's convention.
+            for pos in (0..=t.len() - opts.k).rev() {
+                index.insert(&t[pos..pos + opts.k], pos);
+            }
+        }
+        for seg in six_frame_segments(&qr.seq) {
+            let s = seg.seq.as_slice();
+            if s.len() < opts.k {
+                continue;
+            }
+            let seed = (0..=s.len() - opts.k)
+                .find_map(|q| index.get(&s[q..q + opts.k]).map(|&tpos| (q, tpos)));
+            if let Some((qpos, tpos)) = seed {
+                pairs.push(ReadPair {
+                    query: seg.seq.clone(),
+                    target: tr.seq.clone(),
+                    seed: Seed {
+                        qpos,
+                        tpos,
+                        len: opts.k,
+                    },
+                    template_len: seg.seq.len().max(tr.seq.len()),
+                });
+                provenance.push(Provenance {
+                    pair: i,
+                    frame: seg.frame,
+                    aa_offset: seg.aa_offset,
+                });
+            }
+        }
+    }
+
+    let backend = build_backend(opts);
+    let (results, report) = backend.align_block(&pairs);
+    println!("#query\ttarget\tframe\tscore\tq_aa_start\tq_aa_end\tt_start\tt_end\tcells");
+    for (i, (qr, tr)) in queries.iter().zip(&targets).enumerate() {
+        let best = provenance
+            .iter()
+            .zip(&results)
+            .filter(|(p, _)| p.pair == i)
+            .max_by_key(|(_, r)| r.score);
+        match best {
+            Some((p, r)) => println!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                qr.id,
+                tr.id,
+                p.frame.label(),
+                r.score,
+                p.aa_offset + r.query_start,
+                p.aa_offset + r.query_end,
+                r.target_start,
+                r.target_end,
+                r.cells()
+            ),
+            None => eprintln!(
+                "warning: no stop-free frame of pair {} ({} / {}) shares a protein {}-mer; skipped",
+                i, qr.id, tr.id, opts.k
+            ),
+        }
+    }
+    eprintln!(
+        "translated {} queries into {} seeded frame segments on {} ({}): \
+         {:.3} s simulated ({:.1} GCUPS), {:.3} s host wall",
+        queries.len(),
+        pairs.len(),
+        backend.name(),
+        opts.profile,
+        report.sim_time_s,
+        report.gcups(),
+        report.wall_s
+    );
+    Ok(())
+}
+
 fn cmd_pairs(opts: &Opts) -> Result<(), String> {
+    if opts.translated {
+        return cmd_pairs_translated(opts);
+    }
     let [qf, tf] = &opts.positional[..] else {
         return Err("pairs needs exactly two FASTA files".into());
     };
@@ -611,6 +792,10 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if opts.translated && cmd != "pairs" {
+        eprintln!("error: --translated applies to the pairs command only");
+        return usage();
+    }
     let result = match cmd.as_str() {
         "pairs" => cmd_pairs(&opts),
         "overlap" => cmd_overlap(&opts),

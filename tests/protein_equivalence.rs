@@ -1,0 +1,271 @@
+//! Differential test harness for the [`ScoreProfile`] seam, run as its
+//! own premerge step (`protein-equivalence`). Three properties pin the
+//! refactor:
+//!
+//! 1. **DNA is bit-identical to the pre-profile code.** A plain
+//!    [`Scoring`], its `ScoreProfile::MatchMismatch` wrapping, and the
+//!    same scheme spelled as a dense [`SubstMatrix`] all produce the
+//!    same results, across engines and backends (proptested over seeds,
+//!    error rates and X values).
+//! 2. **Scalar and SIMD agree under BLOSUM62**, with the fallback
+//!    accounted for: lengths straddle the i16 eligibility boundary so
+//!    the suite provably exercises both the vector kernel and its
+//!    scalar fallback.
+//! 3. **Six-frame translation round-trips** and stop codons segment
+//!    frames correctly, all the way through an alignment: a peptide
+//!    encoded into DNA is recovered from its reading frame with the
+//!    exact score the protein-level alignment produces.
+
+use logan::align::simd_eligible;
+use logan::prelude::*;
+use logan::seq::profile::SubstMatrix;
+use logan::seq::translate::{six_frame_segments, translate_frame, Frame};
+use logan::seq::{Alphabet, ScoreProfile};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_protein(n: usize, rng: &mut StdRng) -> Seq {
+    Seq::from_codes(
+        (0..n).map(|_| rng.gen_range(0..20u8)).collect(),
+        Alphabet::Protein,
+    )
+}
+
+/// A homolog of `q`: `sub_rate` of the residues resampled.
+fn mutate(q: &Seq, sub_rate: f64, rng: &mut StdRng) -> Seq {
+    let mut codes = q.as_slice().to_vec();
+    for c in codes.iter_mut() {
+        if rng.gen_bool(sub_rate) {
+            *c = rng.gen_range(0..20u8);
+        }
+    }
+    Seq::from_codes(codes, Alphabet::Protein)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property 1, engine level: the three spellings of one DNA scheme —
+    /// legacy `Scoring`, its profile wrapping, and the dense-matrix
+    /// encoding — are bit-identical on both engines.
+    #[test]
+    fn dna_profile_spellings_are_bit_identical(
+        seed in 0u64..1_000_000,
+        n in 1usize..600,
+        err_pct in 2u32..40,
+        x in 0i32..200,
+    ) {
+        let pairs = PairSet::generate_with_lengths(
+            2, err_pct as f64 / 100.0, n, n + 200, seed,
+        ).pairs;
+        let scoring = Scoring::default();
+        let wrapped = ScoreProfile::MatchMismatch(scoring);
+        let dense = ScoreProfile::Matrix(SubstMatrix::match_mismatch(
+            Alphabet::Dna,
+            scoring.match_score,
+            scoring.mismatch,
+            scoring.gap,
+        ));
+        for p in &pairs {
+            for engine in [Engine::Scalar, Engine::Simd] {
+                let want = engine.extend(&p.query, &p.target, scoring, x);
+                prop_assert_eq!(engine.extend(&p.query, &p.target, wrapped, x), want);
+                prop_assert_eq!(engine.extend(&p.query, &p.target, dense, x), want);
+            }
+        }
+    }
+
+    /// Property 1, backend level: the CPU pool and the simulated-GPU
+    /// executor produce the pre-profile results whether the DNA scheme
+    /// arrives as `Scoring` or as a dense matrix.
+    #[test]
+    fn dna_backends_match_across_profile_spellings(
+        seed in 0u64..1_000_000,
+        n in 1usize..24,
+        x in 5i32..150,
+    ) {
+        let pairs = PairSet::generate_with_lengths(n, 0.15, 200, 1500, seed).pairs;
+        let scoring = Scoring::default();
+        let dense = ScoreProfile::Matrix(SubstMatrix::match_mismatch(
+            Alphabet::Dna,
+            scoring.match_score,
+            scoring.mismatch,
+            scoring.gap,
+        ));
+        let legacy = XDropCpuAligner::new(2, scoring, x, Engine::Simd);
+        let (want, _) = legacy.align_block(&pairs);
+        let spelled = XDropCpuAligner::new(2, dense, x, Engine::Simd);
+        let (got, _) = spelled.align_block(&pairs);
+        prop_assert_eq!(&got, &want, "dense DNA matrix diverged on the CPU pool");
+        let mut cfg = LoganConfig::with_x(x);
+        cfg.profile = dense;
+        let gpu = LoganExecutor::new(DeviceSpec::v100(), cfg);
+        let (gpu_got, _) = gpu.align_block(&pairs);
+        prop_assert_eq!(&gpu_got, &want, "dense DNA matrix diverged on the executor");
+    }
+
+    /// Property 2: scalar and SIMD are bit-identical under BLOSUM62 for
+    /// arbitrary (unrelated and homologous) proteins and X values.
+    #[test]
+    fn blosum_engines_agree_across_seeds(
+        seed in 0u64..1_000_000,
+        n in 1usize..500,
+        x in 0i32..400,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = ScoreProfile::blosum62(-6);
+        let q = random_protein(n, &mut rng);
+        for t in [random_protein(n, &mut rng), mutate(&q, 0.2, &mut rng)] {
+            prop_assert_eq!(
+                Engine::Simd.extend(&q, &t, p, x),
+                Engine::Scalar.extend(&q, &t, p, x)
+            );
+        }
+    }
+}
+
+/// Property 2 with the fallback accounted: lengths straddle the i16
+/// eligibility boundary (⌊16383 / 11⌋ = 1489 aa at BLOSUM62's max
+/// score), so this provably exercises the vector kernel on the short
+/// pairs *and* the scalar fallback on the long ones — and both classes
+/// stay bit-identical to the scalar reference.
+#[test]
+fn blosum_fallback_boundary_is_exercised_and_identical() {
+    let p = ScoreProfile::blosum62(-6);
+    let x = 80;
+    let mut rng = StdRng::seed_from_u64(404);
+    let (mut eligible, mut fallback) = (0usize, 0usize);
+    for len in [40, 400, 1400, 1489, 1490, 1600, 2400] {
+        let q = random_protein(len, &mut rng);
+        let t = mutate(&q, 0.15, &mut rng);
+        if simd_eligible(&q, &t, p, x) {
+            eligible += 1;
+        } else {
+            fallback += 1;
+        }
+        assert_eq!(
+            Engine::Simd.extend(&q, &t, p, x),
+            Engine::Scalar.extend(&q, &t, p, x),
+            "len {len}"
+        );
+    }
+    assert!(eligible >= 3, "the sweep must hit the vector kernel");
+    assert!(fallback >= 3, "the sweep must hit the scalar fallback");
+    // The boundary itself sits where the window predicts.
+    let at = random_protein(1489, &mut rng);
+    let over = random_protein(1490, &mut rng);
+    assert!(simd_eligible(&at, &at, p, 0));
+    assert!(!simd_eligible(&over, &over, p, 0));
+}
+
+/// Property 3a: translation round-trips through the reverse complement
+/// (frame −k of x equals frame +k of rc(x)), and every segment is
+/// stop-free by construction — verified against a direct re-translation.
+#[test]
+fn six_frame_round_trip_and_stop_segmentation() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..20 {
+        let n = 30 + rng.gen_range(0..300usize);
+        let dna = Seq::from_codes(
+            (0..n).map(|_| rng.gen_range(0..4u8)).collect(),
+            Alphabet::Dna,
+        );
+        let rc = dna.reverse_complement();
+        for offset in 0..3u8 {
+            // Compare (offset, peptide) pairs: the two spellings differ
+            // only in the frame's `reverse` flag.
+            let via_rev: Vec<_> = translate_frame(
+                &dna,
+                Frame {
+                    reverse: true,
+                    offset,
+                },
+            )
+            .into_iter()
+            .map(|s| (s.aa_offset, s.seq))
+            .collect();
+            let via_fwd: Vec<_> = translate_frame(
+                &rc,
+                Frame {
+                    reverse: false,
+                    offset,
+                },
+            )
+            .into_iter()
+            .map(|s| (s.aa_offset, s.seq))
+            .collect();
+            assert_eq!(via_rev, via_fwd, "strand round-trip");
+        }
+        let segs = six_frame_segments(&dna);
+        for seg in &segs {
+            assert!(!seg.seq.is_empty(), "empty segments are never emitted");
+            assert_eq!(seg.seq.alphabet(), Alphabet::Protein);
+        }
+        // Segments of one frame are disjoint, ordered, and separated by
+        // at least one stop codon.
+        for frame in Frame::ALL {
+            let of_frame: Vec<_> = segs.iter().filter(|s| s.frame == frame).collect();
+            for w in of_frame.windows(2) {
+                assert!(
+                    w[1].aa_offset > w[0].aa_offset + w[0].seq.len(),
+                    "adjacent segments must be separated by a stop"
+                );
+            }
+        }
+    }
+}
+
+/// Property 3b, end to end: a peptide encoded into DNA (with flanking
+/// stop codons) is recovered by six-frame search, and extending from
+/// within its segment scores exactly what the direct protein-level
+/// extension scores.
+#[test]
+fn translated_search_recovers_encoded_peptide_with_exact_score() {
+    // Codon table rows for an arbitrary (deterministic) codon choice.
+    const CODON_TABLE: &[u8; 64] =
+        b"KNKNTTTTRSRSIIMIQHQHPPPPRRRRLLLLEDEDAAAAGGGGVVVV*Y*YSSSS*CWCLFLF";
+    let mut rng = StdRng::seed_from_u64(5150);
+    let peptide = random_protein(120, &mut rng);
+    let mut dna_codes: Vec<u8> = vec![3, 0, 0]; // TAA: leading stop
+    for &aa in peptide.as_slice() {
+        let ascii = Alphabet::Protein.to_ascii(aa);
+        let idx = CODON_TABLE
+            .iter()
+            .position(|&c| c == ascii)
+            .expect("every amino acid has a codon");
+        dna_codes.extend([(idx / 16) as u8, ((idx / 4) % 4) as u8, (idx % 4) as u8]);
+    }
+    dna_codes.extend([3, 2, 0]); // TGA: trailing stop
+    let dna = Seq::from_codes(dna_codes, Alphabet::Dna);
+
+    // The peptide shows up as one stop-free +1 segment.
+    let segs = six_frame_segments(&dna);
+    let hit = segs
+        .iter()
+        .find(|s| s.seq == peptide)
+        .expect("the encoded peptide must appear among the six-frame segments");
+    assert_eq!(
+        hit.frame,
+        Frame {
+            reverse: false,
+            offset: 0
+        }
+    );
+    assert_eq!(
+        hit.aa_offset, 1,
+        "the leading stop occupies frame position 0"
+    );
+
+    // Aligning the recovered segment against a mutated target scores
+    // exactly what the direct protein-level extension scores.
+    let target = mutate(&peptide, 0.2, &mut rng);
+    let p = ScoreProfile::blosum62(-6);
+    for engine in [Engine::Scalar, Engine::Simd] {
+        assert_eq!(
+            engine.extend(&hit.seq, &target, p, 60),
+            engine.extend(&peptide, &target, p, 60),
+            "the segment is the peptide — scores must match exactly"
+        );
+    }
+}
