@@ -28,6 +28,10 @@ pub struct BatchResult {
     /// previously this field was `#[serde(skip)]` and a round trip
     /// silently zeroed the throughput.
     pub wall: Option<Duration>,
+    /// Which kernel tier computed each extension (and how often an i8
+    /// run escalated), summed over every pair in the batch. Artifacts
+    /// written before this field existed read back as an empty tally.
+    pub tiers: crate::simd::TierTally,
 }
 
 impl BatchResult {
@@ -95,22 +99,38 @@ impl CpuBatchAligner {
         use crate::workspace::with_thread_workspace;
         use rayon::prelude::*;
         let start = Instant::now();
-        let results: Vec<SeedExtendResult> = self.pool.install(|| {
+        // Tier counters live in the per-thread workspaces; snapshot-diff
+        // them around each pair so the per-pair deltas sum into one
+        // batch tally regardless of which worker ran which pair.
+        let per_pair: Vec<(SeedExtendResult, crate::simd::TierTally)> = self.pool.install(|| {
             pairs
                 .par_iter()
                 .map(|p| {
                     with_thread_workspace(|ws| {
-                        crate::seed_extend::seed_extend_with(&p.query, &p.target, p.seed, ext, ws)
+                        let before = ws.tally;
+                        let r = crate::seed_extend::seed_extend_with(
+                            &p.query, &p.target, p.seed, ext, ws,
+                        );
+                        (r, ws.tally.diff(&before))
                     })
                 })
                 .collect()
         });
         let wall = start.elapsed();
+        let mut tiers = crate::simd::TierTally::default();
+        let results: Vec<SeedExtendResult> = per_pair
+            .into_iter()
+            .map(|(r, t)| {
+                tiers.merge(&t);
+                r
+            })
+            .collect();
         let total_cells = results.iter().map(|r| r.cells()).sum();
         BatchResult {
             results,
             total_cells,
             wall: Some(wall),
+            tiers,
         }
     }
 
@@ -263,8 +283,27 @@ mod tests {
         let aligner = CpuBatchAligner::new(4);
         let scalar = aligner.run_xdrop(&ps, Scoring::default(), 50, Engine::Scalar);
         let simd = aligner.run_xdrop(&ps, Scoring::default(), 50, Engine::Simd);
-        assert_eq!(scalar.results, simd.results);
-        assert_eq!(scalar.total_cells, simd.total_cells);
+        let tier8 = aligner.run_xdrop(&ps, Scoring::default(), 50, Engine::I8);
+        let adaptive = aligner.run_xdrop(&ps, Scoring::default(), 50, Engine::Adaptive);
+        for other in [&simd, &tier8, &adaptive] {
+            assert_eq!(scalar.results, other.results);
+            assert_eq!(scalar.total_cells, other.total_cells);
+        }
+        // Each pair splits into at most two extensions (left + right;
+        // empty sides run no kernel), and the batch tally attributes
+        // every one of them to the tier that actually computed it.
+        for batch in [&scalar, &simd, &tier8, &adaptive] {
+            assert!(batch.tiers.total() >= ps.len() as u64);
+            assert!(batch.tiers.total() <= 2 * ps.len() as u64);
+        }
+        assert_eq!(scalar.tiers.lanes16 + scalar.tiers.lanes8, 0);
+        assert_eq!(simd.tiers.lanes8, 0);
+        assert!(simd.tiers.lanes16 > 0, "x=50 DNA pairs are i16-eligible");
+        assert!(
+            tier8.tiers.lanes8 > 0,
+            "x=50 DNA pairs are i8-eligible (50 + 1 ≤ 63)"
+        );
+        assert_eq!(tier8.tiers.lanes8, adaptive.tiers.lanes8);
     }
 
     #[test]
@@ -353,6 +392,7 @@ mod tests {
             results: Vec::new(),
             total_cells: 1_000_000,
             wall: None,
+            tiers: Default::default(),
         };
         assert_eq!(base.wall_gcups(), None, "unmeasured is None, not 0");
         let measured_zero_work = BatchResult {
@@ -403,5 +443,7 @@ mod tests {
             serde_json::from_str(r#"{"results":[],"total_cells":42}"#).expect("legacy parse");
         assert_eq!(legacy.wall, None);
         assert_eq!(legacy.wall_gcups(), None);
+        // Likewise a pre-tier artifact reads back as an empty tally.
+        assert_eq!(legacy.tiers, crate::simd::TierTally::default());
     }
 }

@@ -7,9 +7,10 @@
 //! * [`xdrop`] — the anti-diagonal X-drop extension algorithm of Zhang et
 //!   al. (2000) as implemented in SeqAn's `extendSeedL` (paper §III,
 //!   Algorithm 1). This is the ground truth for `logan-core`'s kernel.
-//! * [`simd`] — the lane-parallel i16 analogue of the GPU kernel's
-//!   int16 math (paper §III-C), bit-identical to the scalar routine,
-//!   selected at runtime through [`Engine`].
+//! * [`simd`] — the lane-parallel i16 and i8 analogues of the GPU
+//!   kernel's int16 math (paper §III-C), bit-identical to the scalar
+//!   routine, selected at runtime through [`Engine`] (including
+//!   per-pair adaptive tier selection with i8 → i16 escalation).
 //! * [`seed_extend`](mod@seed_extend) — the seed-and-extend driver (paper Fig. 5): a seed
 //!   splits each pair into a left extension (computed on reversed
 //!   prefixes) and a right extension.
@@ -64,7 +65,11 @@ pub use ksw2::{ksw2_extend, Ksw2Params};
 pub use protein::{ScoreProfile, SubstMatrix, AMINO_ACIDS};
 pub use result::{AlignmentResult, ExtensionResult, SeedExtendResult};
 pub use seed_extend::{seed_extend, seed_extend_with, Extender};
-pub use simd::{simd_eligible, xdrop_extend_simd, xdrop_extend_simd_with, Engine};
+pub use simd::{
+    simd8_eligible, simd_eligible, xdrop_extend_adaptive, xdrop_extend_adaptive_with,
+    xdrop_extend_simd, xdrop_extend_simd8, xdrop_extend_simd8_with, xdrop_extend_simd_with, Engine,
+    TierTally,
+};
 pub use traceback::{nw_traceback, Cigar, CigarOp};
 pub use workspace::{with_thread_workspace, AlignWorkspace, AntiDiag, ScalarRings};
 pub use xdrop::{xdrop_extend, xdrop_extend_with, ProfileExtender, XDropExtender};

@@ -4,35 +4,60 @@
 //!
 //! The GPU kernel computes each anti-diagonal with thousands of int16
 //! lanes; the proven CPU analogue (minimap2's KSW2) is a saturating
-//! 16-bit striped inner loop. This module does the same with *portable*
-//! fixed-width chunks — `[i16; LANES]` arrays with saturating
+//! low-precision striped inner loop with escalation to a wider type on
+//! overflow. This module does the same with *portable* fixed-width
+//! chunks — `[i16; LANES]` and `[i8; LANES8]` arrays with saturating
 //! arithmetic, which LLVM auto-vectorizes to whatever SIMD width the
 //! host offers — while keeping the exact bounds, pruning, trimming,
 //! tie-break and termination logic of the scalar ground truth
 //! [`xdrop_extend`](crate::xdrop::xdrop_extend).
 //!
+//! # The tier ladder (DESIGN.md §14)
+//!
+//! Three kernels compute the same recurrence at three precisions:
+//!
+//! | tier   | lanes/chunk | entered when                        |
+//! |--------|-------------|-------------------------------------|
+//! | i8     | [`LANES8`]  | [`simd8_eligible`]                  |
+//! | i16    | [`LANES`]   | [`simd_eligible`]                   |
+//! | scalar | —           | always (the i32 ground truth)       |
+//!
+//! [`Engine`] picks a tier ([`Engine::Adaptive`] picks per pair); every
+//! tier is bit-identical to scalar, so the choice is purely a
+//! performance knob.
+//!
 //! # Bit-for-bit equality, by construction
 //!
 //! The i16 kernel is only entered when [`simd_eligible`] holds:
 //!
-//! * the best attainable score (`min(m, n) · match`) fits in
-//!   [`SIMD_MAX_SCORE`] = `i16::MAX / 2`, so live cell values are exact
-//!   in 16 bits;
-//! * `x + match ≤ SIMD_MAX_SCORE`, so every value derived from a pruned
-//!   (−∞) parent stays below the X-drop threshold and is re-pruned —
-//!   the i16 sentinel behaves exactly like the scalar `NEG_INF`;
-//! * `|mismatch|` and `|gap|` are bounded by [`SIMD_MAX_SCORE`], so
-//!   sums of *live* parents never saturate (saturation can only happen
-//!   on already-dead values, which the threshold then kills — the
+//! * the best attainable score (`min(m, n) · max_score`) fits in
+//!   [`SIMD_MAX_SCORE`] = `i16::MAX`, so live cell values are exact in
+//!   16 bits (saturation cannot corrupt a reachable value);
+//! * `x + max_score ≤` [`SIMD_MAX_X`], so every value derived from a
+//!   pruned (−∞) parent stays below the X-drop threshold and is
+//!   re-pruned — the i16 sentinel behaves exactly like the scalar
+//!   `NEG_INF`, and the threshold itself stays above the sentinel;
+//! * `|min_score|` and `|gap|` are bounded by [`SIMD_MAX_X`], so sums
+//!   of *live* parents never saturate (saturation can only happen on
+//!   already-dead values, which the threshold then kills — the
 //!   overflow clamp of paper §III-C).
 //!
+//! The i8 kernel tightens the same three bounds to the i8 window
+//! ([`SIMD8_MAX_SCORE`]) — except the best-score bound, which it
+//! enforces *dynamically*: the stepper watches the live best and, when
+//! the next anti-diagonal could carry a value past the window
+//! ([`Simd8Step::Escalate`]), hands its exact mid-extension state to
+//! the i16 stepper ([`Simd8State::escalate`]) instead of dropping to
+//! scalar. Both representations are exact over their windows, so the
+//! handoff changes no value, trim, or tie-break.
+//!
 //! Under these conditions every cell value, trim decision and tie-break
-//! is identical to the scalar routine, which the differential suite
-//! (`tests/simd_equivalence.rs`) asserts over random sequences,
-//! scorings and X values. Outside them, [`xdrop_extend_simd`] falls
-//! back to the scalar routine — [`Engine::Simd`] is therefore *always*
-//! bit-identical to [`Engine::Scalar`], just faster when the workload
-//! allows.
+//! is identical to the scalar routine, which the differential suites
+//! (`tests/simd_equivalence.rs`, `tests/engine_tiers.rs`) assert over
+//! random sequences, scorings and X values. Outside them, the entry
+//! points fall back to the scalar routine — every [`Engine`] is
+//! therefore *always* bit-identical to [`Engine::Scalar`], just faster
+//! when the workload allows.
 //!
 //! # The stepper
 //!
@@ -40,7 +65,16 @@
 //! that `logan-core`'s simulated GPU kernel can drive the same compute
 //! while accounting SIMT costs per iteration (see
 //! `logan_core::kernel::logan_block_extend_simd`). [`xdrop_extend_simd`]
-//! is the plain "run to completion" wrapper.
+//! is the plain "run to completion" wrapper; [`Simd8State`] mirrors the
+//! same shape for the i8 tier.
+//!
+//! # Tier telemetry
+//!
+//! Every kernel run bumps a counter in the workspace's [`TierTally`],
+//! so batch runners can report how often each tier actually fired (and
+//! how often an i8 extension escalated) — ROADMAP's "how often does
+//! scalar actually fire" question, answered per batch through
+//! `logan_core::BackendReport`.
 
 use crate::result::ExtensionResult;
 use crate::workspace::AlignWorkspace;
@@ -69,13 +103,48 @@ const NEG_INF16: i16 = i16::MIN / 2;
 /// compiler drop the per-lane bounds checks.
 const PROF_STRIDE: usize = 32;
 
-/// Largest magnitude the i16 kernel accepts for the best score, the
-/// X-drop threshold and the per-cell penalties (see [`simd_eligible`]).
-pub const SIMD_MAX_SCORE: i32 = (i16::MAX / 2) as i32;
+/// Largest best score the i16 kernel accepts (see [`simd_eligible`]).
+///
+/// This is the tightest provably-safe bound: every reachable DP value
+/// is at most the perfect-diagonal score `min(m, n) · max_score` (by
+/// induction, `v(i, j) ≤ min(i, j) · max_score`), and `saturating_add`
+/// is exact for any result up to `i16::MAX` itself — so the whole
+/// positive i16 range is usable. The historical `i16::MAX / 2` window
+/// halved the reach of the i16 tier for no safety gain.
+pub const SIMD_MAX_SCORE: i32 = i16::MAX as i32;
+
+/// Largest magnitude the i16 kernel accepts for `x + max_score` and the
+/// per-cell penalties (see [`simd_eligible`]). Unlike the best-score
+/// bound this one *is* tied to the −∞ sentinel: a value derived from a
+/// pruned parent (`NEG_INF16 + max_score`) must still sit below the
+/// X-drop threshold `best − x ≥ −x`, which requires
+/// `x + max_score ≤ −NEG_INF16 − 1`; and sums of live parents
+/// (`≥ −x ≥ −SIMD_MAX_X`) with penalties of at most this magnitude stay
+/// above `i16::MIN`, so they never saturate low.
+pub const SIMD_MAX_X: i32 = -(NEG_INF16 as i32) - 1;
+
+/// Number of `i8` lanes processed per chunk: 32 lanes = one 256-bit
+/// vector of bytes, twice the cells per instruction of the i16 tier.
+pub const LANES8: usize = 32;
+
+/// The i8 tier's buffer padding, mirroring [`PAD`] (one full chunk on
+/// each side so chunked neighbour loads never need a range check).
+const PAD8: usize = LANES8;
+
+/// The i8 "−∞" sentinel, mirroring [`NEG_INF16`]: far enough from
+/// `i8::MIN` that adding an in-window penalty cannot wrap.
+const NEG_INF8: i8 = i8::MIN / 2;
+
+/// The i8 tier's score window (see [`simd8_eligible`]): best score,
+/// `x + max_score` and penalty magnitudes must all fit in it. Unlike
+/// the i16 tier, the best-score bound is enforced *dynamically* — the
+/// stepper escalates to i16 when the live best approaches it — so
+/// eligibility only needs the static bounds.
+pub const SIMD8_MAX_SCORE: i32 = (i8::MAX / 2) as i32;
 
 /// Which X-drop kernel computes an extension.
 ///
-/// Both engines produce bit-identical [`ExtensionResult`]s — the choice
+/// All engines produce bit-identical [`ExtensionResult`]s — the choice
 /// is purely a performance knob, which is what makes it safe to select
 /// at runtime (CLI `--engine`, `LOGAN_ENGINE`, or per-config fields).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -87,6 +156,15 @@ pub enum Engine {
     /// The lane-parallel i16 kernel ([`xdrop_extend_simd`]); falls back
     /// to the scalar routine when [`simd_eligible`] is false.
     Simd,
+    /// The lane-parallel i8 kernel ([`xdrop_extend_simd8`]), escalating
+    /// mid-extension to the i16 kernel if the live score approaches the
+    /// i8 window; falls back to the scalar routine when
+    /// [`simd8_eligible`] is false.
+    I8,
+    /// Per-pair tier selection ([`xdrop_extend_adaptive`]): the
+    /// cheapest tier whose window provably holds — i8, then i16, then
+    /// scalar.
+    Adaptive,
 }
 
 impl Engine {
@@ -118,11 +196,14 @@ impl Engine {
         match self {
             Engine::Scalar => xdrop_extend_with(query, target, profile, x, ws),
             Engine::Simd => xdrop_extend_simd_with(query, target, profile, x, ws),
+            Engine::I8 => xdrop_extend_simd8_with(query, target, profile, x, ws),
+            Engine::Adaptive => xdrop_extend_adaptive_with(query, target, profile, x, ws),
         }
     }
 
-    /// Read `LOGAN_ENGINE` (`scalar` / `simd`, case-insensitive) from
-    /// the environment; unset selects [`Engine::Scalar`], and an
+    /// Read `LOGAN_ENGINE` (`scalar` / `simd` / `i8` / `adaptive`,
+    /// case-insensitive) from the environment; unset selects
+    /// [`Engine::Scalar`], and an
     /// unrecognized value selects it too but warns on stderr (a typo
     /// would otherwise silently benchmark the wrong engine). Because
     /// engines are bit-identical, flipping the variable can never
@@ -143,6 +224,8 @@ impl std::fmt::Display for Engine {
         f.write_str(match self {
             Engine::Scalar => "scalar",
             Engine::Simd => "simd",
+            Engine::I8 => "i8",
+            Engine::Adaptive => "adaptive",
         })
     }
 }
@@ -153,11 +236,93 @@ impl std::str::FromStr for Engine {
     fn from_str(s: &str) -> Result<Engine, String> {
         match s.to_ascii_lowercase().as_str() {
             "scalar" => Ok(Engine::Scalar),
-            "simd" => Ok(Engine::Simd),
+            "simd" | "i16" => Ok(Engine::Simd),
+            "i8" | "simd8" => Ok(Engine::I8),
+            "adaptive" => Ok(Engine::Adaptive),
             other => Err(format!(
-                "unknown engine `{other}` (expected `scalar` or `simd`)"
+                "unknown engine `{other}` (expected one of `scalar`, \
+                 `simd` (alias `i16`), `i8` (alias `simd8`), `adaptive`)"
             )),
         }
+    }
+}
+
+/// Per-tier dispatch and escalation counters (DESIGN.md §14): how many
+/// extensions each kernel tier actually computed, and how many i8 runs
+/// escalated mid-extension to i16. Accumulated in
+/// [`AlignWorkspace::tally`](crate::workspace::AlignWorkspace) by every
+/// kernel entry point and surfaced per batch through
+/// `logan_align::BatchResult` and `logan_core::BackendReport` — the
+/// measured answer to ROADMAP's "how often does scalar actually fire".
+///
+/// An extension that escalates counts once under [`lanes8`](Self::lanes8)
+/// (the tier that dispatched it) plus once under
+/// [`escalations`](Self::escalations); empty inputs (score-zero early
+/// returns) run no kernel and are not counted.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TierTally {
+    /// Extensions computed by the scalar i32 reference (including
+    /// eligibility fallbacks from the SIMD entry points).
+    pub scalar: u64,
+    /// Extensions computed by the 16-lane i16 kernel.
+    pub lanes16: u64,
+    /// Extensions dispatched to the 32-lane i8 kernel.
+    pub lanes8: u64,
+    /// i8 extensions whose live score approached the i8 window and
+    /// escalated mid-run to the i16 kernel (a subset of
+    /// [`lanes8`](Self::lanes8)).
+    pub escalations: u64,
+}
+
+impl TierTally {
+    /// Extensions counted across all tiers (escalations are not a tier
+    /// and are excluded).
+    pub fn total(&self) -> u64 {
+        self.scalar + self.lanes16 + self.lanes8
+    }
+
+    /// Add another tally into this one (for merging batch reports).
+    pub fn merge(&mut self, other: &TierTally) {
+        self.scalar += other.scalar;
+        self.lanes16 += other.lanes16;
+        self.lanes8 += other.lanes8;
+        self.escalations += other.escalations;
+    }
+
+    /// Counter-wise `self − earlier`, for snapshot-delta accounting
+    /// around a single extension or pair.
+    pub fn diff(&self, earlier: &TierTally) -> TierTally {
+        TierTally {
+            scalar: self.scalar - earlier.scalar,
+            lanes16: self.lanes16 - earlier.lanes16,
+            lanes8: self.lanes8 - earlier.lanes8,
+            escalations: self.escalations - earlier.escalations,
+        }
+    }
+}
+
+// Manual impl instead of derive so artifacts written before the tally
+// existed (no `tiers` field, read back as `Null`) deserialize as an
+// empty tally instead of erroring.
+impl Deserialize for TierTally {
+    fn from_value(v: &serde::Value) -> Result<TierTally, serde::DeserializeError> {
+        let entries = match v {
+            serde::Value::Null => return Ok(TierTally::default()),
+            serde::Value::Map(entries) => entries,
+            other => return Err(serde::DeserializeError::expected("TierTally map", other)),
+        };
+        let get = |name: &str| -> Result<u64, serde::DeserializeError> {
+            match serde::field(entries, name) {
+                serde::Value::Null => Ok(0),
+                present => u64::from_value(present),
+            }
+        };
+        Ok(TierTally {
+            scalar: get("scalar")?,
+            lanes16: get("lanes16")?,
+            lanes8: get("lanes8")?,
+            escalations: get("escalations")?,
+        })
     }
 }
 
@@ -171,16 +336,44 @@ impl std::str::FromStr for Engine {
 /// (e.g. 11 per residue under BLOSUM62, not 1), and the largest
 /// per-cell drop from a live parent is `min(min_score, gap)`. For a
 /// match/mismatch profile this reduces exactly to the historical check
-/// (`max_score = match`, `min_score = mismatch`).
+/// (`max_score = match`, `min_score = mismatch`). The best-score bound
+/// is [`SIMD_MAX_SCORE`] (the full positive i16 range); the threshold
+/// and penalty bounds are the tighter [`SIMD_MAX_X`], tied to the −∞
+/// sentinel.
 pub fn simd_eligible(query: &Seq, target: &Seq, profile: impl Into<ScoreProfile>, x: i32) -> bool {
     let p = profile.into();
-    let max = SIMD_MAX_SCORE as i64;
     let max_score = p.max_score() as i64;
     let perfect = query.len().min(target.len()) as i64 * max_score;
-    perfect <= max
-        && x as i64 + max_score <= max
-        && p.min_score() as i64 >= -max
-        && p.gap() as i64 >= -max
+    let max_x = SIMD_MAX_X as i64;
+    (0..=SIMD_MAX_SCORE as i64).contains(&perfect)
+        && x as i64 + max_score <= max_x
+        && p.min_score() as i64 >= -max_x
+        && p.gap() as i64 >= -max_x
+}
+
+/// True when the i8 kernel can start an extension and reproduce the
+/// scalar result exactly — possibly by escalating to i16 mid-run, so
+/// the full i16 window ([`simd_eligible`]) must hold too (the stepper
+/// may hand the extension over at any point). The static i8 bounds
+/// mirror the i16 ones over [`SIMD8_MAX_SCORE`]:
+///
+/// * `x + max_score ≤ SIMD8_MAX_SCORE`, so dead-derived values
+///   (`NEG_INF8 + max_score`) stay below the threshold and the
+///   threshold itself (`≥ −x`) stays above the sentinel;
+/// * `|min_score|` and `|gap|` within the window, so live-parent sums
+///   stay above `i8::MIN` and every profile entry is exact in i8.
+///
+/// The best-score bound has no static counterpart: the stepper
+/// escalates before any reachable value could leave the window.
+pub fn simd8_eligible(query: &Seq, target: &Seq, profile: impl Into<ScoreProfile>, x: i32) -> bool {
+    let p = profile.into();
+    let max8 = SIMD8_MAX_SCORE as i64;
+    let max_score = p.max_score() as i64;
+    simd_eligible(query, target, p, x)
+        && max_score >= 0
+        && x as i64 + max_score <= max8
+        && p.min_score() as i64 >= -max8
+        && p.gap() as i64 >= -max8
 }
 
 /// One anti-diagonal of i16 scores.
@@ -439,7 +632,7 @@ impl<'w> SimdState<'w> {
         }
         let w = hi - lo + 1;
         debug_assert!(
-            (-SIMD_MAX_SCORE..=SIMD_MAX_SCORE).contains(&(self.best - self.x)),
+            ((NEG_INF16 as i32 + 1)..=SIMD_MAX_SCORE).contains(&(self.best - self.x)),
             "threshold escaped the i16-exact window"
         );
         let thr = (self.best - self.x) as i16;
@@ -691,6 +884,556 @@ fn chunk_cells_profile(
     out
 }
 
+/// One anti-diagonal of i8 scores: the [`Diag`] layout with [`PAD8`]
+/// sentinel cells per side.
+#[derive(Debug, Default, Clone)]
+struct Diag8 {
+    vals: Vec<i8>,
+    /// Query index of the first computed cell (`vals[PAD8]`).
+    base: usize,
+    /// Live (trimmed) window start.
+    lo: usize,
+    /// Live (trimmed) window length.
+    len: usize,
+}
+
+impl Diag8 {
+    /// Reset to an all-sentinel diagonal, reusing the allocation.
+    fn reset_sentinel(&mut self) {
+        self.vals.clear();
+        self.vals.resize(2 * PAD8, NEG_INF8);
+        self.base = 0;
+        self.lo = 0;
+        self.len = 0;
+    }
+
+    /// Reset to the `d = 0` origin diagonal (single cell scoring 0),
+    /// reusing the allocation.
+    fn reset_origin(&mut self) {
+        self.vals.clear();
+        self.vals.resize(2 * PAD8 + 1, NEG_INF8);
+        self.vals[PAD8] = 0;
+        self.base = 0;
+        self.lo = 0;
+        self.len = 1;
+    }
+
+    /// Range-checked read against the *computed* window; everything
+    /// outside reads as −∞.
+    #[inline(always)]
+    fn get(&self, i: usize) -> i8 {
+        let w = self.vals.len() - 2 * PAD8;
+        if i < self.base || i >= self.base + w {
+            NEG_INF8
+        } else {
+            self.vals[PAD8 + i - self.base]
+        }
+    }
+}
+
+/// The i8 kernel's scratch buffers, owned by an [`AlignWorkspace`]: the
+/// [`SimdScratch`] layout narrowed to i8 and widened to [`LANES8`]
+/// padding. Buffers grow to the largest extension seen and are then
+/// reused.
+#[derive(Debug, Default)]
+pub struct Simd8Scratch {
+    /// Query codes as i8 (index `i − 1` for query position `i`).
+    q8: Vec<i8>,
+    /// Target codes, reversed (see `SimdScratch::trev16`).
+    trev8: Vec<i8>,
+    /// The i8 query profile (see `SimdScratch::qprof16`): same
+    /// [`PROF_STRIDE`] row layout, entries narrowed to i8 — exact,
+    /// because [`simd8_eligible`] bounds every score within the i8
+    /// window. Empty on the DNA match/mismatch path, preserving the
+    /// zero-allocation warm-workspace contract there.
+    qprof8: Vec<i8>,
+    prev2: Diag8,
+    prev: Diag8,
+    cur: Diag8,
+}
+
+/// How the i8 kernel scores a substitution — [`SubstMode`] narrowed to
+/// i8.
+#[derive(Debug, Clone, Copy)]
+enum SubstMode8 {
+    MatchMismatch {
+        mat: i8,
+        mis: i8,
+    },
+    /// Gather from the rows of `Simd8Scratch::qprof8` (stride
+    /// [`PROF_STRIDE`]).
+    Profile,
+}
+
+/// Outcome of one [`Simd8State::step`]: [`SimdStep`] plus the
+/// escalation signal.
+#[derive(Debug, Clone, Copy)]
+pub enum Simd8Step {
+    /// An anti-diagonal was computed and trimmed; the extension
+    /// continues.
+    Advanced(DiagStats),
+    /// Every cell of the anti-diagonal fell below `best − X`.
+    Dropped {
+        /// Cells computed on the final (fully pruned) anti-diagonal.
+        width: usize,
+    },
+    /// The band slid off the matrix or the last anti-diagonal was
+    /// already computed; nothing happened.
+    Finished,
+    /// The next anti-diagonal could carry a value past the i8 window
+    /// (`best + max_score > `[`SIMD8_MAX_SCORE`]): nothing was
+    /// computed, and the caller must hand the extension to the i16
+    /// stepper via [`Simd8State::escalate`]. The signal is sticky —
+    /// stepping again returns it again.
+    Escalate,
+}
+
+/// Rolling state of a 32-lane i8 X-drop extension: [`SimdState`]'s
+/// shape at the narrower precision, plus the escalation watch. Every
+/// value it stores is exact (the stepper escalates before any reachable
+/// value could leave the i8 window), which is what makes
+/// [`escalate`](Simd8State::escalate) a pure representation change.
+#[derive(Debug)]
+pub struct Simd8State<'w> {
+    scratch: &'w mut Simd8Scratch,
+    m: usize,
+    n: usize,
+    mode: SubstMode8,
+    gap: i8,
+    x: i32,
+    /// The profile's `max_score`, cached for the per-step escalation
+    /// check (`best + max_sub` is the largest value the next
+    /// anti-diagonal can reach).
+    max_sub: i32,
+    d: usize,
+    best: i32,
+    best_i: usize,
+    best_d: usize,
+    cells: u64,
+    iterations: u64,
+    max_width: usize,
+    dropped: bool,
+    finished: bool,
+}
+
+impl<'w> Simd8State<'w> {
+    /// Start an extension in the given scratch, or `None` when the
+    /// inputs are empty or not [`simd8_eligible`] (callers then use a
+    /// wider tier). Whatever the scratch held before is fully
+    /// re-initialised.
+    ///
+    /// Panics if `x` is negative, like [`xdrop_extend`](crate::xdrop::xdrop_extend).
+    pub fn new(
+        query: &Seq,
+        target: &Seq,
+        profile: impl Into<ScoreProfile>,
+        x: i32,
+        scratch: &'w mut Simd8Scratch,
+    ) -> Option<Simd8State<'w>> {
+        assert!(x >= 0, "X-drop parameter must be non-negative");
+        let profile = profile.into();
+        if query.is_empty() || target.is_empty() || !simd8_eligible(query, target, profile, x) {
+            return None;
+        }
+        scratch.q8.clear();
+        scratch.q8.extend(query.as_slice().iter().map(|&b| b as i8));
+        scratch.trev8.clear();
+        scratch
+            .trev8
+            .extend(target.as_slice().iter().rev().map(|&b| b as i8));
+        let mode = match profile {
+            ScoreProfile::MatchMismatch(s) => SubstMode8::MatchMismatch {
+                mat: s.match_score as i8,
+                mis: s.mismatch as i8,
+            },
+            ScoreProfile::Matrix(mx) => {
+                let asize = mx.alphabet.size();
+                let table = mx.table();
+                scratch.qprof8.clear();
+                scratch.qprof8.resize(query.len() * PROF_STRIDE, NEG_INF8);
+                for (i, &qc) in query.as_slice().iter().enumerate() {
+                    let row = &table[qc as usize * asize..][..asize];
+                    for (dst, &s) in scratch.qprof8[i * PROF_STRIDE..][..asize]
+                        .iter_mut()
+                        .zip(row)
+                    {
+                        *dst = s as i8;
+                    }
+                }
+                SubstMode8::Profile
+            }
+        };
+        scratch.prev2.reset_sentinel();
+        scratch.prev.reset_origin();
+        scratch.cur.reset_sentinel();
+        Some(Simd8State {
+            scratch,
+            m: query.len(),
+            n: target.len(),
+            mode,
+            gap: profile.gap() as i8,
+            x,
+            max_sub: profile.max_score(),
+            d: 0,
+            best: 0,
+            best_i: 0,
+            best_d: 0,
+            cells: 0,
+            iterations: 0,
+            max_width: 1,
+            dropped: false,
+            finished: false,
+        })
+    }
+
+    /// Compute, prune and trim the next anti-diagonal — or report
+    /// [`Simd8Step::Escalate`] (computing nothing) when the next
+    /// anti-diagonal could leave the i8 window.
+    pub fn step(&mut self) -> Simd8Step {
+        if self.finished || self.dropped {
+            return Simd8Step::Finished;
+        }
+        // Escalation watch: the next anti-diagonal's values are bounded
+        // by best + max_score. Checked before computing anything, so
+        // every value this stepper ever stores is exact in i8.
+        if self.best + self.max_sub > SIMD8_MAX_SCORE {
+            return Simd8Step::Escalate;
+        }
+        self.d += 1;
+        let d = self.d;
+        let (m, n) = (self.m, self.n);
+        if d > m + n {
+            self.finished = true;
+            return Simd8Step::Finished;
+        }
+        let lo = self.scratch.prev.lo.max(d.saturating_sub(n));
+        let hi = (self.scratch.prev.lo + self.scratch.prev.len).min(d).min(m);
+        if lo > hi {
+            self.finished = true;
+            return Simd8Step::Finished;
+        }
+        let w = hi - lo + 1;
+        debug_assert!(
+            ((NEG_INF8 as i32 + 1)..=SIMD8_MAX_SCORE).contains(&(self.best - self.x)),
+            "threshold escaped the i8-exact window"
+        );
+        let thr = (self.best - self.x) as i8;
+        let (mode, gap) = (self.mode, self.gap);
+
+        let row_max = {
+            let Simd8Scratch {
+                q8,
+                trev8,
+                qprof8,
+                prev2,
+                prev,
+                cur,
+            } = &mut *self.scratch;
+            cur.vals.clear();
+            cur.vals.resize(w + 2 * PAD8, NEG_INF8);
+            cur.base = lo;
+            let mut row_max = NEG_INF8;
+
+            if lo == 0 {
+                let v = prune8(prev.get(0).saturating_add(gap), thr);
+                cur.vals[PAD8] = v;
+                row_max = row_max.max(v);
+            }
+            if hi == d {
+                let v = prune8(prev.get(d - 1).saturating_add(gap), thr);
+                cur.vals[PAD8 + d - lo] = v;
+                row_max = row_max.max(v);
+            }
+
+            let ilo = lo.max(1);
+            let ihi = hi.min(d - 1);
+            if ilo <= ihi {
+                let w_int = ihi - ilo + 1;
+                if w_int >= LANES8 {
+                    // Chunked interior with an *overlapped tail*: after
+                    // the full chunks, one final chunk is shifted left
+                    // to end exactly at ihi. Overlapping lanes
+                    // recompute the same values from the same parents
+                    // (and the lane-max accumulator is idempotent), so
+                    // no scalar remainder loop is ever needed — on
+                    // X-drop bands of width ~32–120 that remainder is
+                    // where a plain chunking would lose its advantage.
+                    let chunks = w_int / LANES8;
+                    let mut acc = [NEG_INF8; LANES8];
+                    let mut do_chunk = |c: usize| {
+                        let qv: &[i8; LANES8] = q8[c - 1..c - 1 + LANES8].try_into().unwrap();
+                        let tv: &[i8; LANES8] =
+                            trev8[n + c - d..n + c - d + LANES8].try_into().unwrap();
+                        let p2: &[i8; LANES8] = prev2.vals[PAD8 + c - 1 - prev2.base..][..LANES8]
+                            .try_into()
+                            .unwrap();
+                        let pm1: &[i8; LANES8] = prev.vals[PAD8 + c - 1 - prev.base..][..LANES8]
+                            .try_into()
+                            .unwrap();
+                        let p0: &[i8; LANES8] = prev.vals[PAD8 + c - prev.base..][..LANES8]
+                            .try_into()
+                            .unwrap();
+                        let out = match mode {
+                            SubstMode8::MatchMismatch { mat, mis } => {
+                                chunk_cells8(qv, tv, p2, pm1, p0, mat, mis, gap, thr, &mut acc)
+                            }
+                            SubstMode8::Profile => {
+                                let rows: &[i8; LANES8 * PROF_STRIDE] = qprof8
+                                    [(c - 1) * PROF_STRIDE..][..LANES8 * PROF_STRIDE]
+                                    .try_into()
+                                    .unwrap();
+                                let mut subs = [0i8; LANES8];
+                                for k in 0..LANES8 {
+                                    subs[k] = rows
+                                        [k * PROF_STRIDE + (tv[k] as usize & (PROF_STRIDE - 1))];
+                                }
+                                chunk_cells8_profile(&subs, p2, pm1, p0, gap, thr, &mut acc)
+                            }
+                        };
+                        cur.vals[PAD8 + c - lo..PAD8 + c - lo + LANES8].copy_from_slice(&out);
+                    };
+                    for ci in 0..chunks {
+                        do_chunk(ilo + ci * LANES8);
+                    }
+                    if w_int > chunks * LANES8 {
+                        do_chunk(ihi + 1 - LANES8);
+                    }
+                    for &v in &acc {
+                        row_max = row_max.max(v);
+                    }
+                } else {
+                    // Narrow interior: the same i8 arithmetic, scalar.
+                    for i in ilo..=ihi {
+                        let sub = match mode {
+                            SubstMode8::MatchMismatch { mat, mis } => {
+                                if q8[i - 1] == trev8[n + i - d] {
+                                    mat
+                                } else {
+                                    mis
+                                }
+                            }
+                            SubstMode8::Profile => {
+                                qprof8[(i - 1) * PROF_STRIDE + trev8[n + i - d] as usize]
+                            }
+                        };
+                        let diag = prev2.get(i - 1).saturating_add(sub);
+                        let up = prev.get(i - 1).saturating_add(gap);
+                        let left = prev.get(i).saturating_add(gap);
+                        let v = prune8(diag.max(up).max(left), thr);
+                        cur.vals[PAD8 + i - lo] = v;
+                        row_max = row_max.max(v);
+                    }
+                }
+            }
+            row_max
+        };
+
+        self.cells += w as u64;
+        self.iterations += 1;
+
+        if row_max <= NEG_INF8 {
+            self.dropped = true;
+            return Simd8Step::Dropped { width: w };
+        }
+
+        let vals = &self.scratch.cur.vals[PAD8..PAD8 + w];
+        let kf = vals.iter().position(|&v| v > NEG_INF8).unwrap();
+        let kl = vals.iter().rposition(|&v| v > NEG_INF8).unwrap();
+        self.scratch.cur.lo = lo + kf;
+        self.scratch.cur.len = kl - kf + 1;
+        self.max_width = self.max_width.max(self.scratch.cur.len);
+
+        if row_max as i32 > self.best {
+            let mut arg = 0;
+            'outer: for (ci, chunk) in vals.chunks(LANES8).enumerate() {
+                let mut hit = false;
+                for &v in chunk {
+                    hit |= v == row_max;
+                }
+                if hit {
+                    for (k, &v) in chunk.iter().enumerate() {
+                        if v == row_max {
+                            arg = lo + ci * LANES8 + k;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            self.best = row_max as i32;
+            self.best_i = arg;
+            self.best_d = d;
+        }
+
+        let s = &mut *self.scratch;
+        std::mem::swap(&mut s.prev2, &mut s.prev);
+        std::mem::swap(&mut s.prev, &mut s.cur);
+        Simd8Step::Advanced(DiagStats {
+            width: w,
+            live_width: s.prev.len,
+            trim_front: kf,
+            trim_back: w - 1 - kl,
+            row_max: row_max as i32,
+        })
+    }
+
+    /// Hand this extension to the i16 stepper, widening every buffer
+    /// into `scratch16`. Both representations hold the exact DP values
+    /// over their windows, so the i16 stepper continues from anti-
+    /// diagonal `d + 1` with bit-identical state to an i16 run that had
+    /// computed diagonals `1..=d` itself — escalation can never change
+    /// a score, trim, or tie-break.
+    pub fn escalate<'x>(self, scratch16: &'x mut SimdScratch) -> SimdState<'x> {
+        let s8 = &*self.scratch;
+        scratch16.q16.clear();
+        scratch16.q16.extend(s8.q8.iter().map(|&b| b as i16));
+        scratch16.trev16.clear();
+        scratch16.trev16.extend(s8.trev8.iter().map(|&b| b as i16));
+        let mode = match self.mode {
+            SubstMode8::MatchMismatch { mat, mis } => SubstMode::MatchMismatch {
+                mat: mat as i16,
+                mis: mis as i16,
+            },
+            SubstMode8::Profile => {
+                scratch16.qprof16.clear();
+                scratch16
+                    .qprof16
+                    .extend(s8.qprof8.iter().map(|&v| widen8(v)));
+                SubstMode::Profile
+            }
+        };
+        widen_diag(&s8.prev2, &mut scratch16.prev2);
+        widen_diag(&s8.prev, &mut scratch16.prev);
+        scratch16.cur.reset_sentinel();
+        SimdState {
+            scratch: scratch16,
+            m: self.m,
+            n: self.n,
+            mode,
+            gap: self.gap as i16,
+            x: self.x,
+            d: self.d,
+            best: self.best,
+            best_i: self.best_i,
+            best_d: self.best_d,
+            cells: self.cells,
+            iterations: self.iterations,
+            max_width: self.max_width,
+            dropped: false,
+            finished: false,
+        }
+    }
+
+    /// Finish into an [`ExtensionResult`] (identical to what the scalar
+    /// routine would return for the same inputs).
+    pub fn into_result(self) -> ExtensionResult {
+        ExtensionResult {
+            score: self.best,
+            query_end: self.best_i,
+            target_end: self.best_d - self.best_i,
+            cells: self.cells,
+            iterations: self.iterations,
+            max_width: self.max_width,
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// Widen one i8 cell to i16, mapping the −∞ sentinel to the i16
+/// sentinel (every non-sentinel i8 value is an exact score).
+#[inline(always)]
+fn widen8(v: i8) -> i16 {
+    if v == NEG_INF8 {
+        NEG_INF16
+    } else {
+        v as i16
+    }
+}
+
+/// Widen an i8 anti-diagonal into an i16 one: same computed window,
+/// same live window, [`PAD`] sentinels instead of [`PAD8`].
+fn widen_diag(src: &Diag8, dst: &mut Diag) {
+    let w = src.vals.len() - 2 * PAD8;
+    dst.vals.clear();
+    dst.vals.resize(w + 2 * PAD, NEG_INF16);
+    for (d, &s) in dst.vals[PAD..PAD + w]
+        .iter_mut()
+        .zip(&src.vals[PAD8..PAD8 + w])
+    {
+        *d = widen8(s);
+    }
+    dst.base = src.base;
+    dst.lo = src.lo;
+    dst.len = src.len;
+}
+
+#[inline(always)]
+fn prune8(v: i8, thr: i8) -> i8 {
+    if v < thr {
+        NEG_INF8
+    } else {
+        v
+    }
+}
+
+/// One chunk of the anti-diagonal recurrence over [`LANES8`] i8 cells —
+/// [`chunk_cells`] at byte width, so each vector instruction covers
+/// twice the cells.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn chunk_cells8(
+    q: &[i8; LANES8],
+    t: &[i8; LANES8],
+    p2: &[i8; LANES8],
+    pm1: &[i8; LANES8],
+    p0: &[i8; LANES8],
+    mat: i8,
+    mis: i8,
+    gap: i8,
+    thr: i8,
+    acc: &mut [i8; LANES8],
+) -> [i8; LANES8] {
+    let mut out = [0i8; LANES8];
+    for k in 0..LANES8 {
+        let sub = if q[k] == t[k] { mat } else { mis };
+        let diag = p2[k].saturating_add(sub);
+        let up = pm1[k].saturating_add(gap);
+        let left = p0[k].saturating_add(gap);
+        let mut v = diag.max(up).max(left);
+        if v < thr {
+            v = NEG_INF8;
+        }
+        out[k] = v;
+        acc[k] = acc[k].max(v);
+    }
+    out
+}
+
+/// The profile-mode counterpart of [`chunk_cells8`].
+#[inline(always)]
+fn chunk_cells8_profile(
+    subs: &[i8; LANES8],
+    p2: &[i8; LANES8],
+    pm1: &[i8; LANES8],
+    p0: &[i8; LANES8],
+    gap: i8,
+    thr: i8,
+    acc: &mut [i8; LANES8],
+) -> [i8; LANES8] {
+    let mut out = [0i8; LANES8];
+    for k in 0..LANES8 {
+        let diag = p2[k].saturating_add(subs[k]);
+        let up = pm1[k].saturating_add(gap);
+        let left = p0[k].saturating_add(gap);
+        let mut v = diag.max(up).max(left);
+        if v < thr {
+            v = NEG_INF8;
+        }
+        out[k] = v;
+        acc[k] = acc[k].max(v);
+    }
+    out
+}
+
 /// Lane-parallel X-drop extension: bit-identical to [`xdrop_extend`](crate::xdrop::xdrop_extend)
 /// (to which it silently falls back when the inputs are not
 /// [`simd_eligible`]), typically several times faster on long
@@ -727,10 +1470,140 @@ pub fn xdrop_extend_simd_with(
     if !simd_eligible(query, target, profile, x) {
         return xdrop_extend_with(query, target, profile, x, ws);
     }
+    run_i16(query, target, profile, x, ws)
+}
+
+/// Run an (already eligibility-checked, non-empty) extension on the i16
+/// kernel, tallying the dispatch.
+///
+/// `inline(never)`: every entry point (fixed-tier wrappers, the
+/// adaptive selector, escalation) must share one machine-code copy, so
+/// tier choice is a pure dispatch decision — otherwise per-caller
+/// inlining gives each wrapper a differently-laid-out kernel and
+/// "identical" engines measure a few percent apart.
+#[inline(never)]
+fn run_i16(
+    query: &Seq,
+    target: &Seq,
+    profile: ScoreProfile,
+    x: i32,
+    ws: &mut AlignWorkspace,
+) -> ExtensionResult {
+    ws.tally.lanes16 += 1;
     let mut state =
         SimdState::new(query, target, profile, x, &mut ws.simd).expect("eligibility checked above");
     while let SimdStep::Advanced(_) = state.step() {}
     state.into_result()
+}
+
+/// Run an (already eligibility-checked, non-empty) extension on the i8
+/// kernel, escalating to the i16 kernel if the stepper reports the
+/// window closing; tallies the dispatch and any escalation.
+///
+/// `inline(never)` for the same reason as [`run_i16`].
+#[inline(never)]
+fn run_i8(
+    query: &Seq,
+    target: &Seq,
+    profile: ScoreProfile,
+    x: i32,
+    ws: &mut AlignWorkspace,
+) -> ExtensionResult {
+    let AlignWorkspace {
+        simd, simd8, tally, ..
+    } = ws;
+    tally.lanes8 += 1;
+    let mut state =
+        Simd8State::new(query, target, profile, x, simd8).expect("eligibility checked above");
+    loop {
+        match state.step() {
+            Simd8Step::Advanced(_) => {}
+            Simd8Step::Escalate => {
+                tally.escalations += 1;
+                let mut wide = state.escalate(simd);
+                while let SimdStep::Advanced(_) = wide.step() {}
+                return wide.into_result();
+            }
+            Simd8Step::Dropped { .. } | Simd8Step::Finished => return state.into_result(),
+        }
+    }
+}
+
+/// Lane-parallel X-drop extension on the 32-lane i8 tier: bit-identical
+/// to [`xdrop_extend`](crate::xdrop::xdrop_extend). Extensions whose
+/// live score approaches the i8 window escalate mid-run to the i16
+/// kernel; inputs that are not [`simd8_eligible`] fall back to the
+/// scalar routine.
+///
+/// Thin allocating wrapper over [`xdrop_extend_simd8_with`].
+pub fn xdrop_extend_simd8(
+    query: &Seq,
+    target: &Seq,
+    profile: impl Into<ScoreProfile>,
+    x: i32,
+) -> ExtensionResult {
+    xdrop_extend_simd8_with(query, target, profile, x, &mut AlignWorkspace::new())
+}
+
+/// [`xdrop_extend_simd8`] computing into caller-owned scratch: the i8
+/// rings and lane buffers come from `ws`, as do the i16 rings on
+/// escalation and the scalar rings on fallback. A warm workspace makes
+/// the call allocation-free on the DNA path.
+pub fn xdrop_extend_simd8_with(
+    query: &Seq,
+    target: &Seq,
+    profile: impl Into<ScoreProfile>,
+    x: i32,
+    ws: &mut AlignWorkspace,
+) -> ExtensionResult {
+    assert!(x >= 0, "X-drop parameter must be non-negative");
+    let profile = profile.into();
+    if query.is_empty() || target.is_empty() {
+        return ExtensionResult::zero();
+    }
+    if !simd8_eligible(query, target, profile, x) {
+        return xdrop_extend_with(query, target, profile, x, ws);
+    }
+    run_i8(query, target, profile, x, ws)
+}
+
+/// Per-pair adaptive tier selection (the [`Engine::Adaptive`] kernel):
+/// the cheapest tier whose window provably holds — i8 (with mid-run
+/// escalation), else i16, else scalar. Bit-identical to
+/// [`xdrop_extend`](crate::xdrop::xdrop_extend) on every path.
+///
+/// Thin allocating wrapper over [`xdrop_extend_adaptive_with`].
+pub fn xdrop_extend_adaptive(
+    query: &Seq,
+    target: &Seq,
+    profile: impl Into<ScoreProfile>,
+    x: i32,
+) -> ExtensionResult {
+    xdrop_extend_adaptive_with(query, target, profile, x, &mut AlignWorkspace::new())
+}
+
+/// [`xdrop_extend_adaptive`] computing into caller-owned scratch; which
+/// tier ran (and whether an i8 run escalated) is recorded in
+/// `ws.tally`.
+pub fn xdrop_extend_adaptive_with(
+    query: &Seq,
+    target: &Seq,
+    profile: impl Into<ScoreProfile>,
+    x: i32,
+    ws: &mut AlignWorkspace,
+) -> ExtensionResult {
+    assert!(x >= 0, "X-drop parameter must be non-negative");
+    let profile = profile.into();
+    if query.is_empty() || target.is_empty() {
+        return ExtensionResult::zero();
+    }
+    if simd8_eligible(query, target, profile, x) {
+        run_i8(query, target, profile, x, ws)
+    } else if simd_eligible(query, target, profile, x) {
+        run_i16(query, target, profile, x, ws)
+    } else {
+        xdrop_extend_with(query, target, profile, x, ws)
+    }
 }
 
 #[cfg(test)]
@@ -748,22 +1621,144 @@ mod tests {
         Seq::from_str_strict(s).unwrap()
     }
 
-    /// Both engines on the same input; returns the (asserted equal)
+    /// Every engine on the same input; returns the (asserted equal)
     /// result.
     fn both(q: &Seq, t: &Seq, scoring: Scoring, x: i32) -> ExtensionResult {
         let scalar = Engine::Scalar.extend(q, t, scoring, x);
-        let simd = Engine::Simd.extend(q, t, scoring, x);
-        assert_eq!(simd, scalar, "engines diverged (x={x})");
+        for engine in [Engine::Simd, Engine::I8, Engine::Adaptive] {
+            let r = engine.extend(q, t, scoring, x);
+            assert_eq!(r, scalar, "{engine} diverged from scalar (x={x})");
+        }
         scalar
     }
 
     #[test]
     fn engine_parsing_and_display() {
-        assert_eq!("simd".parse::<Engine>().unwrap(), Engine::Simd);
-        assert_eq!("SCALAR".parse::<Engine>().unwrap(), Engine::Scalar);
-        assert!("cuda".parse::<Engine>().is_err());
-        assert_eq!(Engine::Simd.to_string(), "simd");
+        // Every accepted spelling, canonical and alias, both cases.
+        for (spelling, engine) in [
+            ("scalar", Engine::Scalar),
+            ("SCALAR", Engine::Scalar),
+            ("simd", Engine::Simd),
+            ("i16", Engine::Simd),
+            ("I16", Engine::Simd),
+            ("i8", Engine::I8),
+            ("I8", Engine::I8),
+            ("simd8", Engine::I8),
+            ("adaptive", Engine::Adaptive),
+            ("Adaptive", Engine::Adaptive),
+        ] {
+            assert_eq!(spelling.parse::<Engine>().unwrap(), engine, "{spelling}");
+        }
+        for engine in [Engine::Scalar, Engine::Simd, Engine::I8, Engine::Adaptive] {
+            assert_eq!(
+                engine.to_string().parse::<Engine>().unwrap(),
+                engine,
+                "display must round-trip"
+            );
+        }
         assert_eq!(Engine::default(), Engine::Scalar);
+        // Rejections name the offender and list every valid value.
+        let err = "cuda".parse::<Engine>().unwrap_err();
+        for needle in [
+            "`cuda`",
+            "`scalar`",
+            "`simd`",
+            "`i16`",
+            "`i8`",
+            "`simd8`",
+            "`adaptive`",
+        ] {
+            assert!(err.contains(needle), "error {err:?} must mention {needle}");
+        }
+        assert!("".parse::<Engine>().is_err());
+        assert!("simd16".parse::<Engine>().is_err());
+    }
+
+    #[test]
+    fn tally_counts_dispatches_and_survives_legacy_null() {
+        let mut ws = AlignWorkspace::new();
+        let s = seq("ACGTACGTACGT");
+        // Scalar engine → scalar counter.
+        Engine::Scalar.extend_with(&s, &s, Scoring::default(), 5, &mut ws);
+        // x = 5 keeps the pair i8-eligible (5 + 1 ≤ 63): both the fixed
+        // i8 engine and adaptive dispatch to the i8 kernel.
+        Engine::Simd.extend_with(&s, &s, Scoring::default(), 5, &mut ws);
+        Engine::I8.extend_with(&s, &s, Scoring::default(), 5, &mut ws);
+        Engine::Adaptive.extend_with(&s, &s, Scoring::default(), 5, &mut ws);
+        // x = 100 pushes past the i8 window: I8 falls back to scalar,
+        // adaptive picks i16.
+        Engine::I8.extend_with(&s, &s, Scoring::default(), 100, &mut ws);
+        Engine::Adaptive.extend_with(&s, &s, Scoring::default(), 100, &mut ws);
+        // Empty inputs run no kernel and are not counted.
+        Engine::Adaptive.extend_with(&Seq::new(), &s, Scoring::default(), 5, &mut ws);
+        let t = ws.tally;
+        assert_eq!(t.scalar, 2);
+        assert_eq!(t.lanes16, 2);
+        assert_eq!(t.lanes8, 2);
+        assert_eq!(t.escalations, 0);
+        assert_eq!(t.total(), 6);
+        let mut merged = TierTally::default();
+        merged.merge(&t);
+        merged.merge(&t);
+        assert_eq!(merged.diff(&t), t);
+        // Artifacts written before the tally existed deserialize empty.
+        assert_eq!(
+            TierTally::from_value(&serde::Value::Null).unwrap(),
+            TierTally::default()
+        );
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<TierTally>(&json).unwrap(), t);
+    }
+
+    #[test]
+    fn i8_escalation_is_counted_and_bit_identical() {
+        // A long identical pair scores far past the i8 window, forcing
+        // the i8 run to escalate mid-extension.
+        let s: Seq = (0..600).map(|i| Base::from_code((i % 4) as u8)).collect();
+        let mut ws = AlignWorkspace::new();
+        assert!(simd8_eligible(&s, &s, Scoring::default(), 20));
+        let r = Engine::I8.extend_with(&s, &s, Scoring::default(), 20, &mut ws);
+        assert_eq!(r, Engine::Scalar.extend(&s, &s, Scoring::default(), 20));
+        assert_eq!(r.score, 600);
+        assert_eq!(ws.tally.lanes8, 1);
+        assert_eq!(ws.tally.escalations, 1);
+        // A pair that drops inside the window never escalates.
+        let a: Seq = std::iter::repeat_n(Base::A, 300).collect();
+        let t: Seq = std::iter::repeat_n(Base::T, 300).collect();
+        Engine::I8.extend_with(&a, &t, Scoring::default(), 20, &mut ws);
+        assert_eq!(ws.tally.lanes8, 2);
+        assert_eq!(ws.tally.escalations, 1);
+    }
+
+    #[test]
+    fn simd8_eligibility_bounds() {
+        let s = seq("ACGTACGT");
+        let max8 = SIMD8_MAX_SCORE;
+        // x + match at the window edge is in; one past is out.
+        assert!(simd8_eligible(&s, &s, Scoring::default(), max8 - 1));
+        assert!(!simd8_eligible(&s, &s, Scoring::default(), max8));
+        // Penalty magnitudes at the edge are in; one past is out (the
+        // pair is still i16-eligible, so adaptive lands on i16).
+        assert!(simd8_eligible(&s, &s, Scoring::new(1, -max8, -max8), 10));
+        assert!(!simd8_eligible(
+            &s,
+            &s,
+            Scoring::new(1, -(max8 + 1), -1),
+            10
+        ));
+        assert!(!simd8_eligible(
+            &s,
+            &s,
+            Scoring::new(1, -1, -(max8 + 1)),
+            10
+        ));
+        // Anything i8-eligible must also be i16-eligible (escalation
+        // target), and i16-ineligible inputs are i8-ineligible.
+        let long: Seq = (0..40_000)
+            .map(|i| Base::from_code((i % 4) as u8))
+            .collect();
+        assert!(!simd_eligible(&long, &long, Scoring::default(), 10));
+        assert!(!simd8_eligible(&long, &long, Scoring::default(), 10));
     }
 
     #[test]
@@ -853,12 +1848,17 @@ mod tests {
 
     #[test]
     fn past_the_saturation_boundary_falls_back_to_scalar() {
-        // match = 1000 makes a 17-base perfect run overflow the
-        // eligibility bound; the SIMD engine must detect it and defer.
-        let scoring = Scoring::new(1000, -1000, -1000);
+        // match = 2000 makes a 17-base perfect run (34000) overflow the
+        // widened 32767 eligibility bound; the SIMD engine must detect
+        // it and defer. (match = 1000 used to trip the old 16383 bound
+        // and is now comfortably eligible.)
+        let scoring = Scoring::new(2000, -2000, -2000);
         let s = seq("ACGTACGTACGTACGTA");
         assert!(!simd_eligible(&s, &s, scoring, 50));
         both(&s, &s, scoring, 50);
+        let old = Scoring::new(1000, -1000, -1000);
+        assert!(simd_eligible(&s, &s, old, 50));
+        both(&s, &s, old, 50);
     }
 
     #[test]
@@ -869,7 +1869,7 @@ mod tests {
         assert!(!simd_eligible(&a, &b, Scoring::default(), BIG_X));
         both(&a, &b, Scoring::default(), BIG_X);
         // Largest eligible X still runs the i16 kernel.
-        let x = SIMD_MAX_SCORE - 1;
+        let x = SIMD_MAX_X - 1;
         assert!(simd_eligible(&a, &b, Scoring::default(), x));
         both(&a, &b, Scoring::default(), x);
     }
@@ -878,17 +1878,27 @@ mod tests {
     fn eligibility_bounds() {
         let s = seq("ACGTACGT");
         assert!(simd_eligible(&s, &s, Scoring::default(), 100));
+        // The X window is tied to the −∞ sentinel, not the (wider)
+        // best-score window: x + match must stay within SIMD_MAX_X.
+        assert!(simd_eligible(&s, &s, Scoring::default(), SIMD_MAX_X - 1));
+        assert!(!simd_eligible(&s, &s, Scoring::default(), SIMD_MAX_X));
         assert!(!simd_eligible(&s, &s, Scoring::default(), SIMD_MAX_SCORE));
         assert!(!simd_eligible(
             &s,
             &s,
-            Scoring::new(1, -(SIMD_MAX_SCORE + 1), -1),
+            Scoring::new(1, -(SIMD_MAX_X + 1), -1),
             10
         ));
         assert!(!simd_eligible(
             &s,
             &s,
-            Scoring::new(1, -1, -(SIMD_MAX_SCORE + 1)),
+            Scoring::new(1, -1, -(SIMD_MAX_X + 1)),
+            10
+        ));
+        assert!(simd_eligible(
+            &s,
+            &s,
+            Scoring::new(1, -SIMD_MAX_X, -SIMD_MAX_X),
             10
         ));
     }
@@ -915,8 +1925,8 @@ mod tests {
         );
         // The X bound also tightens to max_score: x + 11 must fit.
         let s = protein(50);
-        assert!(simd_eligible(&s, &s, p, SIMD_MAX_SCORE - 11));
-        assert!(!simd_eligible(&s, &s, p, SIMD_MAX_SCORE - 10));
+        assert!(simd_eligible(&s, &s, p, SIMD_MAX_X - 11));
+        assert!(!simd_eligible(&s, &s, p, SIMD_MAX_X - 10));
         // A DNA profile reduces exactly to the historical check.
         let d = seq("ACGTACGT");
         let scoring = Scoring::new(2, -3, -4);

@@ -32,7 +32,7 @@
 //!   share-nothing parallelism (one per Rayon worker, see
 //!   [`with_thread_workspace`]) is the concurrency story.
 
-use crate::simd::SimdScratch;
+use crate::simd::{Simd8Scratch, SimdScratch, TierTally};
 use crate::NEG_INF;
 use logan_seq::Seq;
 use std::cell::RefCell;
@@ -181,6 +181,15 @@ pub struct AlignWorkspace {
     /// i16 state for the SIMD engine: the three padded anti-diagonals
     /// plus the lane-widened query/target buffers.
     pub simd: SimdScratch,
+    /// i8 state for the 32-lane tier: the same layout at byte width.
+    /// Escalating runs use both this and `simd`.
+    pub simd8: Simd8Scratch,
+    /// Per-tier dispatch and escalation counters, bumped by every
+    /// kernel entry point that runs through this workspace. Batch
+    /// runners snapshot/diff it around each pair to aggregate into
+    /// `BatchResult::tiers`; a plain field write, so the warm
+    /// zero-allocation contract is untouched.
+    pub tally: TierTally,
     /// Per-lane `(value, index)` reduction scratch for `logan-core`'s
     /// simulated block reduction.
     pub lanes: Vec<(i32, usize)>,

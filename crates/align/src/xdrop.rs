@@ -91,6 +91,7 @@ fn xdrop_core(
     }
     let q = query.as_slice();
     let t = target.as_slice();
+    ws.tally.scalar += 1;
 
     let mut best: i32 = 0;
     let mut best_i: usize = 0;

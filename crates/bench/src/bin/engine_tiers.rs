@@ -1,0 +1,283 @@
+//! engine_tiers — the kernel tier ladder measured (PR 10): scalar vs
+//! 16-lane i16 vs 32-lane i8 vs the per-pair adaptive selector, across
+//! DNA and BLOSUM62 workloads, single host thread.
+//!
+//! Three workloads bracket the tier ladder's regimes:
+//!
+//! * `dna-screen` — candidate screening: unrelated flanks around a
+//!   planted exact seed, scored `(1, -2, -1)` with X = 62 (the widest
+//!   i8-eligible X at match = +1). Extensions die inside the X-drop
+//!   band without the best score ever approaching the i8 ceiling, so
+//!   this is the pure-i8 regime — the row the 1.4× acceptance bound is
+//!   asserted on. The `(2X/|gap|)`-wide live band (~124 cells) keeps
+//!   anti-diagonals several 32-lane chunks wide.
+//! * `dna-overlap` — true overlaps at 15% error, X = 60: the best
+//!   score outgrows the i8 window almost immediately, so the i8 tier
+//!   measures its escalation path (i8 prefix, then the i16 kernel).
+//! * `blosum62` — 400-aa homolog pairs under `blosum62:-6` at the
+//!   sensitive-search X = 400 (protein_bench's regime, wide bands).
+//!   X + 11 > 63 puts the workload outside the i8 window, so the fixed
+//!   i8 engine measures its scalar fallback and the adaptive selector
+//!   its i16 choice — the other two dispatch edges of the ladder.
+//!
+//! Asserted in-bin on every run:
+//! - all four engines produce bit-identical results on every workload;
+//! - on `dna-screen`, the i8 tier sustains ≥ 1.4× the i16 tier's
+//!   single-thread GCUPS;
+//! - on every workload, the adaptive engine is within 3% of the best
+//!   fixed tier (`adaptive ≥ max(fixed) − 3%`).
+//!
+//! The `--quick` smoke keeps the bit-identity assertion exact but
+//! loosens the two performance bounds (1.25× and 10%): its ~10 ms
+//! walls jitter too much for the full-run tolerances.
+//!
+//! ```sh
+//! cargo run --release -p logan-bench --bin engine_tiers            # full
+//! cargo run --release -p logan-bench --bin engine_tiers -- --quick # smoke
+//! ```
+
+use logan_align::{Engine, TierTally, XDropCpuAligner};
+use logan_bench::{heading, write_json, BenchScale, Table};
+use logan_core::backend::AlignBackend;
+use logan_seq::readsim::{PairSet, ReadPair, Seed};
+use logan_seq::{Alphabet, ScoreProfile, Scoring, Seq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    engine: String,
+    pairs: usize,
+    cells: u64,
+    wall_s: f64,
+    gcups: f64,
+    speedup_vs_scalar: f64,
+    frac_scalar: f64,
+    frac_i16: f64,
+    frac_i8: f64,
+    escalations: u64,
+}
+
+/// Screening pairs: two unrelated random sequences sharing only a
+/// planted exact seed mid-sequence — the overlapper's dominant case,
+/// where the extension's job is to reject the candidate quickly.
+fn screen_pairs(n: usize, len: usize, seed_len: usize, seed: u64) -> Vec<ReadPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut random_dna =
+        |len: usize| -> Vec<u8> { (0..len).map(|_| rng.gen_range(0..4u8)).collect() };
+    (0..n)
+        .map(|_| {
+            let mid = len / 2;
+            let q = random_dna(len);
+            let mut t = random_dna(len);
+            t[mid..mid + seed_len].copy_from_slice(&q[mid..mid + seed_len]);
+            ReadPair {
+                query: Seq::from_codes(q, Alphabet::Dna),
+                target: Seq::from_codes(t, Alphabet::Dna),
+                seed: Seed {
+                    qpos: mid,
+                    tpos: mid,
+                    len: seed_len,
+                },
+                template_len: len,
+            }
+        })
+        .collect()
+}
+
+/// Homolog protein pairs with an exact seed preserved mid-sequence.
+fn protein_pairs(n: usize, len: usize, seed_len: usize, sub_rate: f64, seed: u64) -> Vec<ReadPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let q: Vec<u8> = (0..len).map(|_| rng.gen_range(0..20u8)).collect();
+            let mid = len / 2;
+            let mut t = q.clone();
+            for (i, residue) in t.iter_mut().enumerate() {
+                if (mid..mid + seed_len).contains(&i) {
+                    continue;
+                }
+                if rng.gen_bool(sub_rate) {
+                    *residue = rng.gen_range(0..20u8);
+                }
+            }
+            ReadPair {
+                query: Seq::from_codes(q, Alphabet::Protein),
+                target: Seq::from_codes(t, Alphabet::Protein),
+                seed: Seed {
+                    qpos: mid,
+                    tpos: mid,
+                    len: seed_len,
+                },
+                template_len: len,
+            }
+        })
+        .collect()
+}
+
+struct Workload {
+    name: &'static str,
+    pairs: Vec<ReadPair>,
+    profile: ScoreProfile,
+    x: i32,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = BenchScale::from_env();
+    let n = if quick { 150 } else { 1600 };
+    let reps = if quick { 3 } else { 7 };
+
+    let workloads = [
+        Workload {
+            name: "dna-screen",
+            pairs: screen_pairs(n, 500, 16, scale.seed),
+            profile: ScoreProfile::MatchMismatch(Scoring::new(1, -2, -1)),
+            x: 62,
+        },
+        Workload {
+            name: "dna-overlap",
+            pairs: PairSet::generate_with_lengths(n / 2, 0.15, 800, 1200, scale.seed + 1).pairs,
+            profile: ScoreProfile::MatchMismatch(Scoring::default()),
+            x: 60,
+        },
+        Workload {
+            name: "blosum62",
+            pairs: protein_pairs(n / 2, 400, 6, 0.15, scale.seed + 2),
+            profile: ScoreProfile::blosum62(-6),
+            x: 400,
+        },
+    ];
+
+    const ENGINES: [Engine; 4] = [Engine::Scalar, Engine::Simd, Engine::I8, Engine::Adaptive];
+    let mut rows: Vec<Row> = Vec::new();
+
+    for w in &workloads {
+        // Best-of-`reps` wall time, with repetitions interleaved
+        // round-robin across the engines and the engine order rotated
+        // every round, so clock drift and frequency scaling hit every
+        // engine alike — the host clock jitters, the DP does not:
+        // cells, results and tier tallies are deterministic.
+        let backends: Vec<_> = ENGINES
+            .iter()
+            .map(|&e| XDropCpuAligner::new(1, w.profile, w.x, e))
+            .collect();
+        let mut best_wall = [f64::INFINITY; ENGINES.len()];
+        let mut cells = [0u64; ENGINES.len()];
+        let mut tiers = [TierTally::default(); ENGINES.len()];
+        let mut reference: Option<Vec<_>> = None;
+        for round in 0..reps {
+            for k in 0..backends.len() {
+                let i = (round + k) % backends.len();
+                let (res, rep) = backends[i].align_block(&w.pairs);
+                best_wall[i] = best_wall[i].min(rep.wall_s);
+                cells[i] = rep.total_cells;
+                tiers[i] = rep.tiers;
+                match &reference {
+                    None => reference = Some(res),
+                    Some(r) => assert_eq!(
+                        r, &res,
+                        "engine {} diverged from scalar on {}",
+                        ENGINES[i], w.name
+                    ),
+                }
+            }
+        }
+        let scalar_gcups = cells[0] as f64 / best_wall[0] / 1e9;
+        for (i, &engine) in ENGINES.iter().enumerate() {
+            let gcups = cells[i] as f64 / best_wall[i] / 1e9;
+            let total = tiers[i].total().max(1) as f64;
+            rows.push(Row {
+                workload: w.name.to_string(),
+                engine: engine.to_string(),
+                pairs: w.pairs.len(),
+                cells: cells[i],
+                wall_s: best_wall[i],
+                gcups,
+                speedup_vs_scalar: gcups / scalar_gcups,
+                frac_scalar: tiers[i].scalar as f64 / total,
+                frac_i16: tiers[i].lanes16 as f64 / total,
+                frac_i8: tiers[i].lanes8 as f64 / total,
+                escalations: tiers[i].escalations,
+            });
+        }
+    }
+
+    heading(format!(
+        "engine_tiers — tier ladder, 1 host thread, best-of-{reps}{}",
+        if quick { " [--quick]" } else { "" }
+    ));
+    let mut t = Table::new(&[
+        "Workload",
+        "Engine",
+        "Pairs",
+        "DP cells",
+        "Wall (s)",
+        "GCUPS",
+        "vs scalar",
+        "i8/i16/scalar",
+        "Escal.",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.engine.clone(),
+            r.pairs.to_string(),
+            r.cells.to_string(),
+            format!("{:.4}", r.wall_s),
+            format!("{:.3}", r.gcups),
+            format!("{:.2}x", r.speedup_vs_scalar),
+            format!(
+                "{:.0}/{:.0}/{:.0}%",
+                r.frac_i8 * 100.0,
+                r.frac_i16 * 100.0,
+                r.frac_scalar * 100.0
+            ),
+            r.escalations.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Acceptance bounds, asserted on every run. The --quick smoke's
+    // ~10 ms walls jitter too much for the tight full-run bounds, so it
+    // gates on looser thresholds that still catch a broken tier.
+    let (i8_bound, adaptive_frac) = if quick { (1.25, 0.90) } else { (1.4, 0.97) };
+    let gcups_of = |workload: &str, engine: Engine| {
+        rows.iter()
+            .find(|r| r.workload == workload && r.engine == engine.to_string())
+            .map(|r| r.gcups)
+            .expect("row exists")
+    };
+    let i8_vs_i16 = gcups_of("dna-screen", Engine::I8) / gcups_of("dna-screen", Engine::Simd);
+    assert!(
+        i8_vs_i16 >= i8_bound,
+        "i8 tier must sustain >= {i8_bound}x the i16 tier on eligible DNA pairs \
+         (dna-screen), measured {i8_vs_i16:.2}x"
+    );
+    for w in &workloads {
+        let best_fixed = [Engine::Scalar, Engine::Simd, Engine::I8]
+            .into_iter()
+            .map(|e| gcups_of(w.name, e))
+            .fold(f64::MIN, f64::max);
+        let adaptive = gcups_of(w.name, Engine::Adaptive);
+        assert!(
+            adaptive >= best_fixed * adaptive_frac,
+            "adaptive must stay within {:.0}% of the best fixed tier on {}: \
+             adaptive {adaptive:.3} GCUPS vs best fixed {best_fixed:.3}",
+            (1.0 - adaptive_frac) * 100.0,
+            w.name
+        );
+    }
+    println!(
+        "engine_tiers: all engines bit-identical; i8 {i8_vs_i16:.2}x i16 on dna-screen; \
+         adaptive within {:.0}% of best fixed tier on all workloads.",
+        (1.0 - adaptive_frac) * 100.0
+    );
+    if !quick {
+        // The quick smoke (premerge) must not clobber the recorded
+        // full-run artifact.
+        write_json("engine_tiers", &rows);
+    }
+}

@@ -4,7 +4,7 @@
 //! Seed-split X-drop extension over synthetic 400-aa homolog pairs
 //! under `blosum62:-6`, single host thread, scalar vs lane-parallel
 //! i16 engine. 400 aa keeps every pair inside the i16 eligibility
-//! window (⌊16383 / 11⌋ = 1489 aa at BLOSUM62's max score), so the
+//! window (⌊32767 / 11⌋ = 2978 aa at BLOSUM62's max score), so the
 //! SIMD row measures the vector kernel, not its scalar fallback. X is
 //! the sensitive-search 400: the live band is ~2X/|gap| cells wide, and
 //! a tight X leaves anti-diagonals narrower than a few 16-lane chunks —

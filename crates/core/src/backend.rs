@@ -215,6 +215,12 @@ pub struct BackendReport {
     pub launches: usize,
     /// Peak simulated HBM bytes in flight (0 for host-only backends).
     pub hbm_peak_bytes: u64,
+    /// Which host kernel tier computed each extension (scalar / i16 /
+    /// i8, plus i8 → i16 escalations) — the measured answer to "how
+    /// often does scalar actually fire". Populated by the CPU backend;
+    /// simulated backends leave it empty (their tier choice is a host
+    /// wall-clock detail, not a simulated cost). Merges by summing.
+    pub tiers: logan_align::TierTally,
     /// Per-launch kernel reports, in launch order.
     pub kernel_reports: Vec<KernelReport>,
 }
@@ -246,6 +252,7 @@ impl BackendReport {
             sim_time_s: rep.sim_time_s,
             launches: rep.launches,
             hbm_peak_bytes: rep.hbm_peak_bytes,
+            tiers: logan_align::TierTally::default(),
             kernel_reports: rep.kernel_reports,
         }
     }
@@ -272,6 +279,7 @@ impl BackendReport {
         self.sim_time_s += other.sim_time_s;
         self.launches += other.launches;
         self.hbm_peak_bytes = self.hbm_peak_bytes.max(other.hbm_peak_bytes);
+        self.tiers.merge(&other.tiers);
         self.kernel_reports.extend(other.kernel_reports);
     }
 
@@ -289,6 +297,7 @@ impl BackendReport {
         self.sim_time_s = self.sim_time_s.max(other.sim_time_s);
         self.launches += other.launches;
         self.hbm_peak_bytes = self.hbm_peak_bytes.max(other.hbm_peak_bytes);
+        self.tiers.merge(&other.tiers);
         self.kernel_reports.extend(other.kernel_reports);
     }
 
@@ -353,7 +362,8 @@ impl AlignBackend for XDropCpuAligner {
     fn align_block(&self, block: &[ReadPair]) -> (Vec<SeedExtendResult>, BackendReport) {
         let batch = self.run(block);
         let wall_s = batch.wall.unwrap_or_default().as_secs_f64();
-        let report = BackendReport::from_host(block.len(), batch.total_cells, wall_s);
+        let mut report = BackendReport::from_host(block.len(), batch.total_cells, wall_s);
+        report.tiers = batch.tiers;
         (batch.results, report)
     }
 }
@@ -550,6 +560,12 @@ mod tests {
             sim_time_s: sim,
             launches: 2,
             hbm_peak_bytes: cells,
+            tiers: logan_align::TierTally {
+                scalar: 1,
+                lanes16: 2,
+                lanes8: 3,
+                escalations: 1,
+            },
             kernel_reports: Vec::new(),
         };
         let mut seq = mk(100, 1.0, 0.5);
@@ -566,6 +582,19 @@ mod tests {
         assert_eq!(conc.sim_time_s, 2.0, "concurrent seconds take the max");
         assert_eq!(conc.wall_s, 0.5);
         assert_eq!(conc.pairs, 2);
+        // Tier tallies sum under both merge kinds (counts of work done,
+        // like cells — never max'd).
+        for rep in [&seq, &conc] {
+            assert_eq!(
+                rep.tiers,
+                logan_align::TierTally {
+                    scalar: 2,
+                    lanes16: 4,
+                    lanes8: 6,
+                    escalations: 2,
+                }
+            );
+        }
     }
 
     #[test]

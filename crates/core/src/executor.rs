@@ -63,8 +63,9 @@ pub struct LoganConfig {
     /// residency and read length).
     pub antidiag_in_shared: bool,
     /// Host engine computing the kernel's results (scalar reference or
-    /// the lane-parallel i16 kernel). Bit-identical results and
-    /// identical accounted costs either way; `Simd` makes the
+    /// one of the lane-parallel tiers — i16, i8-with-escalation, or
+    /// per-pair adaptive). Bit-identical results and identical
+    /// accounted costs on every engine; the SIMD tiers just make the
     /// simulation run faster on the host.
     pub engine: Engine,
 }
@@ -462,14 +463,16 @@ mod tests {
         let mut cfg = LoganConfig::with_x(50);
         cfg.engine = Engine::Scalar;
         let (r_scalar, rep_scalar) = LoganExecutor::new(DeviceSpec::v100(), cfg).align_pairs(&ps);
-        cfg.engine = Engine::Simd;
-        let (r_simd, rep_simd) = LoganExecutor::new(DeviceSpec::v100(), cfg).align_pairs(&ps);
-        assert_eq!(r_scalar, r_simd, "engine must not change results");
-        assert_eq!(
-            rep_scalar.sim_time_s, rep_simd.sim_time_s,
-            "engine must not change simulated time"
-        );
-        assert_eq!(rep_scalar.total_cells, rep_simd.total_cells);
+        for engine in [Engine::Simd, Engine::I8, Engine::Adaptive] {
+            cfg.engine = engine;
+            let (r_simd, rep_simd) = LoganExecutor::new(DeviceSpec::v100(), cfg).align_pairs(&ps);
+            assert_eq!(r_scalar, r_simd, "{engine} must not change results");
+            assert_eq!(
+                rep_scalar.sim_time_s, rep_simd.sim_time_s,
+                "{engine} must not change simulated time"
+            );
+            assert_eq!(rep_scalar.total_cells, rep_simd.total_cells);
+        }
     }
 
     #[test]

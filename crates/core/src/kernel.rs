@@ -47,9 +47,13 @@ pub struct KernelPolicy {
     /// estimated hot working set across resident blocks.
     pub hbm_charge_fraction: f64,
     /// Which host engine computes the block's results. Results and
-    /// accounted costs are identical either way (asserted by the
-    /// engine-equivalence tests); [`Engine::Simd`] just makes the
-    /// simulation itself run faster on the host.
+    /// accounted costs are identical across every engine (asserted by
+    /// the engine-equivalence tests); the choice only changes how fast
+    /// the simulation itself runs on the host. The SIMD tiers
+    /// ([`Engine::Simd`] / [`Engine::I8`] / [`Engine::Adaptive`]) all
+    /// drive the same per-anti-diagonal stepper accounting, so the
+    /// simulated device sees one int16 kernel regardless of which host
+    /// lane width computed it.
     pub engine: Engine,
 }
 
@@ -99,7 +103,11 @@ impl BlockKernel for LoganKernel<'_> {
                 &self.policy,
                 ws,
             ),
-            Engine::Simd => logan_block_extend_simd_with(
+            // All SIMD tiers route to the i16 stepper path: per-anti-
+            // diagonal stats (and therefore every accounted SIMT cost)
+            // are tier-invariant, so the host's narrower-lane speedups
+            // are a CPU-backend concern, not a simulated-kernel one.
+            Engine::Simd | Engine::I8 | Engine::Adaptive => logan_block_extend_simd_with(
                 ctx,
                 &job.query,
                 &job.target,

@@ -55,6 +55,13 @@ if [[ $quick -eq 0 ]]; then
   # its candidate pairs (asserted inside the binary).
   cargo run --release -q -p logan-bench --bin minimizer_bench -- --quick >/dev/null
 
+  step "engine_tiers --quick smoke"
+  # The tier ladder's acceptance bar in smoke form: all four engines
+  # bit-identical on every workload, with loosened (smoke) performance
+  # floors on the i8-vs-i16 and adaptive-vs-best-fixed ratios (the
+  # tight 1.4x / 3% bounds are asserted by the full binary).
+  cargo run --release -q -p logan-bench --bin engine_tiers -- --quick >/dev/null
+
   step "protein_bench --quick smoke"
   # The protein scoring path's acceptance bar: scalar and SIMD engines
   # and a second backend bit-identical under BLOSUM62, and the i16
@@ -80,6 +87,14 @@ fi
 
 step "differential suite: Engine::Simd vs Engine::Scalar vs gpusim"
 cargo test -q --test simd_equivalence
+
+step "engine-tiers: i8/i16/adaptive tier ladder diffs clean"
+# The DESIGN.md §14 contract: every tier (i8/32-lane, i16/16-lane,
+# adaptive) is bit-identical to scalar across random DNA and BLOSUM62
+# pairs, X values straddling both eligibility boundaries, and forced
+# saturation-escalation paths; tier dispatch and escalation counts are
+# pinned through TierTally.
+cargo test -q --test engine_tiers
 
 step "protein-equivalence: ScoreProfile seam diffs clean (DNA bit-identity + BLOSUM + six-frame)"
 # The profile contract: legacy Scoring, its profile wrapping and the

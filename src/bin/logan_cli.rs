@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--backend B] [--gpus N]
-//!                                             [--engine scalar|simd]
+//!                                             [--engine scalar|simd|i8|adaptive]
 //!                                             [--matrix dna|dna:M,MM,G|blosum62[:GAP]]
 //!                                             [--translated [-k K]]
 //! logan_cli overlap <reads.fa>                [-x N] [--backend B] [--gpus N]
 //!                                             [-k K] [--min-overlap L]
 //!                                             [--seeder spgemm|minimizer[:W]]
-//!                                             [--engine scalar|simd] [--stream]
+//!                                             [--engine scalar|simd|i8|adaptive] [--stream]
 //!                                             [--batch-reads N] [--shards N] [--inflight N]
 //! logan_cli serve                             [-x N] [--backend B] [--gpus N]
 //!                                             [--serve batch=N,queue=N,quota=N,deadline=S]
@@ -89,9 +89,9 @@ use std::sync::{Arc, Mutex};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  logan_cli pairs   <queries.fa> <targets.fa> [-x N] [--backend B] [--gpus N] \
-         [--engine scalar|simd] [--matrix dna|dna:M,MM,G|blosum62[:GAP]] [--translated [-k K]]\n  \
+         [--engine scalar|simd|i8|adaptive] [--matrix dna|dna:M,MM,G|blosum62[:GAP]] [--translated [-k K]]\n  \
          logan_cli overlap <reads.fa> [-x N] [--backend B] [--gpus N] [-k K] [--min-overlap L] \
-         [--seeder spgemm|minimizer[:W]] [--engine scalar|simd] [--stream] [--batch-reads N] \
+         [--seeder spgemm|minimizer[:W]] [--engine scalar|simd|i8|adaptive] [--stream] [--batch-reads N] \
          [--shards N] [--inflight N]\n  \
          logan_cli serve [-x N] [--backend B] [--gpus N] [--serve batch=N,queue=N,quota=N,deadline=S] \
          [--requests N] [--tenants T] [--clients C] [--seed S]\n\

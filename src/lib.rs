@@ -52,9 +52,10 @@ pub use logan_serve as serve;
 pub mod prelude {
     pub use logan_align::{
         banded_sw, ksw2_extend, needleman_wunsch, seed_extend, seed_extend_with, smith_waterman,
-        with_thread_workspace, xdrop_extend, xdrop_extend_simd, xdrop_extend_simd_with,
+        with_thread_workspace, xdrop_extend, xdrop_extend_adaptive, xdrop_extend_adaptive_with,
+        xdrop_extend_simd, xdrop_extend_simd8, xdrop_extend_simd8_with, xdrop_extend_simd_with,
         xdrop_extend_with, AlignWorkspace, CpuBatchAligner, Engine, ExtensionResult, Ksw2Params,
-        SeedExtendResult, XDropCpuAligner, XDropExtender,
+        SeedExtendResult, TierTally, XDropCpuAligner, XDropExtender,
     };
     pub use logan_bella::{BellaConfig, BellaPipeline, OverlapMetrics};
     pub use logan_core::{

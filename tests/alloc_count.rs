@@ -66,6 +66,12 @@ fn warm_workspace_extensions_are_allocation_free() {
     let mut ws = AlignWorkspace::new();
     let ext_scalar = XDropExtender::with_engine(scoring, x, Engine::Scalar);
     let ext_simd = XDropExtender::with_engine(scoring, x, Engine::Simd);
+    let ext_adaptive = XDropExtender::with_engine(scoring, x, Engine::Adaptive);
+    // A tighter X keeps `x + max_score` inside the i8 window, so the
+    // 32-lane tier (and its escalation into the i16 rings) gets real
+    // warm-path coverage rather than falling back to scalar.
+    let x8 = 40;
+    let ext_i8 = XDropExtender::with_engine(scoring, x8, Engine::I8);
 
     // Reference results through fresh workspaces, for the bit-equality
     // side of the contract.
@@ -74,19 +80,40 @@ fn warm_workspace_extensions_are_allocation_free() {
         .chain(&divergent)
         .map(|p| seed_extend(&p.query, &p.target, p.seed, &ext_scalar))
         .collect();
+    let reference_i8: Vec<SeedExtendResult> = pairs
+        .iter()
+        .chain(&divergent)
+        .map(|p| {
+            seed_extend(
+                &p.query,
+                &p.target,
+                p.seed,
+                &XDropExtender::with_engine(scoring, x8, Engine::Scalar),
+            )
+        })
+        .collect();
 
     // Warm-up pass: buffers grow to the workload's high-water mark.
     for p in pairs.iter().chain(&divergent) {
         seed_extend_with(&p.query, &p.target, p.seed, &ext_scalar, &mut ws);
         seed_extend_with(&p.query, &p.target, p.seed, &ext_simd, &mut ws);
+        seed_extend_with(&p.query, &p.target, p.seed, &ext_i8, &mut ws);
+        seed_extend_with(&p.query, &p.target, p.seed, &ext_adaptive, &mut ws);
         xdrop_extend_with(&p.query, &p.target, scoring, x, &mut ws);
         xdrop_extend_simd_with(&p.query, &p.target, scoring, x, &mut ws);
+        xdrop_extend_simd8_with(&p.query, &p.target, scoring, x8, &mut ws);
+        xdrop_extend_adaptive_with(&p.query, &p.target, scoring, x, &mut ws);
     }
 
     // Warm pass: the heart of the test. Zero allocations per call, on
     // every entry point, for every pair shape, and results identical to
     // the fresh-workspace reference.
-    for (p, want) in pairs.iter().chain(&divergent).zip(&reference) {
+    for ((p, want), want8) in pairs
+        .iter()
+        .chain(&divergent)
+        .zip(&reference)
+        .zip(&reference_i8)
+    {
         let (d, r) =
             alloc_delta(|| seed_extend_with(&p.query, &p.target, p.seed, &ext_scalar, &mut ws));
         assert_eq!(d, 0, "warm scalar seed_extend_with allocated");
@@ -97,12 +124,30 @@ fn warm_workspace_extensions_are_allocation_free() {
         assert_eq!(d, 0, "warm SIMD seed_extend_with allocated");
         assert_eq!(&r, want);
 
+        let (d, r) =
+            alloc_delta(|| seed_extend_with(&p.query, &p.target, p.seed, &ext_i8, &mut ws));
+        assert_eq!(d, 0, "warm i8 seed_extend_with allocated");
+        assert_eq!(&r, want8);
+
+        let (d, r) =
+            alloc_delta(|| seed_extend_with(&p.query, &p.target, p.seed, &ext_adaptive, &mut ws));
+        assert_eq!(d, 0, "warm adaptive seed_extend_with allocated");
+        assert_eq!(&r, want);
+
         let (d, _) = alloc_delta(|| xdrop_extend_with(&p.query, &p.target, scoring, x, &mut ws));
         assert_eq!(d, 0, "warm scalar xdrop_extend_with allocated");
 
         let (d, _) =
             alloc_delta(|| xdrop_extend_simd_with(&p.query, &p.target, scoring, x, &mut ws));
         assert_eq!(d, 0, "warm SIMD xdrop_extend_with allocated");
+
+        let (d, _) =
+            alloc_delta(|| xdrop_extend_simd8_with(&p.query, &p.target, scoring, x8, &mut ws));
+        assert_eq!(d, 0, "warm i8 xdrop_extend_with allocated");
+
+        let (d, _) =
+            alloc_delta(|| xdrop_extend_adaptive_with(&p.query, &p.target, scoring, x, &mut ws));
+        assert_eq!(d, 0, "warm adaptive xdrop_extend_with allocated");
     }
 
     // Sanity check on the counter itself: the allocating wrappers (and

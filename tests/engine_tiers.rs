@@ -1,0 +1,247 @@
+//! Differential test harness for the kernel tier ladder (PR 10): the
+//! 32-lane i8 tier (`Engine::I8`), the 16-lane i16 tier
+//! (`Engine::Simd`) and the per-pair adaptive selector
+//! (`Engine::Adaptive`) must all be bit-identical to the scalar ground
+//! truth — scores, end positions, cell counts, iteration counts, band
+//! widths and the dropped flag.
+//!
+//! This is the premerge gate's `engine-tiers` step. Coverage is chosen
+//! so every dispatch path provably runs:
+//!
+//! * random DNA and BLOSUM62 workloads with X values straddling *both*
+//!   eligibility boundaries (i8's `x + max_score ≤ 63` window and the
+//!   i16 window behind `SIMD_MAX_X`), so each tier's fallback edge is
+//!   exercised from both sides;
+//! * forced saturation-escalation: pairs whose running best score
+//!   provably outgrows the i8 window mid-extension, checked through the
+//!   [`TierTally`] escalation counter;
+//! * the adaptive selector's tier choice, pinned through the tally.
+
+use logan::align::{simd8_eligible, simd_eligible};
+use logan::prelude::*;
+use logan::seq::{Alphabet, ScoreProfile};
+use logan_align::simd::{SIMD8_MAX_SCORE, SIMD_MAX_X};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_seq(max_len: usize) -> impl Strategy<Value = Seq> {
+    proptest::collection::vec(0u8..4, 0..max_len)
+        .prop_map(|codes| codes.into_iter().map(logan::seq::Base::from_code).collect())
+}
+
+fn random_protein(n: usize, rng: &mut StdRng) -> Seq {
+    Seq::from_codes(
+        (0..n).map(|_| rng.gen_range(0..20u8)).collect(),
+        Alphabet::Protein,
+    )
+}
+
+/// A homolog of `q`: `sub_rate` of the residues resampled.
+fn mutate(q: &Seq, sub_rate: f64, rng: &mut StdRng) -> Seq {
+    let mut codes = q.as_slice().to_vec();
+    for c in codes.iter_mut() {
+        if rng.gen_bool(sub_rate) {
+            *c = rng.gen_range(0..20u8);
+        }
+    }
+    Seq::from_codes(codes, Alphabet::Protein)
+}
+
+/// Assert every tier matches scalar on one input, and return the
+/// scalar result.
+fn all_tiers_agree(
+    q: &Seq,
+    t: &Seq,
+    profile: impl Into<ScoreProfile> + Copy,
+    x: i32,
+) -> ExtensionResult {
+    let want = Engine::Scalar.extend(q, t, profile, x);
+    for engine in [Engine::Simd, Engine::I8, Engine::Adaptive] {
+        assert_eq!(
+            engine.extend(q, t, profile, x),
+            want,
+            "{engine} diverged from scalar (x = {x})"
+        );
+    }
+    want
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Headline property, DNA: for random pairs, scoring schemes and X
+    /// values, every tier is bit-equal to scalar. The X range straddles
+    /// the i8 eligibility boundary (`x + max_score ≤ 63`), so both the
+    /// 32-lane kernel and its fallback run; high-scoring long pairs
+    /// exercise the i8 → i16 escalation path.
+    #[test]
+    fn dna_tiers_are_bit_equal_to_scalar(
+        q in arb_seq(260),
+        t in arb_seq(260),
+        x in 0i32..130,
+        mat in 1i32..5,
+        mis in -5i32..0,
+        gap in -5i32..0,
+    ) {
+        let scoring = Scoring::new(mat, mis, gap);
+        let want = Engine::Scalar.extend(&q, &t, scoring, x);
+        for engine in [Engine::Simd, Engine::I8, Engine::Adaptive] {
+            prop_assert_eq!(engine.extend(&q, &t, scoring, x), want);
+        }
+    }
+
+    /// Headline property, BLOSUM62: random homolog pairs under the
+    /// matrix profile, X straddling the i8 window (`x ≤ 52` with
+    /// BLOSUM62's max score of 11).
+    #[test]
+    fn blosum62_tiers_are_bit_equal_to_scalar(
+        seed in 0u64..1_000_000,
+        n in 1usize..420,
+        sub_pct in 5u32..60,
+        x in 0i32..110,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_protein(n, &mut rng);
+        let t = mutate(&q, sub_pct as f64 / 100.0, &mut rng);
+        let p = ScoreProfile::blosum62(-6);
+        let want = Engine::Scalar.extend(&q, &t, p, x);
+        for engine in [Engine::Simd, Engine::I8, Engine::Adaptive] {
+            prop_assert_eq!(engine.extend(&q, &t, p, x), want);
+        }
+    }
+
+    /// Workspace-reuse across tiers: interleaving all four engines on
+    /// one warm workspace leaks no state between extensions.
+    #[test]
+    fn interleaved_tiers_share_a_workspace(
+        pairs in proptest::collection::vec(
+            (arb_seq(160), arb_seq(160), 0i32..120), 1..6),
+    ) {
+        let scoring = Scoring::default();
+        let mut ws = AlignWorkspace::new();
+        for (q, t, x) in &pairs {
+            let fresh = Engine::Scalar.extend(q, t, scoring, *x);
+            prop_assert_eq!(xdrop_extend_with(q, t, scoring, *x, &mut ws), fresh);
+            prop_assert_eq!(xdrop_extend_simd8_with(q, t, scoring, *x, &mut ws), fresh);
+            prop_assert_eq!(xdrop_extend_simd_with(q, t, scoring, *x, &mut ws), fresh);
+            prop_assert_eq!(xdrop_extend_adaptive_with(q, t, scoring, *x, &mut ws), fresh);
+        }
+    }
+}
+
+/// Walk X across the i8 eligibility boundary (`x + max_score ≤ 63`):
+/// eligibility must flip exactly at the boundary and every tier must
+/// stay bit-identical on both sides.
+#[test]
+fn x_straddles_the_i8_boundary() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let pairs = PairSet::generate_with_lengths(3, 0.15, 150, 300, 7).pairs;
+    let scoring = Scoring::default(); // match = +1
+    let boundary = SIMD8_MAX_SCORE - 1; // largest eligible X: x + 1 ≤ 63
+    for p in &pairs {
+        for dx in -2i32..=2 {
+            let x = boundary + dx;
+            assert_eq!(
+                simd8_eligible(&p.query, &p.target, scoring, x),
+                dx <= 0,
+                "i8 eligibility must flip at x = {boundary} (dx = {dx})"
+            );
+            all_tiers_agree(&p.query, &p.target, scoring, x);
+        }
+    }
+    // Same walk under BLOSUM62 (max score 11 → boundary at x = 52).
+    let q = random_protein(220, &mut rng);
+    let t = mutate(&q, 0.2, &mut rng);
+    let p = ScoreProfile::blosum62(-6);
+    let b62 = SIMD8_MAX_SCORE - 11;
+    for dx in -2i32..=2 {
+        let x = b62 + dx;
+        assert_eq!(simd8_eligible(&q, &t, p, x), dx <= 0);
+        all_tiers_agree(&q, &t, p, x);
+    }
+}
+
+/// Walk X across the i16 eligibility boundary (`x + max_score ≤
+/// SIMD_MAX_X`): above it every SIMD tier must fall back to scalar —
+/// and still agree bit for bit.
+#[test]
+fn x_straddles_the_i16_boundary() {
+    let pairs = PairSet::generate_with_lengths(3, 0.15, 150, 300, 8).pairs;
+    let scoring = Scoring::default();
+    let boundary = SIMD_MAX_X - 1; // largest eligible X: x + 1 ≤ SIMD_MAX_X
+    for p in &pairs {
+        for dx in -2i32..=2 {
+            let x = boundary + dx;
+            assert_eq!(
+                simd_eligible(&p.query, &p.target, scoring, x),
+                dx <= 0,
+                "i16 eligibility must flip at x = {boundary} (dx = {dx})"
+            );
+            // Far outside the i8 window, so I8 and Adaptive take their
+            // fallback edges here.
+            assert!(!simd8_eligible(&p.query, &p.target, scoring, x));
+            all_tiers_agree(&p.query, &p.target, scoring, x);
+        }
+    }
+}
+
+/// Forced saturation-escalation: a long identical pair's best score
+/// provably outgrows the i8 window mid-extension. The i8 kernel must
+/// hand over to i16 (counted in the tally), never drop to scalar, and
+/// the result must stay bit-identical.
+#[test]
+fn saturation_escalation_is_counted_and_bit_identical() {
+    let scoring = Scoring::default();
+    for n in [200usize, 600, 1500] {
+        let q: Seq = (0..n)
+            .map(|i| logan::seq::Base::from_code((i % 4) as u8))
+            .collect();
+        let x = 30;
+        assert!(simd8_eligible(&q, &q, scoring, x));
+        let want = all_tiers_agree(&q, &q, scoring, x);
+        assert_eq!(want.score, n as i32, "perfect pair must score n");
+
+        for engine in [Engine::I8, Engine::Adaptive] {
+            let mut ws = AlignWorkspace::new();
+            engine.extend_with(&q, &q, scoring, x, &mut ws);
+            assert_eq!(
+                ws.tally.lanes8, 1,
+                "{engine} must dispatch the i8 tier (n = {n})"
+            );
+            assert_eq!(
+                ws.tally.escalations, 1,
+                "{engine} must escalate exactly once (n = {n})"
+            );
+            assert_eq!(ws.tally.scalar, 0, "{engine} must not touch scalar");
+        }
+    }
+}
+
+/// The adaptive selector picks the cheapest provably-safe tier, pinned
+/// through the tally: i8 inside the i8 window, i16 between the
+/// windows, scalar beyond both.
+#[test]
+fn adaptive_picks_the_cheapest_eligible_tier() {
+    let pairs = PairSet::generate_with_lengths(2, 0.15, 200, 400, 9).pairs;
+    let scoring = Scoring::default();
+    // (x, expected tier) spanning the ladder.
+    let cases = [
+        (40, (0u64, 0u64, 1u64)),          // i8 window → lanes8
+        (SIMD8_MAX_SCORE + 20, (0, 1, 0)), // past i8, inside i16 → lanes16
+        (SIMD_MAX_X + 20, (1, 0, 0)),      // past both → scalar
+    ];
+    for p in &pairs {
+        for (x, (scalar, lanes16, lanes8)) in cases {
+            let mut ws = AlignWorkspace::new();
+            let got = Engine::Adaptive.extend_with(&p.query, &p.target, scoring, x, &mut ws);
+            assert_eq!(got, Engine::Scalar.extend(&p.query, &p.target, scoring, x));
+            assert_eq!(
+                (ws.tally.scalar, ws.tally.lanes16, ws.tally.lanes8),
+                (scalar, lanes16, lanes8),
+                "adaptive dispatched the wrong tier at x = {x}"
+            );
+            assert_eq!(ws.tally.total(), 1);
+        }
+    }
+}

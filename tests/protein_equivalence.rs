@@ -126,17 +126,18 @@ proptest! {
 }
 
 /// Property 2 with the fallback accounted: lengths straddle the i16
-/// eligibility boundary (⌊16383 / 11⌋ = 1489 aa at BLOSUM62's max
-/// score), so this provably exercises the vector kernel on the short
-/// pairs *and* the scalar fallback on the long ones — and both classes
-/// stay bit-identical to the scalar reference.
+/// eligibility boundary (⌊32767 / 11⌋ = 2978 aa at BLOSUM62's max
+/// score — PR 10 widened the window from the conservative
+/// ⌊16383 / 11⌋ = 1489 aa), so this provably exercises the vector
+/// kernel on the short pairs *and* the scalar fallback on the long
+/// ones — and both classes stay bit-identical to the scalar reference.
 #[test]
 fn blosum_fallback_boundary_is_exercised_and_identical() {
     let p = ScoreProfile::blosum62(-6);
     let x = 80;
     let mut rng = StdRng::seed_from_u64(404);
     let (mut eligible, mut fallback) = (0usize, 0usize);
-    for len in [40, 400, 1400, 1489, 1490, 1600, 2400] {
+    for len in [40, 400, 1489, 2900, 2978, 2979, 3100, 4400] {
         let q = random_protein(len, &mut rng);
         let t = mutate(&q, 0.15, &mut rng);
         if simd_eligible(&q, &t, p, x) {
@@ -152,11 +153,14 @@ fn blosum_fallback_boundary_is_exercised_and_identical() {
     }
     assert!(eligible >= 3, "the sweep must hit the vector kernel");
     assert!(fallback >= 3, "the sweep must hit the scalar fallback");
-    // The boundary itself sits where the window predicts.
-    let at = random_protein(1489, &mut rng);
-    let over = random_protein(1490, &mut rng);
+    // The boundary itself sits where the widened window predicts —
+    // and the old conservative boundary is now well inside it.
+    let at = random_protein(2978, &mut rng);
+    let over = random_protein(2979, &mut rng);
     assert!(simd_eligible(&at, &at, p, 0));
     assert!(!simd_eligible(&over, &over, p, 0));
+    let old_boundary = random_protein(1490, &mut rng);
+    assert!(simd_eligible(&old_boundary, &old_boundary, p, 0));
 }
 
 /// Property 3a: translation round-trips through the reverse complement

@@ -9,7 +9,7 @@
 //! fails here first.
 
 use logan::prelude::*;
-use logan_align::simd::SIMD_MAX_SCORE;
+use logan_align::simd::SIMD_MAX_X;
 use logan_align::xdrop_extend;
 use logan_core::kernel::{logan_block_extend, logan_block_extend_simd, KernelPolicy};
 use logan_gpusim::BlockCtx;
@@ -72,8 +72,8 @@ proptest! {
         dx in 0i32..6,
     ) {
         let scoring = Scoring::default();
-        // Walk X across the boundary (x + match <= SIMD_MAX_SCORE).
-        let x = SIMD_MAX_SCORE - 3 + dx;
+        // Walk X across the boundary (x + match <= SIMD_MAX_X).
+        let x = SIMD_MAX_X - 3 + dx;
         let simd = Engine::Simd.extend(&q, &t, scoring, x);
         let scalar = Engine::Scalar.extend(&q, &t, scoring, x);
         prop_assert_eq!(simd, scalar);
@@ -170,13 +170,13 @@ fn workspace_reuse_survives_adversarial_shape_sequence() {
     let unit = Scoring::default();
     let blast = Scoring::new(1, -2, -2);
     let cases: Vec<(&Seq, &Seq, Scoring, i32)> = vec![
-        (&big_a, &big_b, unit, 400),                // wide band
-        (&tiny, &tiny, unit, 5),                    // tiny after wide
-        (&big_a, &tiny, unit, 10),                  // asymmetric
-        (&divergent_a, &divergent_b, blast, 15),    // drops early
-        (&big_a, &big_b, unit, SIMD_MAX_SCORE - 1), // largest i16 X
-        (&big_a, &big_b, unit, SIMD_MAX_SCORE),     // scalar fallback
-        (&big_a, &big_b, blast, 100),               // big again
+        (&big_a, &big_b, unit, 400),             // wide band
+        (&tiny, &tiny, unit, 5),                 // tiny after wide
+        (&big_a, &tiny, unit, 10),               // asymmetric
+        (&divergent_a, &divergent_b, blast, 15), // drops early
+        (&big_a, &big_b, unit, SIMD_MAX_X - 1),  // largest i16 X
+        (&big_a, &big_b, unit, SIMD_MAX_X),      // scalar fallback
+        (&big_a, &big_b, blast, 100),            // big again
     ];
 
     let mut ws = AlignWorkspace::new();
